@@ -1,0 +1,53 @@
+"""Ablation — behavioral vs electrical backend.
+
+DESIGN.md calls out the fast behavioral model as a design choice; this
+benchmark quantifies what it trades away: border resistances and sense
+thresholds agree within tens of percent while the behavioral model runs
+orders of magnitude faster.
+"""
+
+import time
+
+from repro.analysis import (
+    border_resistance,
+    electrical_model,
+    sense_threshold,
+)
+from repro.behav import behavioral_model
+from repro.experiments.figures import REFERENCE_DEFECT
+
+
+def test_backend_agreement_and_speedup(benchmark, save_report):
+    def run():
+        report = {}
+        for name, factory in (("behavioral", behavioral_model),
+                              ("electrical", electrical_model)):
+            model = factory(REFERENCE_DEFECT)
+            start = time.perf_counter()
+            border = border_resistance(model, fails_high=True, r_lo=5e4,
+                                       r_hi=2e6, rel_tol=0.08,
+                                       sequences=("w1^6 w0 r0",))
+            model.set_defect_resistance(200e3)
+            vsa = sense_threshold(model, tol=0.01)
+            report[name] = {
+                "border": border.resistance,
+                "vsa": vsa,
+                "seconds": time.perf_counter() - start,
+            }
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    b, e = report["behavioral"], report["electrical"]
+    lines = [f"{name}: BR={r['border']:.3g} ohm, Vsa={r['vsa']:.3f} V, "
+             f"{r['seconds']:.2f} s"
+             for name, r in report.items()]
+    speedup = e["seconds"] / max(b["seconds"], 1e-9)
+    lines.append(f"speedup: {speedup:.0f}x")
+    save_report("ablation_model", "\n".join(lines))
+
+    assert 0.5 < b["border"] / e["border"] < 2.0, \
+        "borders must agree within a factor of two"
+    assert abs(b["vsa"] - e["vsa"]) < 0.1, \
+        "sense thresholds must agree within 100 mV"
+    assert speedup > 20, "the behavioral model must be much faster"

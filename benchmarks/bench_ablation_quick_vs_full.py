@@ -1,0 +1,65 @@
+"""Ablation — quick direction analysis vs brute-force plane generation.
+
+Sec. 4 of the paper: "Optimizing any ST can generally be done by
+performing a full fault analysis (generating the three result planes)
+for each ST value of interest … both labour intensive and time
+consuming.  Fortunately, it is sometimes possible to deduce the impact
+of different STs on the BR by performing a limited number of simulations
+only."
+
+This benchmark measures that trade exactly: the quick method (two panels
+per ST value) against regenerating full result planes at each ST extreme
+and comparing their border estimates.  Both must agree on the direction;
+the quick method must use far fewer simulated cycles.
+"""
+
+from repro.analysis import result_planes
+from repro.analysis.interface import CycleCountingModel
+from repro.analysis.planes import log_grid
+from repro.behav import behavioral_model
+from repro.core import StressKind, analyze_direction
+from repro.experiments.figures import REFERENCE_DEFECT
+from repro.stress import NOMINAL_STRESS, STRESS_RANGES
+
+
+def _full_plane_direction(model, kind):
+    """Brute force: full planes at both extremes, compare borders."""
+    grid = log_grid(5e4, 2e6, 8)
+    borders = {}
+    for value in STRESS_RANGES[kind].extremes:
+        model.set_stress(NOMINAL_STRESS.with_value(kind, value))
+        planes = result_planes(model, grid, n_writes=2, vsa_tol=0.02)
+        borders[value] = planes.border_estimate() or float("inf")
+    model.set_stress(NOMINAL_STRESS)
+    lo, hi = STRESS_RANGES[kind].extremes
+    return lo if borders[lo] < borders[hi] else hi
+
+
+def test_quick_vs_full_tcyc(benchmark, save_report):
+    def run():
+        quick_model = CycleCountingModel(
+            behavioral_model(REFERENCE_DEFECT))
+        quick_model.set_defect_resistance(200e3)
+        call = analyze_direction(quick_model, StressKind.TCYC, 0,
+                                 probe_points=2)
+
+        full_model = CycleCountingModel(
+            behavioral_model(REFERENCE_DEFECT))
+        full_choice = _full_plane_direction(full_model, StressKind.TCYC)
+        return call, quick_model.cycles, full_choice, full_model.cycles
+
+    call, quick_cycles, full_choice, full_cycles = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    save_report(
+        "ablation_quick_vs_full",
+        f"quick method: choose tcyc={call.chosen_value:.3g} in "
+        f"{quick_cycles} cycles\n"
+        f"full planes:  choose tcyc={full_choice:.3g} in "
+        f"{full_cycles} cycles\n"
+        f"cycle ratio: {full_cycles / max(quick_cycles, 1):.1f}x")
+
+    assert call.chosen_value == full_choice, \
+        "both methods must pick the same timing extreme"
+    assert quick_cycles * 4 < full_cycles, \
+        "the quick method must be several times cheaper"

@@ -1,0 +1,35 @@
+"""Extension — two-cell coupling faults from a bit-line bridge.
+
+The 2×2 array exposes neighbourhood effects the single-cell analysis
+cannot: operations addressed at the *other* cell on the shared bit line
+disturb a bridged cell.  This benchmark classifies the two-cell
+primitives of the B1 bridge electrically and confirms the march-theory
+consequence: a test with immediate read-verify in both address orders
+(March C−) catches the disturb coupling that the defective cell's own
+single-cell sequences may miss at the same resistance."""
+
+from repro.analysis.coupling import CouplingKind, classify_coupling
+from repro.defects import Defect, DefectKind
+
+
+def test_bridge_disturb_coupling(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: classify_coupling(Defect(DefectKind.B1), 100e3),
+        rounds=1, iterations=1)
+
+    save_report("coupling", report.render())
+
+    assert report.has_coupling
+    kinds = {f.kind for f in report.faults}
+    assert CouplingKind.CFDS in kinds
+
+    # Physical sanity: driving the line high disturbs stored 0s and
+    # driving it low disturbs stored 1s.
+    ops_for_zero = {f.aggressor_op for f in report.faults
+                    if f.kind is CouplingKind.CFDS
+                    and f.victim_value == 0}
+    ops_for_one = {f.aggressor_op for f in report.faults
+                   if f.kind is CouplingKind.CFDS
+                   and f.victim_value == 1}
+    assert "w1" in ops_for_zero
+    assert "w0" in ops_for_one

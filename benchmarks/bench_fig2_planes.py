@@ -1,0 +1,56 @@
+"""Fig. 2 — result planes of the cell open at the nominal SC.
+
+Regenerates the three planes (w0/w1/r) on the electrical (SPICE-level)
+column, estimates the border resistance from the ``(1) w0`` × ``Vsa``
+crossing, and checks the paper's shape claims:
+
+* the ``(1) w0`` settlement curve rises with the open resistance,
+* ``Vsa`` bends toward GND and eventually vanishes (stored 0 reads as 1),
+* the border lands in the hundreds-of-kΩ region (paper: ≈200 kΩ).
+"""
+
+from repro.experiments import fig2_result_planes
+
+
+def test_fig2_result_planes_electrical(benchmark, save_report):
+    study = benchmark.pedantic(
+        lambda: fig2_result_planes(backend="electrical", points=7),
+        rounds=1, iterations=1)
+
+    save_report("fig2_planes", study.render())
+
+    planes = study.planes
+    w0_first = planes.w0.curve(1)
+    assert w0_first[-1] > w0_first[0], "w0 settlement must rise with R"
+    w1_first = planes.w1.curve(1)
+    assert w1_first[-1] < w1_first[0], "w1 settlement must fall with R"
+
+    thresholds = planes.r.vsa.thresholds
+    usable = [v for v in thresholds if v is not None]
+    assert usable[0] > usable[-1], "Vsa must descend toward GND"
+    assert thresholds[-1] is None or thresholds[-1] < 0.7, \
+        "strong opens must read (almost) everything as 1"
+
+    assert study.border is not None
+    assert 8e4 < study.border < 8e5, \
+        f"border {study.border:.3g} outside the paper's regime"
+
+
+def test_fig2_two_writes_needed_near_border(benchmark, save_report):
+    """The paper: 'the two w1 operations are necessary to charge up
+    fully when R has a value close to BR'."""
+    from repro.analysis import electrical_model
+    from repro.experiments.figures import REFERENCE_DEFECT
+
+    def run():
+        model = electrical_model(REFERENCE_DEFECT)
+        model.set_defect_resistance(200e3)
+        return model.run_sequence("w1 w1 w1", init_vc=0.0)
+
+    seq = benchmark.pedantic(run, rounds=1, iterations=1)
+    first, second, third = seq.vc_after
+    save_report("fig2_two_writes",
+                f"w1 x3 from 0 V at R=200k: "
+                f"{first:.3f} / {second:.3f} / {third:.3f} V")
+    assert second - first > 0.3, "second w1 must add significant charge"
+    assert third - second < second - first, "charging must saturate"

@@ -1,0 +1,45 @@
+"""Fig. 3 — optimizing timing: tcyc 60 ns vs 55 ns at Rop = 200 kΩ.
+
+Paper claims reproduced here (electrical backend):
+
+* the shorter cycle leaves the cell voltage *higher* after ``w0``
+  (reduced cycle time reduces the ability to write a 0),
+* timing has (almost) no impact on the sense threshold ``Vsa``,
+* hence reducing ``tcyc`` is the more stressful timing for the test.
+"""
+
+from repro.experiments import fig3_timing_panels
+
+
+def test_fig3_timing_panels_electrical(benchmark, save_report):
+    study = benchmark.pedantic(
+        lambda: fig3_timing_panels(backend="electrical"),
+        rounds=1, iterations=1)
+
+    save_report("fig3_tcyc", study.render())
+
+    vc_60, vc_55 = study.w0_residuals
+    assert vc_55 > vc_60 + 0.02, \
+        "55 ns must leave a visibly higher Vc after w0 (weaker write)"
+
+    vsa_60, vsa_55 = study.vsa
+    assert abs(vsa_55 - vsa_60) < 0.04, \
+        "timing must have (nearly) no impact on Vsa"
+
+
+def test_fig3_direction_call(benchmark, save_report):
+    """The quick analysis must conclude: reduce the cycle time."""
+    from repro.analysis import electrical_model
+    from repro.core import StressKind, analyze_direction
+    from repro.experiments.figures import REFERENCE_DEFECT
+
+    def run():
+        model = electrical_model(REFERENCE_DEFECT)
+        model.set_defect_resistance(200e3)
+        return analyze_direction(model, StressKind.TCYC, 0,
+                                 probe_points=2)
+
+    call = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig3_direction", call.describe())
+    assert call.arrow == "↓"
+    assert not call.needs_border_tiebreak

@@ -1,0 +1,35 @@
+"""Extension — quantitative stress-sensitivity ranking.
+
+Goes one step beyond the paper's direction calls: finite-difference
+border sensitivities over each ST's specified excursion, ranked by
+influence.  Confirms that every sensitivity's sign agrees with the
+Table-1 direction and reports which stress buys the most failing range
+for the reference defect."""
+
+from repro.behav import behavioral_model
+from repro.core import StressKind, stress_sensitivity
+from repro.defects import Defect, DefectKind
+
+
+def _factory(defect, stress):
+    return behavioral_model(defect, stress=stress)
+
+
+def test_sensitivity_ranking(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: stress_sensitivity(_factory, Defect(DefectKind.O3)),
+        rounds=1, iterations=1)
+
+    save_report("sensitivity", report.render())
+
+    sens = report.sensitivities
+    # Signs must agree with the Table-1 directions.
+    assert sens[StressKind.TCYC].favours_high is False
+    assert sens[StressKind.VDD].favours_high is False
+    assert sens[StressKind.TEMP].favours_high is True
+    assert sens[StressKind.DUTY].favours_high is False
+
+    # Every axis moves the border by a measurable amount.
+    ranked = report.ranked()
+    assert len(ranked) == 4
+    assert abs(ranked[0].normalised) > 0.05

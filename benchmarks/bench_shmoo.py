@@ -1,0 +1,60 @@
+"""Sec. 2 — the Shmoo-plot baseline.
+
+Reproduces the traditional methodology the paper improves upon: a 2-D
+pass/fail grid of two stresses for a device carrying the reference
+defect.  Asserts the tester-visible shape (failures concentrate toward
+short cycles and low supply) and measures its cost versus the paper's
+method, which needs a handful of targeted simulations instead of a full
+grid.
+"""
+
+from repro.experiments import shmoo_baseline
+
+
+def test_shmoo_grid_behavioral(benchmark, save_report):
+    study = benchmark.pedantic(
+        lambda: shmoo_baseline(backend="behavioral", nx=11, ny=9),
+        rounds=1, iterations=1)
+
+    save_report("shmoo", study.render())
+
+    plot = study.plot
+    assert plot.pass_count > 0 and plot.fail_count > 0, \
+        "the boundary must cross the plotted window"
+
+    # Failures concentrate at low Vdd (left columns).
+    left_fail = sum(1 for row in plot.grid if not row[0])
+    right_fail = sum(1 for row in plot.grid if not row[-1])
+    assert left_fail >= right_fail
+
+
+def test_shmoo_cost_vs_quick_analysis(benchmark, save_report):
+    """The paper's pitch: a Shmoo grid costs one test execution per grid
+    point, while the simulation method needs two panels per ST."""
+    from repro.analysis.interface import CycleCountingModel
+    from repro.behav import behavioral_model
+    from repro.core import StressKind, analyze_direction, shmoo
+    from repro.experiments.figures import REFERENCE_DEFECT
+
+    def run():
+        shmoo_model = CycleCountingModel(
+            behavioral_model(REFERENCE_DEFECT.with_resistance(250e3)))
+        shmoo(shmoo_model, "w1^2 w0 r0",
+              x_kind=StressKind.VDD,
+              x_values=[2.1 + i * 0.06 for i in range(11)],
+              y_kind=StressKind.TCYC,
+              y_values=[50e-9 + i * 2.5e-9 for i in range(9)])
+
+        quick_model = CycleCountingModel(
+            behavioral_model(REFERENCE_DEFECT.with_resistance(250e3)))
+        analyze_direction(quick_model, StressKind.VDD, 0,
+                          probe_points=2)
+        return shmoo_model.cycles, quick_model.cycles
+
+    shmoo_cycles, quick_cycles = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    save_report("shmoo_cost",
+                f"Shmoo grid: {shmoo_cycles} operation cycles\n"
+                f"quick direction panels (one ST): {quick_cycles} cycles")
+    assert quick_cycles * 3 < shmoo_cycles, \
+        "the quick analysis must be far cheaper than a Shmoo grid"

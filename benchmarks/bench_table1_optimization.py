@@ -1,0 +1,80 @@
+"""Table 1 — full per-defect stress optimization over the Fig. 7 catalog.
+
+Runs the complete flow (nominal border → direction analysis →
+tie-breaks → stressed border → stressed detection condition) for all
+seven defects on both bit lines.  The behavioral backend covers the full
+table; an electrical spot-check validates the reference row.
+
+Paper claims asserted:
+
+* temperature: ``↑`` for every defect,
+* timing: ``↓`` for the opens (paper: for all defects; see
+  EXPERIMENTS.md for the documented divergence on retention-dominated
+  shorts/bridges),
+* every stressed border extends the failing resistance range,
+* true/comp rows share borders, with 0s/1s interchanged in the
+  detection conditions.
+"""
+
+from repro.core import StressKind
+from repro.defects import DefectKind, Placement
+from repro.experiments import table1_optimization
+
+
+def test_table1_full_catalog_behavioral(benchmark, save_report):
+    table = benchmark.pedantic(
+        lambda: table1_optimization(backend="behavioral"),
+        rounds=1, iterations=1)
+
+    save_report("table1", table.render())
+
+    assert len(table.rows) == 14
+    for row in table.rows:
+        assert row.directions[StressKind.TEMP].arrow == "↑", \
+            f"{row.defect.name}: temperature direction"
+        assert row.improved, \
+            f"{row.defect.name}: SC must extend the failing range"
+
+    for kind in (DefectKind.O1, DefectKind.O2, DefectKind.O3):
+        row = table.row(kind, Placement.TRUE)
+        assert row.directions[StressKind.TCYC].arrow == "↓", \
+            f"{kind}: timing direction"
+        assert row.directions[StressKind.VDD].arrow == "↓", \
+            f"{kind}: supply direction (paper Sec. 4.3)"
+
+    # true/comp symmetry
+    for kind in DefectKind:
+        t = table.row(kind, Placement.TRUE)
+        c = table.row(kind, Placement.COMP)
+        if t.nominal_border.found and c.nominal_border.found:
+            ratio = t.nominal_border.resistance / \
+                c.nominal_border.resistance
+            assert 0.7 < ratio < 1.4, f"{kind}: true/comp border"
+        if t.nominal_detection and c.nominal_detection:
+            swap = {"w0": "w1", "w1": "w0", "r0": "r1", "r1": "r0"}
+            swapped = [swap[str(o)] for o in t.nominal_detection.ops]
+            assert swapped == [str(o) for o in c.nominal_detection.ops]
+
+
+def test_table1_reference_row_electrical(benchmark, save_report):
+    """Electrical validation of the O3 (true) row: same directions, same
+    border regime, halving of the border under the SC (paper: 200 kΩ →
+    50 kΩ, i.e. a multiple-fold extension)."""
+    from repro.analysis import electrical_model
+    from repro.core import optimize_defect
+
+    def run():
+        return optimize_defect(
+            DefectKind.O3,
+            model_factory=lambda d, s: electrical_model(d, stress=s),
+            br_rel_tol=0.08)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("table1_electrical_o3", row.describe())
+
+    assert row.directions[StressKind.TCYC].arrow == "↓"
+    assert row.directions[StressKind.TEMP].arrow == "↑"
+    assert row.directions[StressKind.VDD].arrow == "↓"
+    assert 1e5 < row.nominal_border.resistance < 4e5
+    assert row.stressed_border.resistance < \
+        0.8 * row.nominal_border.resistance

@@ -1,0 +1,25 @@
+"""Benchmark support: report sink and shared grids.
+
+Every benchmark regenerates one paper figure/table and writes its text
+rendering to ``benchmarks/reports/`` so the reproduced artefacts are
+inspectable after a run (EXPERIMENTS.md references them).
+"""
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+    return _save

@@ -1,0 +1,55 @@
+"""Persist an optimization run and diff it against a golden record.
+
+Production flow: each defect-library or technology revision re-runs the
+optimizer; the JSON record is checked into the test-program repo and the
+diff gates releases (a flipped stress direction means the test program
+must be re-qualified).
+
+Run:  python examples/regression_records.py
+"""
+
+import pathlib
+import tempfile
+
+from repro.core import optimize_all_defects
+from repro.defects import Defect, DefectKind, Placement
+from repro.dram.tech import default_tech
+from repro.behav import behavioral_model
+from repro.report.records import diff_tables, load_table, table_to_json
+
+DEFECTS = (Defect(DefectKind.O3, Placement.TRUE),
+           Defect(DefectKind.SG, Placement.TRUE))
+
+
+def main() -> None:
+    print("Running the optimizer on the current technology...")
+    golden = optimize_all_defects(defects=DEFECTS)
+    record = table_to_json(golden)
+
+    out = pathlib.Path(tempfile.gettempdir()) / "repro_golden.json"
+    out.write_text(record)
+    print(f"golden record written to {out} "
+          f"({len(record.splitlines())} lines)\n")
+
+    # A process tweak arrives: the cell capacitor shrinks by 15 %.
+    print("Re-running after a technology change (cs -15%)...")
+    tweaked_tech = default_tech().with_(cs=default_tech().cs * 0.85)
+
+    def factory(defect, stress):
+        return behavioral_model(defect, stress=stress, tech=tweaked_tech)
+
+    revised = optimize_all_defects(defects=DEFECTS,
+                                   model_factory=factory)
+
+    messages = diff_tables(load_table(record),
+                           load_table(table_to_json(revised)))
+    if messages:
+        print("regression diff (needs re-qualification):")
+        for message in messages:
+            print(f"  - {message}")
+    else:
+        print("no significant changes — test program remains valid.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Walk through the paper's Sec. 4 methodology step by step.
+
+Reproduces the reasoning of Figs. 3-5 interactively: for each stress,
+run the write panel and the read panel, show the votes, and — where the
+panels conflict or are non-monotonic — settle the question with border-
+resistance comparisons, exactly as the paper does for temperature and
+supply voltage.
+
+Run:  python examples/stress_direction_study.py [--electrical]
+"""
+
+import argparse
+
+from repro.analysis import electrical_model
+from repro.behav import behavioral_model
+from repro.core import (
+    NOMINAL_STRESS,
+    STRESS_RANGES,
+    StressKind,
+    analyze_direction,
+    find_border_resistance,
+)
+from repro.defects import Defect, DefectKind
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--electrical", action="store_true",
+                        help="use the SPICE-level column (slower)")
+    parser.add_argument("--resistance", type=float, default=200e3,
+                        help="defect resistance to analyse (ohms)")
+    args = parser.parse_args()
+
+    defect = Defect(DefectKind.O3, resistance=args.resistance)
+    factory = electrical_model if args.electrical else behavioral_model
+    model = factory(defect)
+    model.set_defect_resistance(args.resistance)
+
+    print(f"Analysing {defect.name} at R = {args.resistance:.3g} Ohm "
+          f"({'electrical' if args.electrical else 'behavioral'} "
+          f"backend)\n")
+
+    for kind in (StressKind.TCYC, StressKind.DUTY, StressKind.TEMP,
+                 StressKind.VDD):
+        call = analyze_direction(model, kind, 0)
+        print(f"=== {kind.value} "
+              f"(range {STRESS_RANGES[kind].low:g} .. "
+              f"{STRESS_RANGES[kind].high:g}) ===")
+        print(" ", call.write_panel.describe())
+        print(" ", call.read_panel.describe())
+        if call.needs_border_tiebreak:
+            print("  panels inconclusive -> border-resistance "
+                  "tie-break:")
+            best_value, best_border = None, None
+            for value in call.tiebreak_candidates:
+                sc = NOMINAL_STRESS.with_value(kind, value)
+                border = find_border_resistance(model, defect,
+                                                stress=sc, rel_tol=0.08)
+                print(f"    {kind.value}={value:g}: "
+                      f"{border.describe()}")
+                if best_border is None or (
+                        border.found and best_border.found
+                        and border.resistance < best_border.resistance):
+                    best_value, best_border = value, border
+            model.set_stress(NOMINAL_STRESS)
+            model.set_defect_resistance(args.resistance)
+            print(f"  -> tie-break picks {kind.value}={best_value:g}")
+        else:
+            print(f"  -> {call.describe()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

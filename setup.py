@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Allows ``pip install -e . --no-build-isolation`` (which falls back to
+``setup.py develop``) on offline machines; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — stress optimization for DRAM cell defect testing.
+
+A full reproduction of Z. Al-Ars, A.J. van de Goor, J. Braun and D. Richter,
+"Optimizing Stresses for Testing DRAM Cell Defects Using Electrical
+Simulation", DATE 2003.
+
+The package bundles every subsystem the paper depends on:
+
+* :mod:`repro.spice` — a SPICE-class transient circuit simulator,
+* :mod:`repro.dram` — a folded-bit-line DRAM column model,
+* :mod:`repro.defects` — the Fig. 7 defect catalog and netlist injection,
+* :mod:`repro.analysis` — result planes, sense thresholds, border
+  resistance, detection conditions,
+* :mod:`repro.core` — the paper's stress-optimization methodology,
+* :mod:`repro.behav` — a calibrated fast behavioral column model,
+* :mod:`repro.march` — march tests and coverage evaluation,
+* :mod:`repro.report` — ASCII plots and experiment tables.
+"""
+
+__version__ = "1.0.0"
+
+from repro.stress import (
+    NOMINAL_STRESS,
+    STRESS_RANGES,
+    StressConditions,
+    StressKind,
+    nominal_stress,
+)
+from repro.defects import ALL_DEFECTS, Defect, DefectKind, Placement
+
+
+def optimize_defect(*args, **kwargs):
+    """Convenience re-export of :func:`repro.core.optimize_defect`."""
+    from repro.core import optimize_defect as impl
+    return impl(*args, **kwargs)
+
+
+def optimize_all_defects(*args, **kwargs):
+    """Convenience re-export of :func:`repro.core.optimize_all_defects`."""
+    from repro.core import optimize_all_defects as impl
+    return impl(*args, **kwargs)
+
+
+__all__ = [
+    "ALL_DEFECTS",
+    "Defect",
+    "DefectKind",
+    "NOMINAL_STRESS",
+    "Placement",
+    "STRESS_RANGES",
+    "StressConditions",
+    "StressKind",
+    "__version__",
+    "nominal_stress",
+    "optimize_all_defects",
+    "optimize_defect",
+]

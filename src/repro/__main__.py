@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Reproduce the paper's Table 1 over the full defect catalog.
+``optimize O3 [--comp] [--electrical]``
+    Optimize one defect and print the row.
+``planes [--stressed] [--electrical]``
+    Render the Fig. 2 / Fig. 6 result planes.
+``shmoo [--resistance R]``
+    Render the Sec. 2 Shmoo baseline.
+``coverage``
+    March-test coverage at nominal vs optimized SC (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments import table1_optimization
+    backend = "electrical" if args.electrical else "behavioral"
+    table = table1_optimization(backend=backend)
+    print(table.render())
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.core import optimize_defect
+    from repro.defects import DefectKind, Placement
+    from repro.experiments.figures import make_model
+
+    try:
+        kind = DefectKind(args.defect)
+    except ValueError:
+        names = ", ".join(k.value for k in DefectKind)
+        print(f"unknown defect {args.defect!r}; choose one of: {names}",
+              file=sys.stderr)
+        return 2
+    placement = Placement.COMP if args.comp else Placement.TRUE
+    backend = "electrical" if args.electrical else "behavioral"
+    row = optimize_defect(
+        kind, placement=placement,
+        model_factory=lambda d, s: make_model(d, s, backend))
+    print(row.describe())
+    for call in row.directions.values():
+        print(f"  {call.describe()}")
+    return 0
+
+
+def _cmd_planes(args) -> int:
+    from repro.experiments import fig2_result_planes, fig6_stressed_planes
+    backend = "electrical" if args.electrical else "behavioral"
+    fn = fig6_stressed_planes if args.stressed else fig2_result_planes
+    study = fn(backend=backend, points=args.points)
+    print(study.render())
+    return 0
+
+
+def _cmd_shmoo(args) -> int:
+    from repro.experiments import shmoo_baseline
+    study = shmoo_baseline(resistance=args.resistance)
+    print(study.render())
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from repro.experiments import march_coverage_comparison
+    study = march_coverage_comparison(r_points=args.points)
+    print(study.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DRAM test-stress optimization (DATE 2003 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="reproduce Table 1")
+    p.add_argument("--electrical", action="store_true")
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("optimize", help="optimize one defect")
+    p.add_argument("defect", help="O1 O2 O3 Sg Sv B1 B2")
+    p.add_argument("--comp", action="store_true",
+                   help="complementary bit line")
+    p.add_argument("--electrical", action="store_true")
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("planes", help="Fig. 2/6 result planes")
+    p.add_argument("--stressed", action="store_true",
+                   help="use the Fig. 6 stress combination")
+    p.add_argument("--electrical", action="store_true")
+    p.add_argument("--points", type=int, default=8)
+    p.set_defaults(fn=_cmd_planes)
+
+    p = sub.add_parser("shmoo", help="Sec. 2 Shmoo baseline")
+    p.add_argument("--resistance", type=float, default=250e3)
+    p.set_defaults(fn=_cmd_shmoo)
+
+    p = sub.add_parser("coverage", help="Sec. 5.2 march coverage")
+    p.add_argument("--points", type=int, default=10)
+    p.set_defaults(fn=_cmd_coverage)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Fault analysis: result planes, sense thresholds, border resistance.
+
+Implements Section 3 of the paper on top of any column model (electrical
+or behavioral):
+
+* :mod:`repro.analysis.interface` — the :class:`ColumnModel` protocol and
+  the electrical-model factory,
+* :mod:`repro.analysis.curves` — ``Vsa(Rop)`` threshold curves and
+  write-settlement curves,
+* :mod:`repro.analysis.planes` — the three result planes of Fig. 2/6,
+* :mod:`repro.analysis.border` — border-resistance (BR) identification,
+* :mod:`repro.analysis.detection` — detection-condition derivation,
+* :mod:`repro.analysis.faults` — functional fault-primitive classification.
+"""
+
+from repro.analysis.interface import ColumnModel, electrical_model
+from repro.analysis.curves import (
+    SettleCurve,
+    VsaCurve,
+    sense_threshold,
+    settle_curve,
+    vsa_curve,
+)
+from repro.analysis.planes import ReadPlane, ResultPlanes, WritePlane, result_planes
+from repro.analysis.border import BorderResult, border_resistance
+from repro.analysis.detection import (
+    DetectionCondition,
+    derive_detection_condition,
+)
+from repro.analysis.faults import FaultPrimitive, classify_fault_primitives
+from repro.analysis.dictionary import (
+    FaultDictionary,
+    build_fault_dictionary,
+)
+from repro.analysis.retention import RetentionResult, retention_cycles
+from repro.analysis.coupling import (
+    CouplingFault,
+    CouplingKind,
+    CouplingReport,
+    classify_coupling,
+)
+
+__all__ = [
+    "BorderResult",
+    "ColumnModel",
+    "CouplingFault",
+    "CouplingKind",
+    "CouplingReport",
+    "DetectionCondition",
+    "FaultDictionary",
+    "FaultPrimitive",
+    "ReadPlane",
+    "ResultPlanes",
+    "RetentionResult",
+    "SettleCurve",
+    "VsaCurve",
+    "WritePlane",
+    "border_resistance",
+    "build_fault_dictionary",
+    "classify_coupling",
+    "classify_fault_primitives",
+    "derive_detection_condition",
+    "electrical_model",
+    "result_planes",
+    "retention_cycles",
+    "sense_threshold",
+    "settle_curve",
+    "vsa_curve",
+]

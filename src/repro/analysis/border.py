@@ -1,0 +1,152 @@
+"""Border-resistance (BR) identification.
+
+BR is the resistive value of a defect at which the memory starts to show
+faulty behaviour (Sec. 3, citing [Al-Ars02]).  Opens fail *above* their
+border; shorts and bridges fail *below* it.  The search bisects in log
+space over a detection predicate: "does this operation sequence observe a
+functional fault at resistance R?".
+
+The default predicate uses a saturating charge phase (several ``w1``/``w0``
+operations) so the detection is not limited by incomplete charging — the
+paper's Sec. 4.4 makes the same adjustment when the stress combination
+weakens writes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.interface import ColumnModel, opposite_rail_init
+from repro.dram.ops import parse_ops
+
+#: Operation sequences probed by the default fault predicate.  The pair
+#: covers both data polarities; the saturating charge prefix follows the
+#: paper's "two w1 are necessary ... " observation generalised to heavy
+#: stress (Fig. 6 needs even more).
+DEFAULT_PROBE_SEQUENCES = (
+    "w1^6 w0 r0 r0",
+    "w0^6 w1 r1 r1",
+    "w1 r1 r1 r1",
+    "w0 r0 r0 r0",
+)
+
+
+def default_fault_predicate(model: ColumnModel,
+                            sequences: Sequence[str] = DEFAULT_PROBE_SEQUENCES
+                            ) -> Callable[[float], bool]:
+    """Build ``faulty(R)`` running a battery of detection sequences."""
+    parsed = [parse_ops(s) for s in sequences]
+
+    def faulty(resistance: float) -> bool:
+        model.set_defect_resistance(resistance)
+        for ops in parsed:
+            init = opposite_rail_init(model, ops)
+            if model.run_sequence(ops, init_vc=init).any_fault:
+                return True
+        return False
+
+    return faulty
+
+
+@dataclass(frozen=True)
+class BorderResult:
+    """Outcome of a border search.
+
+    Attributes
+    ----------
+    resistance:
+        The border value, or ``None`` when the whole range behaves
+        uniformly (see ``always_faulty``).
+    fails_high:
+        True when faults live above the border (opens).
+    always_faulty / never_faulty:
+        Degenerate outcomes: the entire searched range is faulty (the
+        border lies below it) or fault-free (above it).
+    r_lo, r_hi:
+        The searched range.
+    """
+
+    resistance: float | None
+    fails_high: bool
+    always_faulty: bool
+    never_faulty: bool
+    r_lo: float
+    r_hi: float
+
+    @property
+    def found(self) -> bool:
+        return self.resistance is not None
+
+    def failing_range(self) -> tuple[float, float] | None:
+        """The resistance interval producing faults (within the search)."""
+        if self.always_faulty:
+            return (self.r_lo, self.r_hi)
+        if not self.found:
+            return None
+        if self.fails_high:
+            return (self.resistance, self.r_hi)
+        return (self.r_lo, self.resistance)
+
+    def describe(self) -> str:
+        if self.always_faulty:
+            return f"faulty everywhere in [{self.r_lo:.3g}, {self.r_hi:.3g}]"
+        if not self.found:
+            return f"no fault in [{self.r_lo:.3g}, {self.r_hi:.3g}]"
+        arrow = ">" if self.fails_high else "<"
+        return f"faulty for R {arrow} {self.resistance:.3g} ohm"
+
+
+def border_resistance(model: ColumnModel, *, fails_high: bool,
+                      r_lo: float, r_hi: float,
+                      predicate: Callable[[float], bool] | None = None,
+                      sequences: Sequence[str] | None = None,
+                      rel_tol: float = 0.05) -> BorderResult:
+    """Bisect the border resistance in ``[r_lo, r_hi]`` (log space).
+
+    ``fails_high`` selects the polarity (True for opens).  A custom
+    ``predicate`` (or sequence battery) overrides the default probe.
+    The predicate is assumed monotone in R in the paper's sense; the
+    endpoints are checked and degenerate outcomes reported explicitly.
+    """
+    if r_lo <= 0 or r_hi <= r_lo:
+        raise ValueError("require 0 < r_lo < r_hi")
+    if predicate is None:
+        predicate = default_fault_predicate(
+            model, sequences or DEFAULT_PROBE_SEQUENCES)
+
+    lo_faulty = predicate(r_lo)
+    hi_faulty = predicate(r_hi)
+    faulty_end = r_hi if fails_high else r_lo
+    clean_end = r_lo if fails_high else r_hi
+    faulty_at_faulty_end = hi_faulty if fails_high else lo_faulty
+    faulty_at_clean_end = lo_faulty if fails_high else hi_faulty
+
+    if faulty_at_clean_end:
+        return BorderResult(None, fails_high, always_faulty=True,
+                            never_faulty=False, r_lo=r_lo, r_hi=r_hi)
+    if not faulty_at_faulty_end:
+        return BorderResult(None, fails_high, always_faulty=False,
+                            never_faulty=True, r_lo=r_lo, r_hi=r_hi)
+
+    lo, hi = (clean_end, faulty_end) if fails_high else (faulty_end,
+                                                         clean_end)
+    # Invariant depends on polarity: for opens lo is clean / hi faulty;
+    # for shorts lo is faulty / hi clean.
+    while hi / lo > 1.0 + rel_tol:
+        mid = math.sqrt(lo * hi)
+        mid_faulty = predicate(mid)
+        if fails_high:
+            if mid_faulty:
+                hi = mid
+            else:
+                lo = mid
+        else:
+            if mid_faulty:
+                lo = mid
+            else:
+                hi = mid
+    return BorderResult(math.sqrt(lo * hi), fails_high,
+                        always_faulty=False, never_faulty=False,
+                        r_lo=r_lo, r_hi=r_hi)

@@ -1,0 +1,149 @@
+"""Two-cell coupling-fault analysis on the electrical column.
+
+The 2×2 array makes neighbourhood effects observable: a bridge from a
+storage node to its bit line, for example, is not only a single-cell
+fault — every operation addressed at the *other* cell on the same line
+drives that line rail-to-rail and disturbs the defective cell through
+the bridge.  In functional terms these are the classic two-cell
+primitives:
+
+* ``CFds`` — disturb coupling: an aggressor operation flips the victim,
+* ``CFst`` — state coupling: the victim misbehaves only while the
+  aggressor holds a particular value.
+
+This analysis needs per-operation cell addressing, so it runs on the
+electrical model (the behavioral model is single-cell by design).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.interface import electrical_model
+from repro.stress import NOMINAL_STRESS, StressConditions
+from repro.defects.catalog import Defect
+from repro.dram.ops import Op, Operation
+
+
+class CouplingKind(enum.Enum):
+    """Two-cell fault primitive families."""
+
+    CFDS = "CFds"    # disturb: aggressor op flips the victim
+    CFST = "CFst"    # state: victim fault conditioned on aggressor value
+
+
+@dataclass(frozen=True)
+class CouplingFault:
+    """One observed two-cell primitive."""
+
+    kind: CouplingKind
+    aggressor_op: str        # e.g. "w0", "w1", "r"
+    victim_value: int        # the value the victim held / should hold
+    aggressor_cell: int
+    victim_cell: int
+    evidence: str = ""
+
+    def notation(self) -> str:
+        if self.kind is CouplingKind.CFDS:
+            flip = f"{self.victim_value}->{1 - self.victim_value}"
+            return (f"CFds<{self.aggressor_op}; {flip}> "
+                    f"(a={self.aggressor_cell}, v={self.victim_cell})")
+        return (f"CFst<{self.aggressor_op}; {self.victim_value}> "
+                f"(a={self.aggressor_cell}, v={self.victim_cell})")
+
+
+@dataclass
+class CouplingReport:
+    """All coupling primitives found for one defect resistance."""
+
+    defect: Defect
+    resistance: float
+    aggressor_cell: int
+    victim_cell: int
+    faults: list[CouplingFault] = field(default_factory=list)
+
+    @property
+    def has_coupling(self) -> bool:
+        return bool(self.faults)
+
+    def render(self) -> str:
+        head = (f"coupling analysis of {self.defect.name} at "
+                f"R={self.resistance:.3g} (victim cell "
+                f"{self.victim_cell}, aggressor cell "
+                f"{self.aggressor_cell}):")
+        if not self.faults:
+            return head + "\n  none observed"
+        return "\n".join([head] + ["  " + f.notation() + "  # "
+                                   + f.evidence for f in self.faults])
+
+
+def _victim_holds(runner, state, value: int) -> bool:
+    """Does the victim's storage node encode logical ``value``?"""
+    vc = state[runner.netlist.storage_node(runner.target_cell)]
+    stored = 1 if vc > 0.5 * runner.stress.vdd else 0
+    if runner.target_cell % 2 == 1:
+        stored = 1 - stored
+    return stored == value
+
+
+def classify_coupling(defect: Defect, resistance: float, *,
+                      aggressor_cell: int | None = None,
+                      stress: StressConditions = NOMINAL_STRESS,
+                      n_aggressor_ops: int = 3) -> CouplingReport:
+    """Probe CFds/CFst between the defective cell and a neighbour.
+
+    The victim is the defective cell; the default aggressor is the other
+    cell on the *same bit line* (index ± 2), where the coupling paths
+    (shared line, bridges) live.
+    """
+    victim = defect.cell_index
+    if aggressor_cell is None:
+        aggressor_cell = victim + 2
+    runner = electrical_model(defect.with_resistance(resistance),
+                              stress=stress)
+    report = CouplingReport(defect, resistance, aggressor_cell, victim)
+    w = {0: Op(Operation.W0), 1: Op(Operation.W1)}
+    read = Op(Operation.R)
+
+    # --- CFds: aggressor operations flip a quiescent victim ------------
+    for victim_value in (0, 1):
+        for agg_name, agg_op in (("w0", w[0]), ("w1", w[1]),
+                                 ("r", read)):
+            state = runner.idle_state(0.0)
+            # establish the victim value through its own port
+            _, state = runner.run_op(w[victim_value], state)
+            _, state = runner.run_op(w[victim_value], state)
+            if not _victim_holds(runner, state, victim_value):
+                continue   # single-cell fault dominates; not coupling
+            for _ in range(n_aggressor_ops):
+                _, state = runner.run_op(agg_op, state,
+                                         cell=aggressor_cell)
+            if not _victim_holds(runner, state, victim_value):
+                report.faults.append(CouplingFault(
+                    CouplingKind.CFDS, agg_name, victim_value,
+                    aggressor_cell, victim,
+                    evidence=(f"{n_aggressor_ops}x {agg_name} at the "
+                              f"aggressor flips the stored "
+                              f"{victim_value}")))
+
+    # --- CFst: victim read depends on the aggressor's state ------------
+    for victim_value in (0, 1):
+        outcomes = {}
+        for agg_value in (0, 1):
+            state = runner.idle_state(0.0)
+            _, state = runner.run_op(w[agg_value], state,
+                                     cell=aggressor_cell)
+            _, state = runner.run_op(w[victim_value], state)
+            _, state = runner.run_op(w[victim_value], state)
+            result, state = runner.run_op(read, state)
+            outcomes[agg_value] = result.sensed
+        if outcomes[0] != outcomes[1]:
+            bad_state = 0 if outcomes[0] != victim_value else 1
+            report.faults.append(CouplingFault(
+                CouplingKind.CFST, f"state={bad_state}", victim_value,
+                aggressor_cell, victim,
+                evidence=(f"read of {victim_value} returns "
+                          f"{outcomes[bad_state]} only while the "
+                          f"aggressor holds {bad_state}")))
+    return report

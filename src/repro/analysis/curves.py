@@ -1,0 +1,128 @@
+"""Threshold and settlement curves over the defect resistance.
+
+Two curve families drive the whole methodology:
+
+* ``Vsa(Rop)`` — the sense-amplifier threshold: the cell voltage above
+  which a single read returns 1.  Estimated by bisection on the initial
+  cell voltage.  For strong opens the read returns 1 for *every* cell
+  voltage (the paper's stored-0-read-as-1 behaviour); the curve records
+  ``None`` there.
+* settlement curves — the cell voltage after each of ``n`` successive
+  same-value writes, starting from the opposite rail; the ``(1) w0``
+  member of this family intersected with ``Vsa`` defines the border
+  resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.interface import ColumnModel, stored_level
+from repro.dram.ops import Op, Operation
+
+
+def sense_threshold(model: ColumnModel, *, lo: float = 0.0,
+                    hi: float | None = None, tol: float = 0.01,
+                    background: int = 0) -> float | None:
+    """Bisect the cell voltage where a single read flips from 0 to 1.
+
+    Returns ``None`` when the read returns the same value across the whole
+    ``[lo, hi]`` range (no threshold — e.g. a very strong open always
+    reads 1).
+    """
+    if hi is None:
+        hi = model.stress.vdd
+    on_true = getattr(model, "target_on_true", True)
+
+    def read_bit(vc: float) -> int:
+        """Sensed *physical* state for an initial cell voltage."""
+        seq = model.run_sequence("r", init_vc=vc, background=background)
+        out = seq.outputs[0]
+        return out if on_true else 1 - out
+
+    bit_lo = read_bit(lo)
+    bit_hi = read_bit(hi)
+    if bit_lo == bit_hi:
+        return None
+    # Reads are monotone in the stored voltage: low -> 0, high -> 1.
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if read_bit(mid) == 1:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass
+class VsaCurve:
+    """``Vsa`` sampled over a resistance grid (``None`` = always reads 1)."""
+
+    resistances: list[float]
+    thresholds: list[float | None]
+
+    def at(self, resistance: float) -> float | None:
+        """Log-linear interpolation of the threshold (None near gaps)."""
+        import math
+        rs, vs = self.resistances, self.thresholds
+        if resistance <= rs[0]:
+            return vs[0]
+        if resistance >= rs[-1]:
+            return vs[-1]
+        for i in range(len(rs) - 1):
+            if rs[i] <= resistance <= rs[i + 1]:
+                if vs[i] is None or vs[i + 1] is None:
+                    return None
+                frac = (math.log(resistance / rs[i])
+                        / math.log(rs[i + 1] / rs[i]))
+                return vs[i] + frac * (vs[i + 1] - vs[i])
+        return None
+
+
+def vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
+              tol: float = 0.01) -> VsaCurve:
+    """Sample ``Vsa`` over ``resistances`` (paper Fig. 2c bold curve)."""
+    thresholds = []
+    for r in resistances:
+        model.set_defect_resistance(r)
+        thresholds.append(sense_threshold(model, tol=tol))
+    return VsaCurve(list(resistances), thresholds)
+
+
+@dataclass
+class SettleCurve:
+    """Cell voltage after each of ``n`` successive writes, per resistance.
+
+    ``levels[i][k]`` is the voltage after the ``k+1``-th write at
+    ``resistances[i]``.
+    """
+
+    value: int                       # the written logical value
+    resistances: list[float]
+    levels: list[list[float]]
+
+    def after(self, n_writes: int) -> list[float]:
+        """The ``(n) w`` curve: voltage after the n-th write, over R."""
+        return [row[n_writes - 1] for row in self.levels]
+
+
+def settle_curve(model: ColumnModel, value: int,
+                 resistances: Sequence[float], *, n_ops: int = 2,
+                 from_full: bool = True) -> SettleCurve:
+    """Successive-write settlement (paper Fig. 2a/2b curve families).
+
+    Writes ``value`` ``n_ops`` times starting from the opposite rail
+    (``from_full=True``, the paper's initialisation) or from the
+    written-value rail.
+    """
+    if value not in (0, 1):
+        raise ValueError("value must be 0 or 1")
+    init = stored_level(model, 1 - value if from_full else value)
+    op = Op(Operation.W0 if value == 0 else Operation.W1)
+    levels = []
+    for r in resistances:
+        model.set_defect_resistance(r)
+        seq = model.run_sequence([op] * n_ops, init_vc=init)
+        levels.append(seq.vc_after)
+    return SettleCurve(value, list(resistances), levels)

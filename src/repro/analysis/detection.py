@@ -1,0 +1,102 @@
+"""Detection-condition derivation.
+
+A *detection condition* is the shortest single-cell operation sequence
+whose expecting read observes the defect's faulty behaviour at a given
+resistance — e.g. the paper's ``⇑(..., w1, w1, w0, r0, ...)`` for the cell
+open, growing to more ``w1`` operations under a heavy stress combination
+(Fig. 6, observation 2).
+
+The search enumerates a canonical family in order of increasing length:
+
+1. ``w d, r d`` and ``w d, r d, r d, ...``   (stuck/read faults),
+2. ``w d̄ ^k, w d, r d`` for growing ``k``    (transition faults needing a
+   charged cell — the paper's main pattern),
+3. ``w d̄ ^k, w d, r d, r d``                 (write-back assisted faults).
+
+for both data polarities ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.interface import ColumnModel, opposite_rail_init
+from repro.dram.ops import Op, format_ops, parse_ops
+
+
+@dataclass(frozen=True)
+class DetectionCondition:
+    """A fault-detecting operation sequence for one defect resistance."""
+
+    ops: tuple[Op, ...]
+    resistance: float
+    #: index of the read that observed the fault
+    failing_read: int
+    #: the value that read expected (the observed value is its complement)
+    expected: int
+
+    @property
+    def length(self) -> int:
+        return len(self.ops)
+
+    def notation(self) -> str:
+        """March-element-style rendering, e.g. ``⇕(w1^2 w0 r0)``."""
+        return f"⇕({format_ops(self.ops)})"
+
+    def describe(self) -> str:
+        return (f"{self.notation()} detects at R={self.resistance:.3g} "
+                f"(read #{self.failing_read} returns "
+                f"{1 - self.expected} instead of {self.expected})")
+
+
+def _candidates(max_charge: int, max_reads: int):
+    """Yield candidate sequences, shortest first."""
+    # Length-1 writes + reads without a charge phase.
+    for n_reads in range(1, max_reads + 1):
+        for d in (0, 1):
+            yield f"w{d} " + " ".join([f"r{d}"] * n_reads)
+    # Charge phase + single flip write + reads.
+    for k in range(1, max_charge + 1):
+        for n_reads in (1, 2):
+            for d in (0, 1):
+                charge = f"w{1 - d}^{k}"
+                reads = " ".join([f"r{d}"] * n_reads)
+                yield f"{charge} w{d} {reads}"
+
+
+def derive_detection_condition(model: ColumnModel, resistance: float, *,
+                               max_charge: int = 8, max_reads: int = 3
+                               ) -> DetectionCondition | None:
+    """Find the shortest canonical sequence detecting a fault at ``R``.
+
+    A real march test cannot assume the cell's initial state, so a
+    candidate only qualifies when it detects the fault from *both* initial
+    rails — which is what forces the charge prefix (the paper: "the two
+    w1 operations are necessary to charge [the cell] fully").
+
+    Returns ``None`` when no candidate detects anything (the defect is
+    benign at this resistance under the model's stress conditions).
+    """
+    model.set_defect_resistance(resistance)
+    vdd = model.stress.vdd
+    best: DetectionCondition | None = None
+    for text in _candidates(max_charge, max_reads):
+        ops = parse_ops(text)
+        if best is not None and len(ops) >= best.length:
+            continue
+        seq = model.run_sequence(ops, init_vc=opposite_rail_init(model,
+                                                                 ops))
+        failing = next((i for i, r in enumerate(seq.results)
+                        if r.detected_fault), None)
+        if failing is None:
+            continue
+        # Must also detect from the favourable rail (state-independent).
+        other = model.run_sequence(ops, init_vc=vdd
+                                   - opposite_rail_init(model, ops))
+        if not other.any_fault:
+            continue
+        cond = DetectionCondition(tuple(ops), resistance, failing,
+                                  seq.results[failing].op.expected)
+        if best is None or cond.length < best.length:
+            best = cond
+    return best

@@ -1,0 +1,100 @@
+"""Fault dictionary: from observed fault primitives back to defects.
+
+Shmoo plots, the paper notes, have "limited diagnostic ability to relate
+the externally observed memory failure to the internal faulty behavior".
+Simulation closes the loop: sweeping every catalog defect over its
+resistance range and recording the fault primitives it produces yields a
+*fault dictionary*; matching a failing device's observed primitives
+against it ranks the candidate defects — classic dictionary-based
+diagnosis applied to the paper's defect set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.faults import FaultPrimitive, classify_fault_primitives
+from repro.analysis.interface import ColumnModel
+from repro.analysis.planes import log_grid
+from repro.core.stresses import NOMINAL_STRESS, StressConditions
+from repro.defects.catalog import ALL_DEFECTS, Defect
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One (defect, resistance) row of the dictionary."""
+
+    defect: Defect
+    primitives: frozenset[FaultPrimitive]
+
+    @property
+    def is_faulty(self) -> bool:
+        return bool(self.primitives)
+
+    def signature(self) -> str:
+        return ",".join(sorted(p.value for p in self.primitives))
+
+
+@dataclass
+class FaultDictionary:
+    """Signature → candidate defects lookup."""
+
+    stress: StressConditions
+    entries: list[DictionaryEntry] = field(default_factory=list)
+
+    @property
+    def faulty_entries(self) -> list[DictionaryEntry]:
+        return [e for e in self.entries if e.is_faulty]
+
+    def signatures(self) -> set[frozenset[FaultPrimitive]]:
+        return {e.primitives for e in self.faulty_entries}
+
+    def diagnose(self, observed: Sequence[FaultPrimitive],
+                 top: int = 3) -> list[tuple[Defect, float]]:
+        """Rank candidate defects by signature similarity (Jaccard).
+
+        Exact matches score 1.0; an empty observation matches nothing.
+        Entries of the same defect kind/placement are merged, keeping
+        the best-scoring resistance.
+        """
+        observed_set = frozenset(observed)
+        if not observed_set:
+            return []
+        best: dict[tuple, tuple[Defect, float]] = {}
+        for entry in self.faulty_entries:
+            union = observed_set | entry.primitives
+            inter = observed_set & entry.primitives
+            score = len(inter) / len(union)
+            key = (entry.defect.kind, entry.defect.placement)
+            if key not in best or score > best[key][1]:
+                best[key] = (entry.defect, score)
+        ranked = sorted(best.values(), key=lambda pair: -pair[1])
+        return [pair for pair in ranked[:top] if pair[1] > 0.0]
+
+    def render(self) -> str:
+        lines = [f"fault dictionary @ {self.stress.describe()} "
+                 f"({len(self.faulty_entries)} faulty entries):"]
+        for entry in self.faulty_entries:
+            lines.append(f"  {entry.defect.name} "
+                         f"R={entry.defect.resistance:.3g}: "
+                         f"{entry.signature()}")
+        return "\n".join(lines)
+
+
+def build_fault_dictionary(
+        model_factory: Callable[[Defect, StressConditions], ColumnModel],
+        *, defects: Sequence[Defect] = ALL_DEFECTS,
+        points_per_defect: int = 4,
+        stress: StressConditions = NOMINAL_STRESS) -> FaultDictionary:
+    """Sweep the catalog and classify primitives at each point."""
+    dictionary = FaultDictionary(stress)
+    for defect in defects:
+        lo, hi = defect.kind.search_range
+        for r_ohm in log_grid(lo * 2, hi / 2, points_per_defect):
+            model = model_factory(defect.with_resistance(r_ohm), stress)
+            result = classify_fault_primitives(model, r_ohm)
+            dictionary.entries.append(DictionaryEntry(
+                defect.with_resistance(r_ohm),
+                frozenset(result.primitives)))
+    return dictionary

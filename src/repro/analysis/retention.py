@@ -1,0 +1,86 @@
+"""Data-retention analysis of defective cells.
+
+Shorts, bridges and (time-compressed) junction leakage discharge a cell
+*between* accesses; production tests target them with pause ("delay")
+elements.  This module measures how long a defective cell retains its
+data: the largest number of idle cycles after which a read still returns
+the written value.
+
+The measurement explains the divergence D1 documented in EXPERIMENTS.md:
+for shorts whose border sits in this retention-dominated regime, a longer
+cycle time is the more stressful timing, because every cycle of a march
+test is also a retention interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.interface import ColumnModel, stored_level
+from repro.dram.ops import Op, Operation
+
+
+@dataclass(frozen=True)
+class RetentionResult:
+    """Retention of one logical value at one operating point."""
+
+    value: int
+    #: Largest idle-cycle count after which the value still reads back,
+    #: or ``None`` when even ``max_cycles`` retains it.
+    cycles: int | None
+    #: True when the value is lost immediately (no retention at all).
+    immediate_loss: bool
+    max_cycles: int
+
+    @property
+    def retains_forever(self) -> bool:
+        """Within the probed horizon, the cell never lost the value."""
+        return self.cycles is None and not self.immediate_loss
+
+    def time_seconds(self, tcyc: float) -> float | None:
+        """Retention expressed as wall-clock time."""
+        if self.cycles is None:
+            return None
+        return self.cycles * tcyc
+
+    def describe(self) -> str:
+        if self.immediate_loss:
+            return f"value {self.value}: lost immediately"
+        if self.retains_forever:
+            return (f"value {self.value}: retained beyond "
+                    f"{self.max_cycles} idle cycles")
+        return f"value {self.value}: retained for {self.cycles} cycles"
+
+
+def _reads_back(model: ColumnModel, value: int, idle_cycles: int,
+                charge_ops: int) -> bool:
+    """Write ``value``, idle, read — does it survive?"""
+    w = Op(Operation.W0 if value == 0 else Operation.W1)
+    ops = [w] * charge_ops + [Op(Operation.NOP)] * idle_cycles \
+        + [Op(Operation.R, expected=value)]
+    init = stored_level(model, 1 - value)
+    return not model.run_sequence(ops, init_vc=init).any_fault
+
+
+def retention_cycles(model: ColumnModel, value: int, *,
+                     max_cycles: int = 256,
+                     charge_ops: int = 2) -> RetentionResult:
+    """Bisect the idle-cycle count at which ``value`` is lost.
+
+    Monotonicity (more idle time, more decay) is assumed; the endpoints
+    are checked to classify the degenerate outcomes.
+    """
+    if value not in (0, 1):
+        raise ValueError("value must be 0 or 1")
+    if not _reads_back(model, value, 0, charge_ops):
+        return RetentionResult(value, None, True, max_cycles)
+    if _reads_back(model, value, max_cycles, charge_ops):
+        return RetentionResult(value, None, False, max_cycles)
+    lo, hi = 0, max_cycles      # lo retains, hi loses
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _reads_back(model, value, mid, charge_ops):
+            lo = mid
+        else:
+            hi = mid
+    return RetentionResult(value, lo, False, max_cycles)

@@ -1,0 +1,83 @@
+"""Calibration of the behavioral sense-decision race.
+
+The only free constants of the behavioral model are the SA latch delay
+and its temperature exponent (everything else — device equations, timing,
+capacitances — is shared with the electrical model).  They are fitted so
+the behavioral ``Vsa`` matches the electrical one:
+
+* ``latch_delay`` from the nominal-temperature threshold at a reference
+  open resistance,
+* ``latch_texp`` from the threshold shift between the nominal and the hot
+  corner.
+
+The packaged :class:`~repro.behav.model.BehavCalibration` defaults were
+produced by this routine against the default technology; rerun it after
+changing technology parameters.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.curves import sense_threshold
+from repro.analysis.interface import electrical_model
+from repro.behav.model import BehavCalibration, behavioral_model
+from repro.stress import NOMINAL_STRESS, StressConditions
+from repro.defects.catalog import Defect, DefectKind
+from repro.dram.tech import TechnologyParams, default_tech
+
+
+def _behav_vsa(tech: TechnologyParams, cal: BehavCalibration,
+               stress: StressConditions, resistance: float) -> float | None:
+    defect = Defect(DefectKind.O3, resistance=resistance)
+    model = behavioral_model(defect, stress=stress, tech=tech,
+                             calibration=cal)
+    model.set_defect_resistance(resistance)
+    return sense_threshold(model, tol=0.005)
+
+
+def _electrical_vsa(tech: TechnologyParams, stress: StressConditions,
+                    resistance: float) -> float | None:
+    defect = Defect(DefectKind.O3, resistance=resistance)
+    model = electrical_model(defect, stress=stress, tech=tech)
+    model.set_defect_resistance(resistance)
+    return sense_threshold(model, tol=0.005)
+
+
+def calibrate_latch(tech: TechnologyParams | None = None, *,
+                    resistance: float = 200e3,
+                    hot_temp_c: float = 87.0,
+                    delay_grid: tuple[float, ...] = (
+                        1.0e-9, 1.6e-9, 2.2e-9, 2.8e-9, 3.4e-9, 4.2e-9),
+                    texp_grid: tuple[float, ...] = (0.3, 0.9, 1.5, 2.2),
+                    ) -> BehavCalibration:
+    """Fit the race constants against the electrical model.
+
+    Runs a small grid search minimising the squared ``Vsa`` error at the
+    nominal and hot corners.  Costs a few dozen electrical read cycles.
+    """
+    tech = tech or default_tech()
+    nominal = NOMINAL_STRESS
+    hot = NOMINAL_STRESS.with_(temp_c=hot_temp_c)
+
+    target_nom = _electrical_vsa(tech, nominal, resistance)
+    target_hot = _electrical_vsa(tech, hot, resistance)
+    if target_nom is None or target_hot is None:
+        raise RuntimeError(
+            "electrical Vsa missing at the calibration resistance; pick a "
+            "resistance where the read threshold exists")
+
+    best: BehavCalibration | None = None
+    best_err = float("inf")
+    for delay in delay_grid:
+        for texp in texp_grid:
+            cal = BehavCalibration(latch_delay=delay, latch_texp=texp)
+            vn = _behav_vsa(tech, cal, nominal, resistance)
+            vh = _behav_vsa(tech, cal, hot, resistance)
+            if vn is None or vh is None:
+                continue
+            err = (vn - target_nom) ** 2 + (vh - target_hot) ** 2
+            if err < best_err:
+                best_err = err
+                best = cal
+    if best is None:
+        raise RuntimeError("calibration grid produced no usable candidate")
+    return best

@@ -1,0 +1,93 @@
+"""Stress-optimization methodology — the paper's primary contribution.
+
+This package implements Sections 2 and 4 of the paper:
+
+* :mod:`repro.core.stresses` — stress (ST) and stress-combination (SC)
+  datatypes, including the nominal point and specified ranges,
+* :mod:`repro.core.directions` — the quick direction analysis of
+  Sec. 4.1–4.3 (one write panel + one read panel per ST value),
+* :mod:`repro.core.border` — border-resistance identification per SC and
+  the "larger failing range" effectiveness criterion,
+* :mod:`repro.core.optimizer` — the full per-defect optimization flow
+  that produces Table-1 rows,
+* :mod:`repro.core.shmoo` — the Shmoo-plot baseline of Sec. 2.
+"""
+
+from repro.core.stresses import (
+    NOMINAL_STRESS,
+    STRESS_RANGES,
+    StressConditions,
+    StressKind,
+    StressRange,
+    nominal_stress,
+)
+from repro.core.directions import (
+    DirectionCall,
+    DirectionReport,
+    PanelResult,
+    Vote,
+    analyze_direction,
+    analyze_read_panel,
+    analyze_write_panel,
+    write_residual,
+)
+from repro.core.border import (
+    border_improvement,
+    failing_range_score,
+    find_border_resistance,
+    more_effective,
+)
+from repro.core.optimizer import (
+    DEFAULT_ST_KINDS,
+    OptimizationRow,
+    OptimizationTable,
+    optimize_all_defects,
+    optimize_defect,
+    probe_resistance,
+)
+from repro.core.sensitivity import (
+    SensitivityReport,
+    StressSensitivity,
+    stress_sensitivity,
+)
+from repro.core.shmoo import ShmooPlot, shmoo
+from repro.core.statistical import (
+    StatisticalResult,
+    corner_combinations,
+    statistical_optimization,
+)
+
+__all__ = [
+    "DEFAULT_ST_KINDS",
+    "DirectionCall",
+    "DirectionReport",
+    "NOMINAL_STRESS",
+    "OptimizationRow",
+    "OptimizationTable",
+    "PanelResult",
+    "STRESS_RANGES",
+    "SensitivityReport",
+    "ShmooPlot",
+    "StatisticalResult",
+    "StressConditions",
+    "StressKind",
+    "StressRange",
+    "StressSensitivity",
+    "Vote",
+    "corner_combinations",
+    "analyze_direction",
+    "analyze_read_panel",
+    "analyze_write_panel",
+    "border_improvement",
+    "failing_range_score",
+    "find_border_resistance",
+    "more_effective",
+    "nominal_stress",
+    "optimize_all_defects",
+    "optimize_defect",
+    "probe_resistance",
+    "shmoo",
+    "statistical_optimization",
+    "stress_sensitivity",
+    "write_residual",
+]

@@ -1,0 +1,83 @@
+"""Border-resistance identification per stress combination.
+
+Thin wrapper over :mod:`repro.analysis.border` that knows about defect
+polarity and the optimization criterion of Sec. 3:
+
+    *Optimizing a given ST should modify the value of BR in that
+    direction which maximizes the resistance range that results in a
+    detectable functional fault.*
+
+i.e. an SC is better when it pushes the border **down** for opens
+(failing range is above BR) and **up** for shorts/bridges (failing range
+is below BR).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.border import BorderResult, border_resistance
+from repro.analysis.interface import ColumnModel
+from repro.core.stresses import StressConditions
+from repro.defects.catalog import Defect
+
+
+def find_border_resistance(model: ColumnModel, defect: Defect, *,
+                           stress: StressConditions | None = None,
+                           sequences=None,
+                           rel_tol: float = 0.05) -> BorderResult:
+    """BR of ``defect`` under ``stress`` (or the model's current SC)."""
+    if stress is not None:
+        model.set_stress(stress)
+    r_lo, r_hi = defect.kind.search_range
+    return border_resistance(model, fails_high=defect.fails_high,
+                             r_lo=r_lo, r_hi=r_hi, sequences=sequences,
+                             rel_tol=rel_tol)
+
+
+def border_improvement(defect: Defect, nominal: BorderResult,
+                       stressed: BorderResult) -> float | None:
+    """Signed improvement of the failing range (ohms; positive = better).
+
+    For opens the improvement is ``BR_nom - BR_str`` (border pushed
+    down); for shorts/bridges it is ``BR_str - BR_nom``.  Degenerate
+    results map to ±infinity-ish sentinels:
+
+    * stressed always-faulty → the whole range fails → best possible,
+    * stressed never-faulty → worst possible,
+    * ``None`` when the nominal result is degenerate both ways (nothing
+      to compare).
+    """
+    if nominal.always_faulty and stressed.always_faulty:
+        return 0.0
+    if stressed.always_faulty:
+        return float("inf")
+    if stressed.never_faulty:
+        return float("-inf")
+    if not (nominal.found and stressed.found):
+        return None
+    delta = nominal.resistance - stressed.resistance
+    return delta if defect.fails_high else -delta
+
+
+def more_effective(defect: Defect, a: BorderResult,
+                   b: BorderResult) -> bool:
+    """True when border ``a`` indicates a larger failing range than ``b``."""
+    score_a = failing_range_score(defect, a)
+    score_b = failing_range_score(defect, b)
+    return score_a > score_b
+
+
+def failing_range_score(defect: Defect, border: BorderResult) -> float:
+    """Scalar 'size of the failing range' (larger = more effective SC).
+
+    Opens score by how *low* the border sits, shorts/bridges by how
+    high; degenerate outcomes map to ±inf.
+    """
+    if border.always_faulty:
+        return float("inf")
+    if border.never_faulty or not border.found:
+        return float("-inf")
+    return -border.resistance if defect.fails_high else border.resistance
+
+
+# backwards-compatible private alias
+_range_score = failing_range_score

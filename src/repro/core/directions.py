@@ -1,0 +1,244 @@
+"""Quick stress-direction analysis (paper Sec. 4.1–4.3).
+
+Instead of generating full result planes for every ST value, the paper
+deduces the stressful direction of each ST from two cheap panels:
+
+* the **write panel** — one write of the fault-relevant value from the
+  opposite rail per ST value: the value that leaves the cell *less*
+  written is more stressful for the write;
+* the **read panel** — the sense threshold ``Vsa`` per ST value: moving
+  ``Vsa`` toward the faulty side stresses the read.
+
+When the two panels agree (or one shows no impact) the direction is
+decided outright — e.g. timing: shorter ``tcyc`` weakens the write and
+leaves ``Vsa`` unchanged.  When they conflict (supply voltage) or the
+read panel is non-monotonic (temperature), the analysis flags a border-
+resistance tie-break, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.curves import sense_threshold
+from repro.analysis.interface import ColumnModel, stored_level
+from repro.core.stresses import (
+    STRESS_RANGES,
+    StressConditions,
+    StressKind,
+    StressRange,
+)
+from repro.dram.ops import Op, Operation
+
+#: Metric changes smaller than this count as "no impact" (volts).
+NO_IMPACT_TOL = 0.015
+
+
+class Vote(enum.Enum):
+    """What one panel says about an ST extreme."""
+
+    LOW = "low"
+    HIGH = "high"
+    NONE = "none"          # no impact
+    NON_MONOTONE = "non-monotone"
+
+
+@dataclass
+class PanelResult:
+    """Metric values of one panel over the probed ST values."""
+
+    metric_name: str
+    values: list[float]                # the probed ST values
+    metrics: list[float | None]        # metric per value (None = no Vsa)
+    vote: Vote
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{v:.3g}→{'-' if m is None else format(m, '.3f')}"
+            for v, m in zip(self.values, self.metrics))
+        return f"{self.metric_name}: {pairs} (vote: {self.vote.value})"
+
+
+@dataclass
+class DirectionCall:
+    """The decided direction for one ST."""
+
+    kind: StressKind
+    chosen_value: float
+    decided_by: str                    # "write", "read", "agreement", "border"
+    write_panel: PanelResult
+    read_panel: PanelResult
+    needs_border_tiebreak: bool
+    #: candidates left for the tie-break (ST values)
+    tiebreak_candidates: list[float] = field(default_factory=list)
+
+    @property
+    def arrow(self) -> str:
+        """Compact direction glyph relative to nominal."""
+        nominal = STRESS_RANGES[self.kind].nominal
+        if self.chosen_value > nominal:
+            return "↑"
+        if self.chosen_value < nominal:
+            return "↓"
+        return "·"
+
+    def describe(self) -> str:
+        return (f"{self.kind.value}: choose {self.chosen_value:.3g} "
+                f"{self.arrow} (by {self.decided_by})")
+
+
+@dataclass
+class DirectionReport:
+    """Direction calls for every ST of a defect."""
+
+    fault_value: int
+    calls: dict[StressKind, DirectionCall]
+
+    def stressed_conditions(self, base: StressConditions
+                            ) -> StressConditions:
+        """Compose the SC from the decided directions."""
+        sc = base
+        for kind, call in self.calls.items():
+            sc = sc.with_value(kind, call.chosen_value)
+        return sc
+
+
+def write_residual(model: ColumnModel, value: int) -> float:
+    """Cell voltage left by a single write of ``value`` from the
+    opposite rail — the write-panel metric (Fig. 3/4/5 top panels)."""
+    op = Op(Operation.W0 if value == 0 else Operation.W1)
+    init = stored_level(model, 1 - value)
+    seq = model.run_sequence([op], init_vc=init)
+    return seq.vc_after[0]
+
+
+def analyze_write_panel(model: ColumnModel, kind: StressKind,
+                        values, fault_value: int,
+                        base: StressConditions,
+                        tol: float = NO_IMPACT_TOL) -> PanelResult:
+    """Probe the write of the fault-relevant value across ST values.
+
+    The *stressful* extreme leaves the cell less-written: for a ``w0``
+    fault a **higher** residual; for ``w1`` a **lower** one (in stored-
+    level terms — complementary cells are handled by ``stored_level``).
+    """
+    metrics = []
+    for v in values:
+        model.set_stress(base.with_value(kind, v))
+        metrics.append(write_residual(model, fault_value))
+    model.set_stress(base)
+
+    # In physical terms a weaker write leaves the cell *closer to the
+    # opposite stored rail*.
+    target = stored_level(model, 1 - fault_value)
+    weakness = [abs(m - target) for m in metrics]
+    vote = _vote_from_metric(values, [-w for w in weakness], tol)
+    return PanelResult("write residual", list(values), metrics, vote)
+
+
+def analyze_read_panel(model: ColumnModel, kind: StressKind,
+                       values, fault_value: int,
+                       base: StressConditions,
+                       tol: float = NO_IMPACT_TOL,
+                       vsa_tol: float = 0.008) -> PanelResult:
+    """Probe the sense threshold across ST values.
+
+    The stressful extreme moves ``Vsa`` toward mis-reading the fault
+    value: for a ``w0`` fault, **down** (less room to detect 0); for a
+    ``w1`` fault, **up**.
+    """
+    metrics = []
+    for v in values:
+        model.set_stress(base.with_value(kind, v))
+        metrics.append(sense_threshold(model, tol=vsa_tol))
+    model.set_stress(base)
+
+    usable = [m for m in metrics if m is not None]
+    if len(usable) != len(metrics):
+        # Vsa vanished at some value — treat as maximally shifted there.
+        vote = Vote.NON_MONOTONE
+        return PanelResult("Vsa", list(values), metrics, vote)
+    # Faulty direction: for a physical-0 fault the stress LOWERS Vsa; the
+    # metric "badness" is -Vsa then.  fault_value here is the *stored*
+    # level attacked, so map through the model's placement.
+    on_true = getattr(model, "target_on_true", True)
+    stored_fault = fault_value if on_true else 1 - fault_value
+    badness = [-m if stored_fault == 0 else m for m in usable]
+    vote = _vote_from_metric(values, badness, tol)
+    return PanelResult("Vsa", list(values), metrics, vote)
+
+
+def _vote_from_metric(values, badness, tol) -> Vote:
+    """Vote from a 'more is more stressful' metric over ordered values."""
+    lo, hi = badness[0], badness[-1]
+    spread = max(badness) - min(badness)
+    if spread < tol:
+        return Vote.NONE
+    interior_max = max(badness[1:-1], default=None)
+    interior_min = min(badness[1:-1], default=None)
+    if interior_max is not None and (
+            interior_max > max(lo, hi) + tol
+            or interior_min < min(lo, hi) - tol):
+        return Vote.NON_MONOTONE
+    if abs(hi - lo) < tol:
+        return Vote.NON_MONOTONE
+    return Vote.HIGH if hi > lo else Vote.LOW
+
+
+def analyze_direction(model: ColumnModel, kind: StressKind,
+                      fault_value: int, *,
+                      base: StressConditions | None = None,
+                      stress_range: StressRange | None = None,
+                      probe_points: int = 3) -> DirectionCall:
+    """Run both panels for one ST and decide (or flag a tie-break).
+
+    Decision rules (paper Sec. 4):
+
+    * panels agree on an extreme → that extreme ("agreement"),
+    * one panel votes, the other has no impact → the voting panel,
+    * conflict or non-monotonicity → BR tie-break between the extremes
+      (plus the nominal value when the read panel is non-monotonic).
+    """
+    base = base or StressConditions()
+    rng = stress_range or STRESS_RANGES[kind]
+    if probe_points < 2:
+        raise ValueError("need at least the two extremes")
+    values = [rng.low, rng.nominal, rng.high] if probe_points >= 3 \
+        else [rng.low, rng.high]
+
+    wp = analyze_write_panel(model, kind, values, fault_value, base)
+    rp = analyze_read_panel(model, kind, values, fault_value, base)
+
+    def extreme(vote: Vote) -> float | None:
+        if vote is Vote.LOW:
+            return rng.low
+        if vote is Vote.HIGH:
+            return rng.high
+        return None
+
+    w_choice, r_choice = extreme(wp.vote), extreme(rp.vote)
+
+    if w_choice is not None and (r_choice is None
+                                 and rp.vote is Vote.NONE):
+        return DirectionCall(kind, w_choice, "write", wp, rp, False)
+    if r_choice is not None and (w_choice is None
+                                 and wp.vote is Vote.NONE):
+        return DirectionCall(kind, r_choice, "read", wp, rp, False)
+    if w_choice is not None and r_choice is not None:
+        if w_choice == r_choice:
+            return DirectionCall(kind, w_choice, "agreement", wp, rp,
+                                 False)
+        # Conflict (the paper's Vdd case): BR tie-break on the extremes.
+        return DirectionCall(kind, w_choice, "border", wp, rp, True,
+                             tiebreak_candidates=[rng.low, rng.high])
+    # Non-monotone read (the paper's temperature case): tie-break between
+    # the write panel's pick and the nominal value.
+    candidates = [rng.nominal]
+    if w_choice is not None:
+        candidates.append(w_choice)
+    else:
+        candidates.extend([rng.low, rng.high])
+    chosen = candidates[-1]
+    return DirectionCall(kind, chosen, "border", wp, rp, True,
+                         tiebreak_candidates=candidates)

@@ -1,0 +1,177 @@
+"""Monte-Carlo robustness of the stress-direction calls.
+
+The paper's method derives directions from a single (typical-corner)
+technology model.  Before committing a production test program, an
+engineer wants to know whether those directions survive process
+variation.  This module perturbs the technology parameters that dominate
+the mechanisms — thresholds, cell/bit-line capacitance, reference offset,
+leakage — re-runs the border comparison per sample, and reports how often
+each direction call holds.
+
+Sampling is deterministic per seed (``numpy.random.default_rng``) so
+reports are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.interface import ColumnModel
+from repro.core.border import find_border_resistance, more_effective
+from repro.core.stresses import (
+    NOMINAL_STRESS,
+    STRESS_RANGES,
+    StressConditions,
+    StressKind,
+)
+from repro.defects.catalog import Defect
+from repro.dram.tech import TechnologyParams, default_tech
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Relative 1-sigma spreads of the varied technology parameters."""
+
+    vth_sigma: float = 0.04          # threshold voltages
+    cap_sigma: float = 0.05          # cs / cbl
+    offset_sigma: float = 0.10       # reference offset
+    leak_sigma: float = 0.30         # junction leakage (log-normal-ish)
+
+    def sample(self, base: TechnologyParams,
+               rng: np.random.Generator) -> TechnologyParams:
+        """One perturbed technology instance."""
+        def rel(sigma):
+            return float(1.0 + sigma * rng.standard_normal())
+
+        nmos = base.nmos.with_(
+            vth0=max(base.nmos.vth0 * rel(self.vth_sigma), 0.1))
+        pmos = base.pmos.with_(
+            vth0=max(base.pmos.vth0 * rel(self.vth_sigma), 0.1))
+        return base.with_(
+            nmos=nmos,
+            pmos=pmos,
+            access_vth0=max(base.access_vth0 * rel(self.vth_sigma), 0.2),
+            cs=base.cs * max(rel(self.cap_sigma), 0.5),
+            cbl=base.cbl * max(rel(self.cap_sigma), 0.5),
+            v_ref_offset=max(base.v_ref_offset * rel(self.offset_sigma),
+                             0.01),
+            leak_isat=base.leak_isat
+            * float(np.exp(self.leak_sigma * rng.standard_normal())),
+        )
+
+
+@dataclass
+class DirectionRobustness:
+    """Per-sample agreement of one ST's direction call."""
+
+    kind: StressKind
+    reference_value: float
+    agree: int = 0
+    disagree: int = 0
+    undecided: int = 0
+
+    @property
+    def samples(self) -> int:
+        return self.agree + self.disagree + self.undecided
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of decided samples agreeing with the reference."""
+        decided = self.agree + self.disagree
+        return self.agree / decided if decided else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.kind.value}: {self.agree}/{self.samples} agree "
+                f"({self.undecided} undecided), confidence "
+                f"{self.confidence:.0%}")
+
+
+@dataclass
+class MonteCarloReport:
+    """Robustness of a defect's direction calls under variation."""
+
+    defect: Defect
+    seed: int
+    samples: int
+    robustness: dict[StressKind, DirectionRobustness] = \
+        field(default_factory=dict)
+    border_samples: list[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"Monte-Carlo ({self.samples} samples, seed "
+                 f"{self.seed}) for {self.defect.name}:"]
+        if self.border_samples:
+            arr = np.asarray(self.border_samples)
+            lines.append(
+                f"  nominal border: median {np.median(arr):.3g} ohm, "
+                f"spread [{arr.min():.3g}, {arr.max():.3g}]")
+        lines.extend("  " + r.describe()
+                     for r in self.robustness.values())
+        return "\n".join(lines)
+
+
+def direction_robustness(
+        model_factory: Callable[[Defect, StressConditions,
+                                 TechnologyParams], ColumnModel],
+        defect: Defect, *,
+        kinds=(StressKind.TCYC, StressKind.TEMP, StressKind.VDD),
+        samples: int = 12, seed: int = 2003,
+        variation: VariationSpec | None = None,
+        base: StressConditions = NOMINAL_STRESS,
+        rel_tol: float = 0.08) -> MonteCarloReport:
+    """Check how often the typical-corner directions survive variation.
+
+    ``model_factory(defect, stress, tech)`` must build a column model on
+    a *specific* technology instance.  The reference direction per ST is
+    the border comparison on the unperturbed technology; each sample
+    re-runs the comparison on a perturbed one.
+    """
+    variation = variation or VariationSpec()
+    rng = np.random.default_rng(seed)
+    base_tech = default_tech()
+
+    def compare(tech: TechnologyParams,
+                kind: StressKind) -> float | None:
+        """Border-winning ST value on one technology (None = tie)."""
+        model = model_factory(defect, base, tech)
+        rng_range = STRESS_RANGES[kind]
+        borders = {}
+        for value in rng_range.extremes:
+            sc = base.with_value(kind, value)
+            borders[value] = find_border_resistance(model, defect,
+                                                    stress=sc,
+                                                    rel_tol=rel_tol)
+        lo, hi = rng_range.extremes
+        if more_effective(defect, borders[lo], borders[hi]):
+            return lo
+        if more_effective(defect, borders[hi], borders[lo]):
+            return hi
+        return None
+
+    report = MonteCarloReport(defect, seed, samples)
+    reference = {kind: compare(base_tech, kind) for kind in kinds}
+    for kind in kinds:
+        report.robustness[kind] = DirectionRobustness(
+            kind, reference[kind] if reference[kind] is not None
+            else float("nan"))
+
+    for _ in range(samples):
+        tech = variation.sample(base_tech, rng)
+        model = model_factory(defect, base, tech)
+        border = find_border_resistance(model, defect, stress=base,
+                                        rel_tol=rel_tol)
+        if border.found:
+            report.border_samples.append(border.resistance)
+        for kind in kinds:
+            winner = compare(tech, kind)
+            rob = report.robustness[kind]
+            if winner is None or reference[kind] is None:
+                rob.undecided += 1
+            elif winner == reference[kind]:
+                rob.agree += 1
+            else:
+                rob.disagree += 1
+    return report

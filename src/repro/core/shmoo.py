@@ -1,0 +1,98 @@
+"""Shmoo plotting — the traditional optimization baseline (paper Sec. 2).
+
+A Shmoo plot applies one test to the memory over a 2-D grid of two
+stresses and records pass/fail per grid point.  The paper uses it as the
+method its simulation approach improves upon: Shmoo plots show *where*
+the device fails but not *why* (no internal observability), and cost one
+full test execution per grid point.
+
+This module reproduces the technique over the simulated memory so the
+benchmarks can compare the two methodologies head-to-head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.interface import ColumnModel, opposite_rail_init
+from repro.core.stresses import StressConditions, StressKind
+from repro.dram.ops import parse_ops
+
+
+@dataclass
+class ShmooPlot:
+    """Pass/fail grid over two stress axes.
+
+    ``grid[iy][ix]`` is True when the test PASSED at
+    ``(x_values[ix], y_values[iy])``.
+    """
+
+    x_kind: StressKind
+    y_kind: StressKind
+    x_values: list[float]
+    y_values: list[float]
+    grid: list[list[bool]]
+    test: str
+
+    @property
+    def fail_count(self) -> int:
+        return sum(1 for row in self.grid for ok in row if not ok)
+
+    @property
+    def pass_count(self) -> int:
+        return sum(1 for row in self.grid for ok in row if ok)
+
+    def passed(self, ix: int, iy: int) -> bool:
+        return self.grid[iy][ix]
+
+    def render(self, pass_char: str = ".", fail_char: str = "X") -> str:
+        """ASCII Shmoo rendering, y decreasing downward like a tester."""
+        lines = [f"Shmoo: {self.test}   "
+                 f"(x: {self.x_kind.value}, y: {self.y_kind.value})"]
+        width = max(len(_fmt(v)) for v in self.y_values)
+        for iy in reversed(range(len(self.y_values))):
+            cells = "".join(pass_char if ok else fail_char
+                            for ok in self.grid[iy])
+            lines.append(f"{_fmt(self.y_values[iy]):>{width}} |{cells}|")
+        axis = " " * (width + 2) + "".join("-" for _ in self.x_values)
+        lines.append(axis)
+        lines.append(" " * (width + 2)
+                     + f"{_fmt(self.x_values[0])} .. "
+                       f"{_fmt(self.x_values[-1])}")
+        return "\n".join(lines)
+
+
+def _fmt(v: float) -> str:
+    if abs(v) >= 1e-3 or v == 0:
+        return f"{v:.3g}"
+    return f"{v * 1e9:.3g}n"
+
+
+def shmoo(model: ColumnModel, test: str, *,
+          x_kind: StressKind, x_values: Sequence[float],
+          y_kind: StressKind, y_values: Sequence[float],
+          base: StressConditions | None = None) -> ShmooPlot:
+    """Run ``test`` at every grid point and record pass/fail.
+
+    ``test`` is an operation-sequence string (e.g. ``"w1^2 w0 r0"``); a
+    point *fails* when any expecting read observes the wrong value —
+    which for a defective device is what the test designer wants.
+    """
+    if x_kind is y_kind:
+        raise ValueError("x and y must be different stresses")
+    base = base or model.stress
+    ops = parse_ops(test)
+    grid: list[list[bool]] = []
+    for y in y_values:
+        row = []
+        for x in x_values:
+            sc = base.with_value(x_kind, x).with_value(y_kind, y)
+            model.set_stress(sc)
+            init = opposite_rail_init(model, ops)
+            seq = model.run_sequence(ops, init_vc=init)
+            row.append(not seq.any_fault)
+        grid.append(row)
+    model.set_stress(base)
+    return ShmooPlot(x_kind, y_kind, list(x_values), list(y_values),
+                     grid, test)

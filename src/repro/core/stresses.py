@@ -1,0 +1,25 @@
+"""Canonical public home of the ST/SC datatypes.
+
+The implementation lives in :mod:`repro.stress` (a leaf module, so the
+low-level packages — dram, behav, analysis — can import it without
+triggering this package's heavier initialisation).  This module re-exports
+it under the documented ``repro.core`` namespace.
+"""
+
+from repro.stress import (
+    NOMINAL_STRESS,
+    STRESS_RANGES,
+    StressConditions,
+    StressKind,
+    StressRange,
+    nominal_stress,
+)
+
+__all__ = [
+    "NOMINAL_STRESS",
+    "STRESS_RANGES",
+    "StressConditions",
+    "StressKind",
+    "StressRange",
+    "nominal_stress",
+]

@@ -1,0 +1,25 @@
+"""The Fig. 7 defect catalog: opens, shorts and bridges.
+
+Seven resistive defects, each placeable on the true or the complementary
+bit line, matching the paper's analysis set:
+
+* ``O1``–``O3`` — opens on signal lines within the cell,
+* ``Sg``/``Sv`` — resistive shorts to GND / Vdd,
+* ``B1``/``B2`` — bridges between nodes within the cell.
+"""
+
+from repro.defects.catalog import (
+    ALL_DEFECTS,
+    Defect,
+    DefectClass,
+    DefectKind,
+    Placement,
+)
+
+__all__ = [
+    "ALL_DEFECTS",
+    "Defect",
+    "DefectClass",
+    "DefectKind",
+    "Placement",
+]

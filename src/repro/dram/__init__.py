@@ -1,0 +1,36 @@
+"""Folded-bit-line DRAM column model.
+
+This package is the synthetic replacement for the proprietary
+design-validation memory model used in the paper (Sec. 5.1).  It contains
+the same building blocks: one folded cell-array column (2×2 memory cells,
+2 reference cells, precharge devices and a sense amplifier), one write
+driver and one data output buffer, plus a timing generator parameterised by
+the stress conditions.
+
+Entry points:
+
+* :func:`repro.dram.column.build_column` — build the column netlist,
+* :class:`repro.dram.runner.ColumnRunner` — apply ``w0``/``w1``/``r``
+  operation cycles to a (possibly defective) column and observe the cell
+  voltage and data output.
+"""
+
+from repro.dram.tech import TechnologyParams, default_tech
+from repro.dram.timing import CyclePlan, plan_cycle
+from repro.dram.ops import Operation, OpResult, SequenceResult, parse_ops
+from repro.dram.column import ColumnNetlist, build_column
+from repro.dram.runner import ColumnRunner
+
+__all__ = [
+    "ColumnNetlist",
+    "ColumnRunner",
+    "CyclePlan",
+    "OpResult",
+    "Operation",
+    "SequenceResult",
+    "TechnologyParams",
+    "build_column",
+    "default_tech",
+    "parse_ops",
+    "plan_cycle",
+]

@@ -1,0 +1,316 @@
+"""Folded-bit-line column netlist builder.
+
+Topology (matching the paper's simplified design-validation model,
+Sec. 5.1):
+
+* one folded bit-line pair ``blt``/``blc`` with explicit line capacitance,
+* a 2×2 cell array: four 1T1C cells on word lines ``wl0..wl3``; even cells
+  hang on the true line, odd cells on the complementary line,
+* two reference (dummy) cells — one per line — recharged to the reference
+  level during every precharge and fired on the line *opposite* the
+  addressed cell during reads,
+* NMOS precharge/equalise triple,
+* a cross-coupled CMOS sense amplifier with NSET/PSET enables,
+* an NMOS write driver pair, and
+* a column-select pass device feeding a two-inverter data output buffer.
+
+Every control signal is a named :class:`~repro.spice.devices.VoltageSource`
+whose waveform the runner reprograms each cycle.
+
+Defect injection is part of the builder: a :class:`DefectSite` names one of
+the seven Fig. 7 resistive defect kinds plus a cell index and resistance,
+and the builder routes the extra node/resistor accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.tech import TechnologyParams, default_tech
+from repro.spice.devices import Capacitor, Diode, Resistor, VoltageSource
+from repro.spice.errors import NetlistError
+from repro.spice.mosfet import Mosfet
+from repro.spice.netlist import Circuit, Node
+from repro.spice.waveforms import Constant
+
+#: Defect kinds understood by the builder (Fig. 7 of the paper).
+DEFECT_KINDS = (
+    "open_bl",      # O1: open between bit line and access-transistor drain
+    "open_gate",    # O2: open between word line and access-transistor gate
+    "open_sn",      # O3: open between access transistor and cell capacitor
+    "short_gnd",    # Sg: resistive short storage node -> GND
+    "short_vdd",    # Sv: resistive short storage node -> Vdd
+    "bridge_bl",    # B1: bridge storage node <-> own bit line
+    "bridge_wl",    # B2: bridge storage node <-> own word line
+)
+
+
+@dataclass(frozen=True)
+class DefectSite:
+    """A single resistive defect placed inside one cell.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`DEFECT_KINDS`.
+    cell:
+        Index of the afflicted cell (0..3).  Even = true bit line
+        ("true" rows of Table 1), odd = complementary bit line ("comp.").
+    resistance:
+        Defect resistance in ohms.
+    """
+
+    kind: str
+    cell: int
+    resistance: float
+
+    def __post_init__(self):
+        if self.kind not in DEFECT_KINDS:
+            raise NetlistError(f"unknown defect kind {self.kind!r}")
+        if self.resistance <= 0:
+            raise NetlistError("defect resistance must be positive")
+        if self.cell < 0:
+            raise NetlistError("cell index must be >= 0")
+
+    def with_resistance(self, resistance: float) -> "DefectSite":
+        return DefectSite(self.kind, self.cell, resistance)
+
+
+#: Name of the injected defect resistor inside the circuit.
+DEFECT_DEVICE = "r_defect"
+
+
+@dataclass
+class ColumnNetlist:
+    """The built column: circuit plus the handles the runner needs."""
+
+    circuit: Circuit
+    tech: TechnologyParams
+    defect: DefectSite | None
+    #: Storage-node name per cell index.
+    storage_nodes: list[str]
+    #: Control-source device names (reprogrammed every cycle).
+    control_sources: list[str]
+
+    def storage_node(self, cell: int) -> str:
+        return self.storage_nodes[cell]
+
+    def source(self, name: str) -> VoltageSource:
+        dev = self.circuit[name]
+        if not isinstance(dev, VoltageSource):
+            raise NetlistError(f"{name!r} is not a control source")
+        return dev
+
+    def set_waveforms(self, waveforms: dict) -> None:
+        """Reprogram the control sources for the next cycle."""
+        for name, wave in waveforms.items():
+            self.source(name).waveform = wave
+
+    @property
+    def defect_resistance(self) -> float | None:
+        if self.defect is None:
+            return None
+        return self.circuit[DEFECT_DEVICE].resistance
+
+    def set_defect_resistance(self, resistance: float) -> None:
+        """Change the injected defect's resistance in place.
+
+        Cheap way to sweep the defect resistance without rebuilding the
+        netlist (the MNA system is reassembled per analysis anyway).
+        """
+        if self.defect is None:
+            raise NetlistError("this column has no injected defect")
+        if resistance <= 0:
+            raise NetlistError("defect resistance must be positive")
+        self.circuit[DEFECT_DEVICE].resistance = float(resistance)
+        self.defect = self.defect.with_resistance(resistance)
+
+
+def _add_cell(c: Circuit, tech: TechnologyParams, index: int, bl: Node,
+              defect: DefectSite | None) -> str:
+    """Create cell ``index`` hanging on bit line ``bl``.
+
+    Returns the storage-node name.  When ``defect`` targets this cell the
+    corresponding extra node/resistor is routed in.
+    """
+    sn = c.node(f"sn{index}")
+    wl = c.node(f"wl{index}")
+    here = defect is not None and defect.cell == index
+    kind = defect.kind if here else None
+
+    # Word-line driver source and access-gate wiring (possibly through a
+    # word-line open).
+    if f"v_wl{index}" not in c:
+        c.add(VoltageSource(f"v_wl{index}", wl, c.node("0"), Constant(0.0)))
+    if kind == "open_gate":
+        gate = c.node(f"g_int{index}")
+        c.add(Resistor(DEFECT_DEVICE, wl, gate, defect.resistance))
+    else:
+        gate = wl
+    c.add(Capacitor(f"c_g{index}", gate, c.node("0"), tech.cg_access))
+
+    # Bit-line side of the access transistor (possibly through a bit-line
+    # contact open).
+    if kind == "open_bl":
+        drain = c.node(f"d_int{index}")
+        c.add(Resistor(DEFECT_DEVICE, bl, drain, defect.resistance))
+    else:
+        drain = bl
+
+    # Storage side (possibly through the classic storage-node open, O3).
+    if kind == "open_sn":
+        src = c.node(f"s_int{index}")
+        c.add(Resistor(DEFECT_DEVICE, src, sn, defect.resistance))
+    else:
+        src = sn
+
+    c.add(Mosfet(f"m_acc{index}", drain, gate, src, tech.access_params,
+                 w=tech.access_w, l=tech.access_l))
+    c.add(Capacitor(f"c_s{index}", sn, c.node("0"), tech.cs))
+    # Time-compressed storage-node junction leakage (see tech.py).
+    c.add(Diode(f"d_leak{index}", c.node("0"), sn, isat=tech.leak_isat,
+                temp_nom_c=tech.leak_tnom_c,
+                isat_tdouble=tech.leak_tdouble))
+
+    # Shorts and bridges attach directly to the storage node.
+    if kind == "short_gnd":
+        c.add(Resistor(DEFECT_DEVICE, sn, c.node("0"), defect.resistance))
+    elif kind == "short_vdd":
+        c.add(Resistor(DEFECT_DEVICE, sn, c.node("vdd"), defect.resistance))
+    elif kind == "bridge_bl":
+        c.add(Resistor(DEFECT_DEVICE, sn, bl, defect.resistance))
+    elif kind == "bridge_wl":
+        c.add(Resistor(DEFECT_DEVICE, sn, wl, defect.resistance))
+
+    return sn.name
+
+
+def _add_dummy(c: Circuit, tech: TechnologyParams, suffix: str,
+               bl: Node) -> None:
+    """Reference (dummy) cell on bit line ``bl``.
+
+    The dummy stores the reference level (slightly below the precharge
+    level) and is recharged through a dedicated device during every
+    precharge, then fired during reads of the opposite line.
+    """
+    snd = c.node(f"snd_{suffix}")
+    rwl = c.node(f"rwl_{suffix}")
+    c.add(VoltageSource(f"v_rwl_{suffix}", rwl, c.node("0"), Constant(0.0)))
+    c.add(Mosfet(f"m_dacc_{suffix}", bl, rwl, snd, tech.access_params,
+                 w=tech.dummy_access_w, l=tech.access_l))
+    c.add(Capacitor(f"c_sd_{suffix}", snd, c.node("0"), tech.cs))
+    # Recharge path to the reference supply, gated by the equalise signal.
+    c.add(Mosfet(f"m_dref_{suffix}", c.node("vref"), c.node("eq"), snd,
+                 tech.nmos, w=tech.pre_w, l=tech.pre_l))
+
+
+def build_column(tech: TechnologyParams | None = None,
+                 defect: DefectSite | None = None) -> ColumnNetlist:
+    """Build the folded column, optionally with one injected defect."""
+    tech = tech or default_tech()
+    if defect is not None and defect.cell >= tech.num_wordlines:
+        raise NetlistError(
+            f"defect cell {defect.cell} outside the {tech.num_wordlines}-"
+            f"word-line array")
+
+    c = Circuit("dram_column")
+    gnd = c.node("0")
+    blt = c.node("blt")
+    blc = c.node("blc")
+    vdd = c.node("vdd")
+    vref = c.node("vref")
+    vpre = c.node("vpre")
+    eq = c.node("eq")
+
+    # Supplies and references.
+    c.add(VoltageSource("v_vdd", vdd, gnd, Constant(tech.vdd_nom)))
+    c.add(VoltageSource("v_ref", vref, gnd, Constant(
+        tech.v_ref(tech.vdd_nom))))
+    c.add(VoltageSource("v_pre", vpre, gnd, Constant(
+        tech.vbl_pre(tech.vdd_nom))))
+    c.add(VoltageSource("v_eq", eq, gnd, Constant(0.0)))
+
+    # Bit-line capacitance.
+    c.add(Capacitor("c_blt", blt, gnd, tech.cbl))
+    c.add(Capacitor("c_blc", blc, gnd, tech.cbl))
+
+    # Cell array (even cells on blt, odd on blc).
+    storage_nodes = []
+    for i in range(tech.num_wordlines):
+        bl = blt if i % 2 == 0 else blc
+        storage_nodes.append(_add_cell(c, tech, i, bl, defect))
+
+    # Reference cells.
+    _add_dummy(c, tech, "t", blt)
+    _add_dummy(c, tech, "c", blc)
+
+    # Precharge / equalise triple.
+    c.add(Mosfet("m_pre_t", blt, eq, vpre, tech.nmos,
+                 w=tech.pre_w, l=tech.pre_l))
+    c.add(Mosfet("m_pre_c", blc, eq, vpre, tech.nmos,
+                 w=tech.pre_w, l=tech.pre_l))
+    c.add(Mosfet("m_eq", blt, eq, blc, tech.nmos,
+                 w=tech.pre_w, l=tech.pre_l))
+
+    # Sense amplifier: cross-coupled inverters with NSET/PSET enables.
+    san = c.node("san")
+    sap = c.node("sap")
+    sen = c.node("sen")
+    sepb = c.node("sepb")
+    c.add(VoltageSource("v_sen", sen, gnd, Constant(0.0)))
+    c.add(VoltageSource("v_sepb", sepb, gnd, Constant(tech.vdd_nom)))
+    c.add(Mosfet("m_sa_n1", blt, blc, san, tech.sa_nmos,
+                 w=tech.sa_w_n, l=tech.sa_l))
+    c.add(Mosfet("m_sa_n2", blc, blt, san, tech.sa_nmos,
+                 w=tech.sa_w_n, l=tech.sa_l))
+    c.add(Mosfet("m_sa_p1", blt, blc, sap, tech.sa_pmos,
+                 w=tech.sa_w_p, l=tech.sa_l))
+    c.add(Mosfet("m_sa_p2", blc, blt, sap, tech.sa_pmos,
+                 w=tech.sa_w_p, l=tech.sa_l))
+    c.add(Mosfet("m_sa_nset", san, sen, gnd, tech.sa_nmos,
+                 w=4 * tech.sa_w_n, l=tech.sa_l))
+    c.add(Mosfet("m_sa_pset", sap, sepb, vdd, tech.sa_pmos,
+                 w=4 * tech.sa_w_p, l=tech.sa_l))
+    c.add(Capacitor("c_san", san, gnd, 10e-15))
+    c.add(Capacitor("c_sap", sap, gnd, 10e-15))
+
+    # Write driver.
+    wdt = c.node("wdt")
+    wdc = c.node("wdc")
+    wen = c.node("wen")
+    c.add(VoltageSource("v_wdt", wdt, gnd, Constant(0.0)))
+    c.add(VoltageSource("v_wdc", wdc, gnd, Constant(0.0)))
+    c.add(VoltageSource("v_wen", wen, gnd, Constant(0.0)))
+    c.add(Mosfet("m_wr_t", wdt, wen, blt, tech.nmos,
+                 w=tech.wr_w, l=tech.wr_l))
+    c.add(Mosfet("m_wr_c", wdc, wen, blc, tech.nmos,
+                 w=tech.wr_w, l=tech.wr_l))
+
+    # Column select + data output buffer (two inverters).
+    csl = c.node("csl")
+    dx = c.node("dx")
+    doutb = c.node("doutb")
+    dout = c.node("dout")
+    c.add(VoltageSource("v_csl", csl, gnd, Constant(0.0)))
+    c.add(Mosfet("m_csl", blt, csl, dx, tech.nmos,
+                 w=tech.csl_w, l=tech.csl_l))
+    c.add(Capacitor("c_dx", dx, gnd, 5e-15))
+    c.add(Mosfet("m_buf1_p", doutb, dx, vdd, tech.pmos,
+                 w=tech.buf_w_p, l=tech.buf_l))
+    c.add(Mosfet("m_buf1_n", doutb, dx, gnd, tech.nmos,
+                 w=tech.buf_w_n, l=tech.buf_l))
+    c.add(Mosfet("m_buf2_p", dout, doutb, vdd, tech.pmos,
+                 w=tech.buf_w_p, l=tech.buf_l))
+    c.add(Mosfet("m_buf2_n", dout, doutb, gnd, tech.nmos,
+                 w=tech.buf_w_n, l=tech.buf_l))
+    c.add(Capacitor("c_doutb", doutb, gnd, 5e-15))
+    c.add(Capacitor("c_dout", dout, gnd, tech.c_dout))
+
+    control_sources = (["v_vdd", "v_ref", "v_pre", "v_eq", "v_sen",
+                        "v_sepb", "v_wdt", "v_wdc", "v_wen", "v_csl",
+                        "v_rwl_t", "v_rwl_c"]
+                       + [f"v_wl{i}" for i in range(tech.num_wordlines)])
+
+    return ColumnNetlist(circuit=c, tech=tech, defect=defect,
+                         storage_nodes=storage_nodes,
+                         control_sources=control_sources)

@@ -1,0 +1,155 @@
+"""Operation-level driver of the electrical column model.
+
+:class:`ColumnRunner` owns a built column netlist and applies ``w0``/``w1``/
+``r`` cycles to a target cell, carrying the full node state from cycle to
+cycle — the electrical-simulation workhorse behind every result plane in
+the paper.
+"""
+
+from __future__ import annotations
+
+from repro.stress import NOMINAL_STRESS, StressConditions
+from repro.dram.column import ColumnNetlist, DefectSite, build_column
+from repro.dram.ops import Op, Operation, OpResult, SequenceResult, parse_ops
+from repro.dram.tech import TechnologyParams, default_tech
+from repro.dram.timing import plan_cycle
+from repro.spice.transient import transient
+
+
+class ColumnRunner:
+    """Apply operation cycles to one target cell of a (defective) column.
+
+    Parameters
+    ----------
+    tech:
+        Technology parameters; defaults to the shared synthetic technology.
+    stress:
+        Stress conditions applied to every cycle (mutable via
+        :meth:`set_stress`).
+    defect:
+        Optional injected defect.
+    target_cell:
+        Cell operated on.  Even cells sit on the true bit line (paper's
+        "true" rows), odd cells on the complementary line ("comp.").
+    record:
+        When True, per-cycle waveforms (cell voltage, bit lines) are kept
+        on each :class:`OpResult`.
+    """
+
+    def __init__(self, *, tech: TechnologyParams | None = None,
+                 stress: StressConditions = NOMINAL_STRESS,
+                 defect: DefectSite | None = None,
+                 target_cell: int = 0,
+                 record: bool = False):
+        self.tech = tech or default_tech()
+        self.stress = stress
+        self.target_cell = target_cell
+        self.record = record
+        self.netlist: ColumnNetlist = build_column(self.tech, defect)
+        self._sn = self.netlist.storage_node(target_cell)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def set_stress(self, stress: StressConditions) -> None:
+        self.stress = stress
+
+    def set_defect_resistance(self, resistance: float) -> None:
+        self.netlist.set_defect_resistance(resistance)
+
+    @property
+    def defect(self) -> DefectSite | None:
+        return self.netlist.defect
+
+    @property
+    def target_on_true(self) -> bool:
+        return self.target_cell % 2 == 0
+
+    # ------------------------------------------------------------------
+    # state construction
+    # ------------------------------------------------------------------
+    def idle_state(self, vc_target: float,
+                   background: int = 0) -> dict[str, float]:
+        """Node voltages of a quiescent column before the first cycle.
+
+        ``vc_target`` is the *physical* storage-node voltage of the target
+        cell (the paper's ``Vc``); the other cells hold the logical
+        ``background`` value through the differential write convention.
+        """
+        tech, vdd = self.tech, self.stress.vdd
+        vpre = tech.vbl_pre(vdd)
+        state = {
+            "blt": vpre, "blc": vpre,
+            "san": vpre, "sap": vpre,
+            "snd_t": tech.v_ref(vdd, self.stress.temp_c),
+            "snd_c": tech.v_ref(vdd, self.stress.temp_c),
+            "dx": 0.0, "doutb": vdd, "dout": 0.0,
+            "vdd": vdd, "vref": tech.v_ref(vdd, self.stress.temp_c),
+            "vpre": vpre,
+        }
+        for i in range(tech.num_wordlines):
+            on_true = i % 2 == 0
+            physical = background if on_true else 1 - background
+            state[f"sn{i}"] = float(physical) * vdd
+        state[self._sn] = float(vc_target)
+        # Internal defect nodes start at their neighbour's level.
+        circ = self.netlist.circuit
+        if circ.has_node(f"s_int{self.target_cell}"):
+            state[f"s_int{self.target_cell}"] = float(vc_target)
+        return state
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_op(self, op: Op | str, state: dict[str, float],
+               cell: int | None = None
+               ) -> tuple[OpResult, dict[str, float]]:
+        """Apply one operation cycle starting from ``state``.
+
+        ``cell`` overrides the addressed cell for this cycle (defaults
+        to the runner's target) — coupling analysis uses this to drive
+        an *aggressor* cell while the defective victim floats.  The
+        reported ``vc_end`` always tracks the runner's target cell.
+
+        Returns the observed :class:`OpResult` and the node state at the
+        end of the cycle (input to the next operation).
+        """
+        if isinstance(op, str):
+            op = Op.parse(op)
+        addressed = self.target_cell if cell is None else cell
+        plan = plan_cycle(op, self.stress, self.tech, addressed)
+        self.netlist.set_waveforms(plan.waveforms)
+        dt = self.stress.tcyc * self.tech.dt_frac
+        res = transient(self.netlist.circuit, self.stress.tcyc, dt,
+                        temp_c=self.stress.temp_c, initial=state)
+        new_state = res.final_state()
+
+        sensed = None
+        if op.operation is Operation.R:
+            sensed = 1 if res.at("dout", plan.t_sample) > 0.5 * \
+                self.stress.vdd else 0
+
+        result = OpResult(op=op, vc_end=res.final(self._sn), sensed=sensed)
+        if self.record:
+            result.times = res.time
+            result.vc = res.v(self._sn)
+            result.extra = {"blt": res.v("blt"), "blc": res.v("blc"),
+                            "dout": res.v("dout")}
+        return result, new_state
+
+    def run_sequence(self, ops, init_vc: float, background: int = 0
+                     ) -> SequenceResult:
+        """Apply a whole operation sequence from a fresh idle state.
+
+        ``ops`` may be a string (``"w1 w1 w0 r0"``), or a list of
+        :class:`Op`.
+        """
+        if isinstance(ops, str):
+            ops = parse_ops(ops)
+        ops = [Op.parse(o) if isinstance(o, str) else o for o in ops]
+        state = self.idle_state(init_vc, background=background)
+        results = []
+        for op in ops:
+            result, state = self.run_op(op, state)
+            results.append(result)
+        return SequenceResult(ops=ops, results=results)

@@ -1,0 +1,46 @@
+"""One entry point per paper figure/table.
+
+Each function reproduces one experiment of the paper's evaluation and
+returns a structured result with a ``render()`` text form.  The
+benchmarks in ``benchmarks/`` time these functions and print their
+renderings; the examples drive them interactively.
+
+================  ==============================================
+paper item        function
+================  ==============================================
+Fig. 2            :func:`fig2_result_planes`
+Fig. 3            :func:`fig3_timing_panels`
+Fig. 4            :func:`fig4_temperature_panels`
+Fig. 5            :func:`fig5_voltage_panels`
+Fig. 6            :func:`fig6_stressed_planes`
+Table 1           :func:`table1_optimization`
+Sec. 2 (Shmoo)    :func:`shmoo_baseline`
+Sec. 5.2 (cov.)   :func:`march_coverage_comparison`
+================  ==============================================
+"""
+
+from repro.experiments.figures import (
+    PanelStudy,
+    fig2_result_planes,
+    fig3_timing_panels,
+    fig4_temperature_panels,
+    fig5_voltage_panels,
+    fig6_stressed_planes,
+)
+from repro.experiments.tables import (
+    march_coverage_comparison,
+    shmoo_baseline,
+    table1_optimization,
+)
+
+__all__ = [
+    "PanelStudy",
+    "fig2_result_planes",
+    "fig3_timing_panels",
+    "fig4_temperature_panels",
+    "fig5_voltage_panels",
+    "fig6_stressed_planes",
+    "march_coverage_comparison",
+    "shmoo_baseline",
+    "table1_optimization",
+]

@@ -1,0 +1,173 @@
+"""Reproductions of the paper's figures (Figs. 2–6).
+
+Every function takes a ``backend`` argument: ``"electrical"`` runs the
+SPICE-level column (the paper's methodology, slower), ``"behavioral"``
+the calibrated fast model.  Grid sizes are parameters so the benchmarks
+can trade fidelity for runtime explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import electrical_model, result_planes, sense_threshold
+from repro.analysis.planes import ResultPlanes, log_grid
+from repro.core import NOMINAL_STRESS, StressConditions
+from repro.core.directions import write_residual
+from repro.defects import Defect, DefectKind
+from repro.report.ascii_plot import ascii_curves
+
+
+def make_model(defect: Defect, stress: StressConditions,
+               backend: str = "electrical"):
+    """Model factory shared by the experiment entry points."""
+    if backend == "electrical":
+        return electrical_model(defect, stress=stress)
+    if backend == "behavioral":
+        from repro.behav import behavioral_model
+        return behavioral_model(defect, stress=stress)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+#: The paper's reference defect: the cell open of Fig. 1 at 200 kΩ.
+REFERENCE_DEFECT = Defect(DefectKind.O3, resistance=200e3)
+
+#: The stressed SC of Fig. 6 (Vdd = 2.1 V, tcyc = 55 ns, T = +87 °C).
+FIG6_STRESS = NOMINAL_STRESS.with_(vdd=2.1, tcyc=55e-9, temp_c=87.0)
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 / Fig. 6 — result planes
+# ----------------------------------------------------------------------
+@dataclass
+class PlanesStudy:
+    """Result planes plus the border estimate they imply."""
+
+    stress: StressConditions
+    planes: ResultPlanes
+    border: float | None
+
+    def render(self) -> str:
+        from repro.report.ascii_plot import ascii_plane
+        parts = [f"SC: {self.stress.describe()}",
+                 f"border estimate (w0 x Vsa crossing): "
+                 f"{'-' if self.border is None else format(self.border, '.3g')} ohm",
+                 ascii_plane(self.planes, "w0"),
+                 ascii_plane(self.planes, "w1"),
+                 ascii_plane(self.planes, "r")]
+        return "\n\n".join(parts)
+
+
+def fig2_result_planes(*, backend: str = "electrical",
+                       points: int = 9,
+                       r_lo: float = 30e3, r_hi: float = 2e6,
+                       n_writes: int = 2,
+                       stress: StressConditions = NOMINAL_STRESS,
+                       defect: Defect = REFERENCE_DEFECT) -> PlanesStudy:
+    """Fig. 2: the three result planes of the cell open at nominal SC."""
+    model = make_model(defect, stress, backend)
+    grid = log_grid(r_lo, r_hi, points)
+    planes = result_planes(model, grid, n_writes=n_writes)
+    return PlanesStudy(stress, planes, planes.border_estimate())
+
+
+def fig6_stressed_planes(*, backend: str = "electrical",
+                         points: int = 9,
+                         r_lo: float = 30e3, r_hi: float = 2e6,
+                         n_writes: int = 2,
+                         defect: Defect = REFERENCE_DEFECT) -> PlanesStudy:
+    """Fig. 6: the same planes under the stressed SC."""
+    return fig2_result_planes(backend=backend, points=points, r_lo=r_lo,
+                              r_hi=r_hi, n_writes=n_writes,
+                              stress=FIG6_STRESS, defect=defect)
+
+
+# ----------------------------------------------------------------------
+# Figs. 3-5 — single-ST panels
+# ----------------------------------------------------------------------
+@dataclass
+class PanelStudy:
+    """One ST's write/read panels over its probed values (Figs. 3–5)."""
+
+    st_name: str
+    values: list[float]
+    w0_residuals: list[float]   # Vc after a single w0 from the high rail
+    vsa: list[float | None]     # sense threshold per value
+    stress_base: StressConditions
+    defect: Defect
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        rows = []
+        for v, w, s in zip(self.values, self.w0_residuals, self.vsa):
+            rows.append(f"  {self.st_name}={v:.4g}: Vc(after w0)={w:.3f} V"
+                        f"   Vsa={'-' if s is None else format(s, '.3f')} V")
+        head = (f"Panels for {self.st_name} — defect {self.defect.name} "
+                f"R={self.defect.resistance:.3g}")
+        return "\n".join([head] + rows + [f"  note: {n}"
+                                          for n in self.notes])
+
+
+def _st_panels(st_name: str, field_name: str, values, *,
+               backend: str, defect: Defect,
+               base: StressConditions) -> PanelStudy:
+    model = make_model(defect, base, backend)
+    model.set_defect_resistance(defect.resistance)
+    w0s, vsas = [], []
+    for v in values:
+        model.set_stress(base.with_(**{field_name: v}))
+        w0s.append(write_residual(model, 0))
+        vsas.append(sense_threshold(model, tol=0.008))
+    return PanelStudy(st_name, list(values), w0s, vsas, base, defect)
+
+
+def fig3_timing_panels(*, backend: str = "electrical",
+                       tcycs=(60e-9, 55e-9),
+                       defect: Defect = REFERENCE_DEFECT,
+                       base: StressConditions = NOMINAL_STRESS
+                       ) -> PanelStudy:
+    """Fig. 3: tcyc 60 → 55 ns weakens ``w0``; ``Vsa`` barely moves."""
+    study = _st_panels("tcyc", "tcyc", tcycs, backend=backend,
+                       defect=defect, base=base)
+    study.notes.append("paper: shorter tcyc leaves Vc higher after w0; "
+                       "timing has no impact on Vsa")
+    return study
+
+
+def fig4_temperature_panels(*, backend: str = "electrical",
+                            temps=(-33.0, 27.0, 87.0),
+                            defect: Defect = REFERENCE_DEFECT,
+                            base: StressConditions = NOMINAL_STRESS
+                            ) -> PanelStudy:
+    """Fig. 4: hot weakens ``w0``; ``Vsa`` is non-monotonic in T."""
+    study = _st_panels("T", "temp_c", temps, backend=backend,
+                       defect=defect, base=base)
+    study.notes.append("paper: Vc after w0 rises with T; the read detects "
+                       "1 only at +27C (Vsa minimum at room temperature)")
+    return study
+
+
+def fig5_voltage_panels(*, backend: str = "electrical",
+                        vdds=(2.1, 2.4, 2.7),
+                        defect: Defect = REFERENCE_DEFECT,
+                        base: StressConditions = NOMINAL_STRESS
+                        ) -> PanelStudy:
+    """Fig. 5: higher Vdd weakens ``w0`` but helps reads — conflicting
+    votes that the paper resolves with a BR comparison."""
+    study = _st_panels("Vdd", "vdd", vdds, backend=backend,
+                       defect=defect, base=base)
+    study.notes.append("paper: conflict -> BR tie-break; Vdd=2.1 V gives "
+                       "the lowest border resistance")
+    return study
+
+
+def render_vsa_vs_temperature(study: PanelStudy) -> str:
+    """Auxiliary plot of the Fig. 4 threshold curve."""
+    usable = [(v, s) for v, s in zip(study.values, study.vsa)
+              if s is not None]
+    if len(usable) < 2:
+        return "(Vsa undefined across the probed range)"
+    xs = [v for v, _ in usable]
+    ys = [s for _, s in usable]
+    return ascii_curves(xs, {"Vsa": ys}, logx=False, width=40, height=10,
+                        title="Vsa vs temperature")

@@ -1,0 +1,117 @@
+"""Reproductions of the paper's Table 1 and the section-level studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.planes import log_grid
+from repro.core import (
+    NOMINAL_STRESS,
+    OptimizationTable,
+    ShmooPlot,
+    StressConditions,
+    StressKind,
+    optimize_all_defects,
+    shmoo,
+)
+from repro.defects import ALL_DEFECTS, Defect, DefectKind
+from repro.experiments.figures import REFERENCE_DEFECT, make_model
+from repro.march import MarchTest, STANDARD_TESTS, fault_coverage
+from repro.report.tables import render_table
+
+
+def table1_optimization(*, backend: str = "behavioral",
+                        defects=ALL_DEFECTS,
+                        br_rel_tol: float = 0.05) -> OptimizationTable:
+    """Table 1: per-defect directions, borders and detection conditions.
+
+    The behavioral backend reproduces the whole table in seconds; pass
+    ``backend="electrical"`` (and usually a subset of ``defects``) for a
+    SPICE-level run.
+    """
+    factory = lambda d, s: make_model(d, s, backend)  # noqa: E731
+    return optimize_all_defects(model_factory=factory, defects=defects,
+                                br_rel_tol=br_rel_tol)
+
+
+@dataclass
+class ShmooStudy:
+    """The Sec. 2 baseline: a Shmoo plot of the reference defect."""
+
+    plot: ShmooPlot
+    grid_points: int
+    test: str
+
+    def render(self) -> str:
+        return self.plot.render()
+
+
+def shmoo_baseline(*, backend: str = "behavioral",
+                   defect: Defect = REFERENCE_DEFECT,
+                   resistance: float = 250e3,
+                   test: str = "w1^2 w0 r0",
+                   nx: int = 9, ny: int = 7) -> ShmooStudy:
+    """A tcyc × Vdd Shmoo plot of a defective device (paper Sec. 2).
+
+    The defect resistance defaults to just above the nominal border so
+    the pass/fail boundary lands inside the plotted window.
+    """
+    model = make_model(defect.with_resistance(resistance), NOMINAL_STRESS,
+                       backend)
+    x_values = [2.1 + i * (2.7 - 2.1) / (nx - 1) for i in range(nx)]
+    y_values = [50e-9 + i * (70e-9 - 50e-9) / (ny - 1) for i in range(ny)]
+    plot = shmoo(model, test,
+                 x_kind=StressKind.VDD, x_values=x_values,
+                 y_kind=StressKind.TCYC, y_values=y_values)
+    return ShmooStudy(plot, nx * ny, test)
+
+
+@dataclass
+class CoverageStudy:
+    """March-test coverage at nominal vs optimized SC (Sec. 5.2)."""
+
+    defect: Defect
+    nominal: StressConditions
+    optimized: StressConditions
+    rows: list[tuple[str, float, float]]   # (test, cov_nom, cov_opt)
+
+    def render(self) -> str:
+        table = [(name, f"{nom:.0%}", f"{opt:.0%}",
+                  "+" if opt > nom else ("=" if opt == nom else "-"))
+                 for name, nom, opt in self.rows]
+        return (f"march coverage on {self.defect.name} "
+                f"(optimized SC: {self.optimized.describe()})\n"
+                + render_table(["test", "nominal", "optimized", "Δ"],
+                               table))
+
+    @property
+    def improved_count(self) -> int:
+        return sum(1 for _, nom, opt in self.rows if opt > nom)
+
+
+def march_coverage_comparison(*, backend: str = "behavioral",
+                              defect: Defect = Defect(DefectKind.O3),
+                              optimized: StressConditions | None = None,
+                              tests: tuple[MarchTest, ...] = STANDARD_TESTS,
+                              r_points: int = 16,
+                              r_lo: float | None = None,
+                              r_hi: float | None = None) -> CoverageStudy:
+    """Coverage of the standard march tests, nominal vs optimized SC.
+
+    The grid must be fine enough to resolve the border shift the SC
+    produces; override ``r_lo``/``r_hi`` to focus on the band around the
+    nominal border.
+    """
+    optimized = optimized or NOMINAL_STRESS.with_(
+        vdd=2.1, tcyc=55e-9, duty=0.40, temp_c=87.0)
+    lo, hi = defect.kind.search_range
+    grid = log_grid(r_lo or lo * 2, r_hi or hi / 2, r_points)
+    factory = lambda d, s: make_model(d, s, backend)  # noqa: E731
+    rows = []
+    for test in tests:
+        nom = fault_coverage(test, factory, defect, NOMINAL_STRESS,
+                             resistances=grid)
+        opt = fault_coverage(test, factory, defect, optimized,
+                             resistances=grid)
+        rows.append((test.name, nom.coverage, opt.coverage))
+    return CoverageStudy(defect, NOMINAL_STRESS, optimized, rows)

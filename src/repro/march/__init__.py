@@ -1,0 +1,57 @@
+"""March tests: notation, standard library, runner and coverage.
+
+March tests are the industrial test algorithms whose fault coverage the
+paper's stress optimization improves.  This package provides:
+
+* :mod:`repro.march.notation` — the march DSL
+  (``⇑(w0); ⇑(r0,w1); ⇓(r1,w0)``),
+* :mod:`repro.march.library` — MATS+, March C−, March X/Y, March A/B,
+  PMOVI,
+* :mod:`repro.march.runner` — functional execution against a memory with
+  one electrically-modelled defective cell,
+* :mod:`repro.march.coverage` — fault coverage over a defect-resistance
+  grid, used to compare nominal vs optimized stress combinations.
+"""
+
+from repro.march.notation import AddressOrder, MarchElement, MarchTest, parse_march
+from repro.march.library import (
+    MARCH_A,
+    MARCH_B,
+    MARCH_CMINUS,
+    MARCH_X,
+    MARCH_Y,
+    MATS,
+    MATS_PLUS,
+    MATS_PP,
+    PMOVI,
+    STANDARD_TESTS,
+)
+from repro.march.runner import MarchResult, run_march
+from repro.march.coverage import CoverageReport, fault_coverage
+from repro.march.delays import delay_element, with_delay
+from repro.march.synthesis import march_from_conditions, synthesize_for_defects
+
+__all__ = [
+    "AddressOrder",
+    "CoverageReport",
+    "MARCH_A",
+    "MARCH_B",
+    "MARCH_CMINUS",
+    "MARCH_X",
+    "MARCH_Y",
+    "MATS",
+    "MATS_PLUS",
+    "MATS_PP",
+    "MarchElement",
+    "MarchResult",
+    "MarchTest",
+    "PMOVI",
+    "STANDARD_TESTS",
+    "delay_element",
+    "fault_coverage",
+    "march_from_conditions",
+    "parse_march",
+    "run_march",
+    "synthesize_for_defects",
+    "with_delay",
+]

@@ -1,0 +1,34 @@
+"""Delay (pause) elements for march tests.
+
+Retention-flavoured defects escape plain march tests when the idle time
+between the write and the verifying read is too short.  Production tests
+insert pauses; in march notation that is an element of ``nop``
+operations.  :func:`with_delay` upgrades any march test by inserting a
+pause before every element that *begins with a read* — the verifying
+reads then see an aged cell.
+"""
+
+from __future__ import annotations
+
+from repro.dram.ops import Op, Operation
+from repro.march.notation import AddressOrder, MarchElement, MarchTest
+
+
+def delay_element(cycles: int) -> MarchElement:
+    """A pure pause: ``cycles`` idle operations per address."""
+    if cycles < 1:
+        raise ValueError("delay must be at least one cycle")
+    return MarchElement(AddressOrder.ANY, (Op(Operation.NOP),) * cycles)
+
+
+def with_delay(test: MarchTest, cycles: int, *,
+               suffix: str = " +delay") -> MarchTest:
+    """Insert a pause before every read-leading element of ``test``."""
+    pause = delay_element(cycles)
+    elements: list[MarchElement] = []
+    for element in test.elements:
+        first = element.ops[0]
+        if first.operation is Operation.R:
+            elements.append(pause)
+        elements.append(element)
+    return MarchTest(test.name + suffix, tuple(elements))

@@ -1,0 +1,53 @@
+"""Standard march tests from the memory-testing literature.
+
+The classic algorithms referenced throughout the van de Goor school of
+memory testing (and used in the industrial evaluations the paper cites,
+[vdGoor99] / [Schanstra99]):
+
+========  ====  ===========================================
+Test      Ops   Notation
+========  ====  ===========================================
+MATS      4N    ⇕(w0); ⇕(r0,w1); ⇕(r1)
+MATS+     5N    ⇕(w0); ⇑(r0,w1); ⇓(r1,w0)
+MATS++    6N    ⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0)
+March X   6N    ⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)
+March Y   8N    ⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)
+March C−  10N   ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)
+March A   15N   ⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1);
+                ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)
+March B   17N   ⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1);
+                ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)
+PMOVI     13N   ⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0);
+                ⇓(r0,w1,r1); ⇓(r1,w0,r0)
+========  ====  ===========================================
+"""
+
+from __future__ import annotations
+
+from repro.march.notation import MarchTest, parse_march
+
+MATS = parse_march("MATS", "b(w0); b(r0,w1); b(r1)")
+MATS_PLUS = parse_march("MATS+", "b(w0); u(r0,w1); d(r1,w0)")
+MATS_PP = parse_march("MATS++", "b(w0); u(r0,w1); d(r1,w0,r0)")
+MARCH_X = parse_march("March X", "b(w0); u(r0,w1); d(r1,w0); b(r0)")
+MARCH_Y = parse_march("March Y",
+                      "b(w0); u(r0,w1,r1); d(r1,w0,r0); b(r0)")
+MARCH_CMINUS = parse_march(
+    "March C-",
+    "b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0)")
+MARCH_A = parse_march(
+    "March A",
+    "b(w0); u(r0,w1,w0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)")
+MARCH_B = parse_march(
+    "March B",
+    "b(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); "
+    "d(r0,w1,w0)")
+PMOVI = parse_march(
+    "PMOVI",
+    "d(w0); u(r0,w1,r1); u(r1,w0,r0); d(r0,w1,r1); d(r1,w0,r0)")
+
+#: The library in increasing-length order.
+STANDARD_TESTS: tuple[MarchTest, ...] = (
+    MATS, MATS_PLUS, MATS_PP, MARCH_X, MARCH_Y, MARCH_CMINUS, PMOVI,
+    MARCH_A, MARCH_B,
+)

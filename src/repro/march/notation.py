@@ -1,0 +1,98 @@
+"""March test notation.
+
+A march test is a sequence of *march elements*; each element pairs an
+address order with a list of operations applied completely at one address
+before moving to the next:
+
+* ``⇑`` — ascending address order,
+* ``⇓`` — descending,
+* ``⇕`` — either (implemented as ascending).
+
+Text syntax accepted by :func:`parse_march` uses ``u``/``d``/``b`` (or the
+arrows): ``"u(w0); u(r0,w1); d(r1,w0,r0)"``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.ops import Op
+
+
+class AddressOrder(enum.Enum):
+    UP = "⇑"
+    DOWN = "⇓"
+    ANY = "⇕"
+
+    @classmethod
+    def parse(cls, token: str) -> "AddressOrder":
+        token = token.strip()
+        aliases = {"u": cls.UP, "up": cls.UP, "⇑": cls.UP,
+                   "d": cls.DOWN, "down": cls.DOWN, "⇓": cls.DOWN,
+                   "b": cls.ANY, "any": cls.ANY, "⇕": cls.ANY}
+        try:
+            return aliases[token.lower()]
+        except KeyError:
+            raise ValueError(f"unknown address order {token!r}") from None
+
+    def addresses(self, n: int) -> range:
+        if self is AddressOrder.DOWN:
+            return range(n - 1, -1, -1)
+        return range(n)
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One march element: an address order plus per-address operations."""
+
+    order: AddressOrder
+    ops: tuple[Op, ...]
+
+    def __post_init__(self):
+        if not self.ops:
+            raise ValueError("march element needs at least one operation")
+
+    @classmethod
+    def parse(cls, text: str) -> "MarchElement":
+        text = text.strip()
+        open_idx = text.find("(")
+        if open_idx < 0 or not text.endswith(")"):
+            raise ValueError(f"malformed march element {text!r}")
+        order = AddressOrder.parse(text[:open_idx])
+        body = text[open_idx + 1:-1]
+        ops = tuple(Op.parse(tok) for tok in body.replace(",", " ").split())
+        return cls(order, ops)
+
+    def __str__(self):
+        return f"{self.order.value}({','.join(str(o) for o in self.ops)})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named march test."""
+
+    name: str
+    elements: tuple[MarchElement, ...]
+
+    def __post_init__(self):
+        if not self.elements:
+            raise ValueError("march test needs at least one element")
+
+    @property
+    def length(self) -> int:
+        """Operations per cell (the conventional ``xN`` complexity)."""
+        return sum(len(e.ops) for e in self.elements)
+
+    def notation(self) -> str:
+        return "; ".join(str(e) for e in self.elements)
+
+    def __str__(self):
+        return f"{self.name}: {self.notation()} ({self.length}N)"
+
+
+def parse_march(name: str, text: str) -> MarchTest:
+    """Parse ``"u(w0); u(r0,w1); d(r1,w0)"`` into a :class:`MarchTest`."""
+    elements = tuple(MarchElement.parse(part)
+                     for part in text.split(";") if part.strip())
+    return MarchTest(name, elements)

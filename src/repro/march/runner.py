@@ -1,0 +1,104 @@
+"""Functional march-test execution against a defective memory.
+
+The memory under test has ``n_cells`` addresses; one address holds the
+electrically-modelled defective cell (any :class:`ColumnModel`), the rest
+behave ideally.  Operations addressed at healthy cells return the
+expected value by construction but still *advance time* for the defective
+cell — each is applied to the model as a ``nop`` cycle, so decay-driven
+faults (shorts, bridges, leakage) see realistic idle periods between
+visits.  This is the detail that makes long tests genuinely stronger
+against retention-flavoured defects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.interface import ColumnModel, stored_level
+from repro.dram.ops import Op, Operation
+from repro.march.notation import MarchTest
+
+
+@dataclass
+class MarchFailure:
+    """One observed mismatch during the march."""
+
+    element_index: int
+    address: int
+    op_index: int
+    expected: int
+    observed: int
+
+
+@dataclass
+class MarchResult:
+    """Outcome of one march execution."""
+
+    test: MarchTest
+    n_cells: int
+    defective_address: int
+    failures: list[MarchFailure] = field(default_factory=list)
+    total_ops: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.failures)
+
+    def describe(self) -> str:
+        verdict = "DETECTED" if self.detected else "passed"
+        extra = ""
+        if self.failures:
+            f = self.failures[0]
+            extra = (f" (first at element {f.element_index}, address "
+                     f"{f.address}: read {f.observed}, expected "
+                     f"{f.expected})")
+        return f"{self.test.name}: {verdict}{extra}"
+
+
+def run_march(test: MarchTest, model: ColumnModel, *, n_cells: int = 8,
+              defective_address: int = 3,
+              initial_value: int | None = None,
+              stop_at_first: bool = True) -> MarchResult:
+    """March ``test`` over a memory whose one defective cell is ``model``.
+
+    ``initial_value`` forces the defective cell's pre-test logical value
+    (``None`` = mid-rail unknown state).  Healthy cells are ideal, so only
+    the defective address can produce failures; every healthy-address
+    operation becomes a ``nop`` cycle for the model.
+    """
+    if not 0 <= defective_address < n_cells:
+        raise ValueError("defective_address out of range")
+    result = MarchResult(test, n_cells, defective_address)
+    nop = Op(Operation.NOP)
+
+    if initial_value is None:
+        init_vc = 0.5 * model.stress.vdd
+    else:
+        init_vc = stored_level(model, initial_value)
+    state = model.idle_state(init_vc)
+
+    # The march's *expected* value for the defective address, tracked from
+    # the test structure itself.
+    expected: int | None = initial_value
+
+    for ei, element in enumerate(test.elements):
+        for address in element.order.addresses(n_cells):
+            at_target = address == defective_address
+            for oi, op in enumerate(element.ops):
+                result.total_ops += 1
+                if not at_target:
+                    _, state = model.run_op(nop, state)
+                    continue
+                opres, state = model.run_op(op, state)
+                if op.operation.is_write:
+                    expected = op.operation.write_value
+                elif op.expected is not None:
+                    if opres.sensed != op.expected:
+                        result.failures.append(MarchFailure(
+                            ei, address, oi, op.expected, opres.sensed))
+                        if stop_at_first:
+                            return result
+                    # March semantics: after a read the cell is assumed
+                    # to hold what was read back (restore).
+                    expected = op.expected
+    return result

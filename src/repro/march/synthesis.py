@@ -1,0 +1,95 @@
+"""Synthesize march tests from detection conditions.
+
+The paper's output per defect is a *detection condition* — a single-cell
+operation sequence like ``⇕(w1 w1 w0 r0)``.  To use it in production it
+must be embedded in a march test: element-wise, every address receives
+the complete sequence before the march moves on, which preserves the
+per-cell operation order the condition requires.
+
+:func:`march_from_conditions` merges several conditions (e.g. the true
+and complementary rows of Table 1, or several defects') into one march
+test, de-duplicating sequences and prefixing an initialising write so
+every read expectation is defined from a known state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.detection import DetectionCondition
+from repro.dram.ops import Op, Operation
+from repro.march.notation import AddressOrder, MarchElement, MarchTest
+
+
+def _element_ops(condition_ops: Sequence[Op]) -> tuple[Op, ...]:
+    """Make a condition's ops self-contained as a march element.
+
+    March semantics require every read to know its expected value from
+    the element itself (the memory state at entry is whatever the
+    previous element left).  Detection conditions from
+    :mod:`repro.analysis.detection` always start with a write, so they
+    are self-contained already; this helper just validates that.
+    """
+    ops = tuple(condition_ops)
+    if not ops[0].operation.is_write:
+        raise ValueError(
+            "detection condition must start with a write to be "
+            "embeddable in a march element")
+    return ops
+
+
+def march_from_conditions(conditions: Iterable[DetectionCondition], *,
+                          name: str = "synthesized",
+                          both_orders: bool = True) -> MarchTest:
+    """Build a march test covering every detection condition.
+
+    Each unique condition becomes one march element (ascending), plus —
+    with ``both_orders`` — a descending duplicate so address-direction
+    dependent mechanisms are exercised both ways, as classic march
+    construction practice prescribes.
+    """
+    seen: set[tuple[str, ...]] = set()
+    elements: list[MarchElement] = []
+    for cond in conditions:
+        ops = _element_ops(cond.ops)
+        key = tuple(str(o) for o in ops)
+        if key in seen:
+            continue
+        seen.add(key)
+        elements.append(MarchElement(AddressOrder.UP, ops))
+        if both_orders:
+            elements.append(MarchElement(AddressOrder.DOWN, ops))
+    if not elements:
+        raise ValueError("no detection conditions supplied")
+    # Initialising element so the very first reads of address-ordered
+    # traversal start from a defined state.
+    init = MarchElement(AddressOrder.ANY, (Op(Operation.W0),))
+    return MarchTest(name, (init, *elements))
+
+
+def synthesize_for_defects(defects, model_factory, *,
+                           stress=None, name: str = "synthesized",
+                           max_charge: int = 8) -> MarchTest:
+    """Derive detection conditions for ``defects`` and merge them.
+
+    Each defect is analysed just inside its failing range (border search
+    plus probe, as in the optimizer) and the resulting conditions are
+    merged into one march test.
+    """
+    from repro.core.border import find_border_resistance
+    from repro.core.optimizer import probe_resistance
+    from repro.core.stresses import NOMINAL_STRESS
+    from repro.analysis.detection import derive_detection_condition
+
+    stress = stress or NOMINAL_STRESS
+    conditions = []
+    for defect in defects:
+        model = model_factory(defect, stress)
+        border = find_border_resistance(model, defect, stress=stress,
+                                        rel_tol=0.1)
+        probe = probe_resistance(defect, border)
+        cond = derive_detection_condition(model, probe,
+                                          max_charge=max_charge)
+        if cond is not None:
+            conditions.append(cond)
+    return march_from_conditions(conditions, name=name)

@@ -1,0 +1,14 @@
+"""Reporting: text tables and ASCII plots for analysis artefacts."""
+
+from repro.report.tables import (
+    render_optimization_table,
+    render_table,
+)
+from repro.report.ascii_plot import ascii_curves, ascii_plane
+
+__all__ = [
+    "ascii_curves",
+    "ascii_plane",
+    "render_optimization_table",
+    "render_table",
+]

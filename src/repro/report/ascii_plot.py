@@ -1,0 +1,84 @@
+"""ASCII rendering of curves and result planes.
+
+Good enough to eyeball a result plane in a terminal or a log file; the
+benchmarks embed these renderings in their reports so the reproduced
+figures are directly inspectable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def ascii_curves(x: Sequence[float], curves: dict[str, Sequence[float | None]],
+                 *, width: int = 64, height: int = 18,
+                 logx: bool = True, title: str = "",
+                 y_label: str = "V") -> str:
+    """Plot one or more y(x) curves on a character grid.
+
+    Each curve gets the first character of its label as its mark; ``None``
+    samples are skipped.
+    """
+    xs = list(x)
+    if not xs:
+        raise ValueError("empty x grid")
+    ys = [v for series in curves.values() for v in series if v is not None]
+    if not ys:
+        raise ValueError("no finite samples to plot")
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+
+    def xpos(v: float) -> int:
+        if logx:
+            lo, hi = math.log(xs[0]), math.log(xs[-1])
+            t = (math.log(v) - lo) / (hi - lo) if hi > lo else 0.0
+        else:
+            lo, hi = xs[0], xs[-1]
+            t = (v - lo) / (hi - lo) if hi > lo else 0.0
+        return min(int(t * (width - 1)), width - 1)
+
+    def ypos(v: float) -> int:
+        t = (v - y_lo) / (y_hi - y_lo)
+        return min(int(t * (height - 1)), height - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, series in curves.items():
+        mark = label[0]
+        for xv, yv in zip(xs, series):
+            if yv is None:
+                continue
+            grid[height - 1 - ypos(yv)][xpos(xv)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:8.2f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:8.2f} +" + "-" * width + "+")
+    lines.append(" " * 10 + f"{xs[0]:.3g}" + " " * (width - 12)
+                 + f"{xs[-1]:.3g}")
+    legend = "   ".join(f"{label[0]} = {label}" for label in curves)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def ascii_plane(planes, which: str = "w0", **kwargs) -> str:
+    """Render one plane of a :class:`ResultPlanes` (``w0``/``w1``/``r``)."""
+    rs = planes.resistances
+    if which in ("w0", "w1"):
+        plane = planes.w0 if which == "w0" else planes.w1
+        curves = {}
+        n = len(plane.settle.levels[0])
+        for k in range(1, n + 1):
+            curves[f"{k}) after {which} #{k}"] = plane.curve(k)
+        curves["Vmp midpoint"] = [plane.vmp] * len(rs)
+        title = f"Plane of {which} (Vc after successive {which})"
+        return ascii_curves(rs, curves, title=title, **kwargs)
+    if which == "r":
+        curves = {"Vsa threshold": planes.r.vsa.thresholds}
+        title = "Plane of r (sense threshold Vsa vs defect R)"
+        return ascii_curves(rs, curves, title=title, **kwargs)
+    raise ValueError(f"unknown plane {which!r}")

@@ -1,0 +1,155 @@
+"""JSON-serialisable records of optimization results.
+
+A production flow runs the optimizer once per defect library revision
+and ships the outcome (directions, borders, detection conditions) to the
+test program; this module provides a stable, human-readable JSON schema
+for that hand-off, plus the inverse for regression-diffing two runs.
+
+Only the *outcome* is serialised (not the panels or tie-break borders):
+the schema is what a test-program generator consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.optimizer import OptimizationRow, OptimizationTable
+from repro.core.stresses import StressConditions, StressKind
+
+SCHEMA_VERSION = 1
+
+
+def _border_to_dict(border) -> dict[str, Any]:
+    return {
+        "resistance": border.resistance,
+        "fails_high": border.fails_high,
+        "always_faulty": border.always_faulty,
+        "never_faulty": border.never_faulty,
+    }
+
+
+def _sc_to_dict(sc: StressConditions) -> dict[str, float]:
+    return {"tcyc": sc.tcyc, "duty": sc.duty, "temp_c": sc.temp_c,
+            "vdd": sc.vdd}
+
+
+def row_to_dict(row: OptimizationRow) -> dict[str, Any]:
+    """One Table-1 row as plain data."""
+    return {
+        "defect": {
+            "kind": row.defect.kind.value,
+            "placement": row.defect.placement.value,
+        },
+        "fault_value": row.fault_value,
+        "nominal_border": _border_to_dict(row.nominal_border),
+        "stressed_border": _border_to_dict(row.stressed_border),
+        "directions": {
+            kind.value: {
+                "value": call.chosen_value,
+                "arrow": call.arrow,
+                "decided_by": call.decided_by,
+            }
+            for kind, call in row.directions.items()
+        },
+        "stressed_conditions": _sc_to_dict(row.stressed_conditions),
+        "nominal_detection": (None if row.nominal_detection is None
+                              else [str(o)
+                                    for o in row.nominal_detection.ops]),
+        "stressed_detection": (None if row.stressed_detection is None
+                               else [str(o)
+                                     for o in row.stressed_detection.ops]),
+        "improved": row.improved,
+    }
+
+
+def table_to_json(table: OptimizationTable, *, indent: int = 2) -> str:
+    """Serialise a whole optimization table."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "rows": [row_to_dict(row) for row in table.rows],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+@dataclass(frozen=True)
+class RecordedRow:
+    """The consumer-side view of one serialised row."""
+
+    kind: str
+    placement: str
+    fault_value: int
+    nominal_border: float | None
+    stressed_border: float | None
+    directions: dict[str, dict[str, Any]]
+    stressed_conditions: StressConditions
+    nominal_detection: list[str] | None
+    stressed_detection: list[str] | None
+    improved: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind} ({self.placement})"
+
+    def direction_arrow(self, kind: StressKind) -> str:
+        return self.directions[kind.value]["arrow"]
+
+
+def load_table(text: str) -> list[RecordedRow]:
+    """Parse a serialised table back into consumer records."""
+    payload = json.loads(text)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported record schema {payload.get('schema')!r}")
+    rows = []
+    for raw in payload["rows"]:
+        rows.append(RecordedRow(
+            kind=raw["defect"]["kind"],
+            placement=raw["defect"]["placement"],
+            fault_value=raw["fault_value"],
+            nominal_border=raw["nominal_border"]["resistance"],
+            stressed_border=raw["stressed_border"]["resistance"],
+            directions=raw["directions"],
+            stressed_conditions=StressConditions(
+                **raw["stressed_conditions"]),
+            nominal_detection=raw["nominal_detection"],
+            stressed_detection=raw["stressed_detection"],
+            improved=raw["improved"],
+        ))
+    return rows
+
+
+def diff_tables(old: list[RecordedRow],
+                new: list[RecordedRow]) -> list[str]:
+    """Human-readable regression diff between two recorded runs.
+
+    Reports direction flips and border movements beyond 20 % — the
+    changes a test engineer must re-review.
+    """
+    by_name_old = {r.name: r for r in old}
+    messages = []
+    for row in new:
+        base = by_name_old.get(row.name)
+        if base is None:
+            messages.append(f"{row.name}: new row")
+            continue
+        for kind, info in row.directions.items():
+            old_arrow = base.directions.get(kind, {}).get("arrow")
+            if old_arrow is not None and old_arrow != info["arrow"]:
+                messages.append(
+                    f"{row.name}: {kind} direction changed "
+                    f"{old_arrow} -> {info['arrow']}")
+        for label, old_v, new_v in (
+                ("nominal border", base.nominal_border,
+                 row.nominal_border),
+                ("stressed border", base.stressed_border,
+                 row.stressed_border)):
+            if old_v and new_v and abs(new_v / old_v - 1.0) > 0.2:
+                messages.append(
+                    f"{row.name}: {label} moved {old_v:.3g} -> "
+                    f"{new_v:.3g}")
+    for base in old:
+        if not any(r.name == base.name for r in new):
+            messages.append(f"{base.name}: row removed")
+    return messages

@@ -1,0 +1,67 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 *, pad: int = 2) -> str:
+    """Monospace table with left-aligned columns."""
+    headers = [str(h) for h in headers]
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = " " * pad
+
+    def line(cells):
+        return sep.join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_resistance(ohms: float | None) -> str:
+    """Engineering-style resistance (``213k``, ``1.5M``, ``-``)."""
+    if ohms is None:
+        return "-"
+    if ohms >= 1e9:
+        return f"{ohms / 1e9:.3g}G"
+    if ohms >= 1e6:
+        return f"{ohms / 1e6:.3g}M"
+    if ohms >= 1e3:
+        return f"{ohms / 1e3:.3g}k"
+    return f"{ohms:.3g}"
+
+
+def _border_cell(border) -> str:
+    if border.always_faulty:
+        return "all fail"
+    if border.never_faulty:
+        return "none"
+    arrow = ">" if border.fails_high else "<"
+    return f"R{arrow}{format_resistance(border.resistance)}"
+
+
+def render_optimization_table(table) -> str:
+    """Render an :class:`~repro.core.optimizer.OptimizationTable` like the
+    paper's Table 1."""
+    from repro.core.stresses import StressKind
+
+    kinds = list(next(iter(table.rows)).directions.keys()) if table.rows \
+        else list(StressKind)
+    headers = (["Defect", "Nom. border R"]
+               + [k.value for k in kinds]
+               + ["Str. border R", "Str. detection condition"])
+    rows = []
+    for row in table.rows:
+        det = (row.stressed_detection.notation()
+               if row.stressed_detection else "-")
+        rows.append(
+            [row.defect.name, _border_cell(row.nominal_border)]
+            + [row.directions[k].arrow for k in kinds]
+            + [_border_cell(row.stressed_border), det])
+    return render_table(headers, rows)

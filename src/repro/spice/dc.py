@@ -1,0 +1,49 @@
+"""DC operating-point analysis with gmin stepping.
+
+Capacitors are open circuits; sources are evaluated at ``t = 0``.  The
+nonlinear solve is continued from a heavily-regularised system (large gmin)
+down to the target gmin, which reliably converges circuits with regenerative
+feedback such as the sense amplifier latch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.errors import ConvergenceError
+from repro.spice.mna import DEFAULT_GMIN, System
+from repro.spice.netlist import AnalysisContext, Circuit
+from repro.spice.solver import newton_solve
+
+
+def dc_operating_point(circuit: Circuit, *, temp_c: float = 27.0,
+                       gmin: float = DEFAULT_GMIN,
+                       initial: dict[str, float] | None = None
+                       ) -> dict[str, float]:
+    """Solve the DC operating point; returns ``{node_name: volts}``."""
+    system = System(circuit, gmin=gmin)
+    x = np.zeros(system.size)
+    if initial:
+        for name, volts in initial.items():
+            if circuit.has_node(name) and name not in ("0", "gnd", "GND",
+                                                       "ground"):
+                x[circuit.node(name).index] = float(volts)
+
+    ctx = AnalysisContext(time=0.0, dt=None, temp_c=temp_c, x=x, x_prev=x)
+    A_step, b_step = system.build_step(ctx)
+
+    # Continuation: relax from a strongly-regularised problem to the target.
+    gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 0.0]
+    last_error: ConvergenceError | None = None
+    for extra in gmin_ladder:
+        try:
+            x = newton_solve(system, A_step, b_step, ctx, x,
+                             extra_gmin=extra, max_iter=200)
+            last_error = None
+        except ConvergenceError as exc:
+            last_error = exc
+            # keep the current x and try the next rung anyway
+    if last_error is not None:
+        raise last_error
+
+    return {node.name: float(x[node.index]) for node in circuit.nodes}

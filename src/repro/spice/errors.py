@@ -1,0 +1,26 @@
+"""Exception hierarchy for the circuit simulator."""
+
+
+class SpiceError(Exception):
+    """Base class for all simulator errors."""
+
+
+class NetlistError(SpiceError):
+    """The netlist is malformed (bad node, duplicate device, bad value...)."""
+
+
+class ConvergenceError(SpiceError):
+    """The Newton-Raphson iteration failed to converge.
+
+    Carries the analysis context (time point, iteration count) so callers
+    can report *where* the solver gave up.
+    """
+
+    def __init__(self, message, time=None, iterations=None):
+        super().__init__(message)
+        self.time = time
+        self.iterations = iterations
+
+
+class SingularMatrixError(SpiceError):
+    """The MNA matrix is singular (usually a floating node or V-source loop)."""

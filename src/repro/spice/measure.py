@@ -1,0 +1,144 @@
+"""Waveform measurements over transient results (SPICE ``.measure``).
+
+Post-processing helpers mirroring the measurement statements of
+production SPICE decks: threshold crossings, rise/fall times, settling
+windows and extrema.  All operate on a
+:class:`~repro.spice.transient.TransientResult` and linearly interpolate
+between recorded points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.errors import SpiceError
+from repro.spice.transient import TransientResult
+
+
+def cross_time(result: TransientResult, node: str, level: float, *,
+               direction: str = "any", occurrence: int = 1,
+               t_start: float = 0.0) -> float | None:
+    """Time of the ``occurrence``-th crossing of ``level`` by ``node``.
+
+    ``direction`` restricts the edge: ``"rise"``, ``"fall"`` or
+    ``"any"``.  Returns ``None`` when the waveform never crosses (often
+    the interesting outcome — e.g. a bit line that never develops).
+    """
+    if direction not in ("rise", "fall", "any"):
+        raise SpiceError(f"unknown direction {direction!r}")
+    if occurrence < 1:
+        raise SpiceError("occurrence must be >= 1")
+    t = result.time
+    v = result.v(node)
+    count = 0
+    for i in range(1, len(t)):
+        if t[i] < t_start:
+            continue
+        v0, v1 = v[i - 1], v[i]
+        if v0 == v1:
+            continue
+        crossed_up = v0 < level <= v1
+        crossed_dn = v0 > level >= v1
+        if direction == "rise" and not crossed_up:
+            continue
+        if direction == "fall" and not crossed_dn:
+            continue
+        if not (crossed_up or crossed_dn):
+            continue
+        count += 1
+        if count == occurrence:
+            frac = (level - v0) / (v1 - v0)
+            return float(t[i - 1] + frac * (t[i] - t[i - 1]))
+    return None
+
+
+def edge_time(result: TransientResult, node: str, *,
+              low_frac: float = 0.1, high_frac: float = 0.9,
+              rising: bool = True, t_start: float = 0.0) -> float | None:
+    """10-90 % rise (or 90-10 % fall) time of the first full edge."""
+    v = result.v(node)
+    lo_v, hi_v = float(np.min(v)), float(np.max(v))
+    span = hi_v - lo_v
+    if span <= 0:
+        return None
+    lo_level = lo_v + low_frac * span
+    hi_level = lo_v + high_frac * span
+    if rising:
+        t0 = cross_time(result, node, lo_level, direction="rise",
+                        t_start=t_start)
+        t1 = None if t0 is None else cross_time(
+            result, node, hi_level, direction="rise", t_start=t0)
+    else:
+        t0 = cross_time(result, node, hi_level, direction="fall",
+                        t_start=t_start)
+        t1 = None if t0 is None else cross_time(
+            result, node, lo_level, direction="fall", t_start=t0)
+    if t0 is None or t1 is None:
+        return None
+    return t1 - t0
+
+
+def settle_time(result: TransientResult, node: str, *, final: float,
+                tolerance: float, t_start: float = 0.0) -> float | None:
+    """Earliest time after which ``node`` stays within ``final ±
+    tolerance`` until the end of the record."""
+    t = result.time
+    v = result.v(node)
+    inside = np.abs(v - final) <= tolerance
+    latest_outside = None
+    for i in range(len(t)):
+        if t[i] < t_start:
+            continue
+        if not inside[i]:
+            latest_outside = i
+    if latest_outside is None:
+        return float(max(t_start, t[0]))
+    if latest_outside == len(t) - 1:
+        return None
+    return float(t[latest_outside + 1])
+
+
+def extremum(result: TransientResult, node: str, *,
+             t_start: float = 0.0,
+             t_stop: float | None = None) -> tuple[float, float, float,
+                                                   float]:
+    """``(v_min, t_min, v_max, t_max)`` of ``node`` within a window."""
+    t = result.time
+    v = result.v(node)
+    mask = t >= t_start
+    if t_stop is not None:
+        mask &= t <= t_stop
+    if not np.any(mask):
+        raise SpiceError("empty measurement window")
+    tw, vw = t[mask], v[mask]
+    i_min = int(np.argmin(vw))
+    i_max = int(np.argmax(vw))
+    return (float(vw[i_min]), float(tw[i_min]),
+            float(vw[i_max]), float(tw[i_max]))
+
+
+def average(result: TransientResult, node: str, *, t_start: float = 0.0,
+            t_stop: float | None = None) -> float:
+    """Time-weighted average of ``node`` over a window."""
+    t = result.time
+    v = result.v(node)
+    t_stop = t_stop if t_stop is not None else float(t[-1])
+    if t_stop <= t_start:
+        raise SpiceError("t_stop must exceed t_start")
+    total = 0.0
+    span = 0.0
+    for i in range(1, len(t)):
+        a, b = float(t[i - 1]), float(t[i])
+        lo, hi = max(a, t_start), min(b, t_stop)
+        if hi <= lo:
+            continue
+        # linear segment average over the clipped interval
+        if b == a:
+            continue
+        va = v[i - 1] + (v[i] - v[i - 1]) * (lo - a) / (b - a)
+        vb = v[i - 1] + (v[i] - v[i - 1]) * (hi - a) / (b - a)
+        total += 0.5 * (va + vb) * (hi - lo)
+        span += hi - lo
+    if span == 0.0:
+        raise SpiceError("measurement window contains no samples")
+    return total / span

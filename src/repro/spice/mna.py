@@ -1,0 +1,107 @@
+"""Modified-nodal-analysis system assembly.
+
+:class:`System` compiles a :class:`~repro.spice.netlist.Circuit` into the
+dense MNA matrices used by the solvers.  Assembly is split into layers so
+each layer is recomputed only when needed:
+
+* **static** — value-only stamps (resistors, V-source incidence rows),
+  built once per analysis;
+* **step** — step-size / history dependent stamps (capacitor companions)
+  plus time-dependent source values, built once per time step;
+* **iteration** — Newton-iterate dependent stamps (MOSFETs, diodes), built
+  every Newton iteration.
+
+A small ``gmin`` conductance from every node to ground regularises floating
+nodes (e.g. a storage node isolated behind an off transistor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.devices import VoltageSource
+from repro.spice.netlist import AnalysisContext, Circuit, Device, Stamper
+
+#: Default node-to-ground regularisation conductance (siemens).
+DEFAULT_GMIN = 1e-12
+
+
+class System:
+    """Compiled MNA representation of a circuit."""
+
+    def __init__(self, circuit: Circuit, gmin: float = DEFAULT_GMIN):
+        circuit.finalize()
+        self.circuit = circuit
+        self.gmin = float(gmin)
+        self.num_nodes = circuit.num_nodes
+        self.size = circuit.system_size
+
+        self._dynamic: list[Device] = []
+        self._sources: list[Device] = []
+        self._nonlinear: list[Device] = []
+        for dev in circuit.devices:
+            if isinstance(dev, VoltageSource):
+                dev.bind_branch(circuit.branch_index(dev.name))
+            cls = type(dev)
+            if cls.stamp_dynamic is not Device.stamp_dynamic:
+                self._dynamic.append(dev)
+            if cls.stamp_source is not Device.stamp_source:
+                self._sources.append(dev)
+            if cls.stamp_nonlinear is not Device.stamp_nonlinear:
+                self._nonlinear.append(dev)
+
+        self._A_static = self._build_static()
+
+    @property
+    def has_nonlinear(self) -> bool:
+        return bool(self._nonlinear)
+
+    def _build_static(self) -> np.ndarray:
+        A = np.zeros((self.size, self.size))
+        st = Stamper(A, np.zeros(self.size), self.num_nodes,
+                     AnalysisContext())
+        for dev in self.circuit.devices:
+            dev.stamp_static(st)
+        if self.gmin > 0:
+            idx = np.arange(self.num_nodes)
+            A[idx, idx] += self.gmin
+        return A
+
+    def build_step(self, ctx: AnalysisContext) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the per-time-step system (static + dynamic + sources)."""
+        A = self._A_static.copy()
+        b = np.zeros(self.size)
+        st = Stamper(A, b, self.num_nodes, ctx)
+        for dev in self._dynamic:
+            dev.stamp_dynamic(st)
+        for dev in self._sources:
+            dev.stamp_source(st)
+        return A, b
+
+    def build_iteration(self, A_step: np.ndarray, b_step: np.ndarray,
+                        ctx: AnalysisContext,
+                        extra_gmin: float = 0.0
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the per-Newton-iteration system on top of a step base."""
+        A = A_step.copy()
+        b = b_step.copy()
+        st = Stamper(A, b, self.num_nodes, ctx)
+        for dev in self._nonlinear:
+            dev.stamp_nonlinear(st)
+        if extra_gmin > 0:
+            idx = np.arange(self.num_nodes)
+            A[idx, idx] += extra_gmin
+        return A, b
+
+    def accept_step(self, x_prev: np.ndarray, x_now: np.ndarray, dt: float,
+                    method: str) -> None:
+        """Propagate integrator history (trapezoidal capacitors)."""
+        for dev in self._dynamic:
+            accept = getattr(dev, "accept_step", None)
+            if accept is not None:
+                accept(x_prev, x_now, dt, method)
+
+    def source_waveforms(self):
+        """All waveforms attached to independent sources (for breakpoints)."""
+        return [dev.waveform for dev in self._sources
+                if hasattr(dev, "waveform")]

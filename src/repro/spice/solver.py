@@ -1,0 +1,58 @@
+"""Damped Newton-Raphson solver over an assembled MNA system."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.errors import ConvergenceError, SingularMatrixError
+from repro.spice.mna import System
+from repro.spice.netlist import AnalysisContext
+
+#: Maximum node-voltage change applied in one Newton update (volts).
+DEFAULT_VSTEP_MAX = 1.0
+
+#: Absolute node-voltage convergence tolerance (volts).
+DEFAULT_VTOL = 1e-6
+
+
+def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
+                 ctx: AnalysisContext, x0: np.ndarray, *,
+                 max_iter: int = 100, vtol: float = DEFAULT_VTOL,
+                 vstep_max: float = DEFAULT_VSTEP_MAX,
+                 extra_gmin: float = 0.0) -> np.ndarray:
+    """Solve the (possibly nonlinear) system for one analysis point.
+
+    ``A_step``/``b_step`` are the per-step base from
+    :meth:`System.build_step`; nonlinear devices are linearised around the
+    running iterate each pass.  Updates are damped so no node voltage moves
+    more than ``vstep_max`` per iteration, which keeps the exponential
+    devices (diodes, sub-threshold MOSFETs) from overflowing.
+
+    Returns the solution vector; raises :class:`ConvergenceError` or
+    :class:`SingularMatrixError` on failure.
+    """
+    n = system.num_nodes
+    if not system.has_nonlinear and extra_gmin == 0.0:
+        try:
+            return np.linalg.solve(A_step, b_step)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(str(exc)) from None
+
+    x = x0.copy()
+    for _ in range(max_iter):
+        ctx.x = x
+        A, b = system.build_iteration(A_step, b_step, ctx, extra_gmin)
+        try:
+            x_new = np.linalg.solve(A, b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(str(exc)) from None
+        dx = x_new - x
+        dv_max = float(np.max(np.abs(dx[:n]))) if n else 0.0
+        if dv_max > vstep_max:
+            dx = dx * (vstep_max / dv_max)
+        x = x + dx
+        if dv_max < vtol:
+            return x
+    raise ConvergenceError(
+        f"Newton iteration did not converge within {max_iter} iterations "
+        f"(time={ctx.time!r})", time=ctx.time, iterations=max_iter)

@@ -1,0 +1,176 @@
+"""Transient analysis.
+
+The engine steps a fixed grid (``dt`` spacing) augmented with every source
+waveform breakpoint, so ideal-ish edges land exactly on time points.  A step
+whose Newton solve fails is bisected until it converges or the step floor is
+reached.
+
+Initial conditions follow SPICE ``UIC`` semantics: the caller supplies node
+voltages (default 0 V) and integration starts immediately — no DC operating
+point is computed first.  The DRAM runner exploits this to chain operation
+cycles, feeding each cycle's final state into the next.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.spice.errors import ConvergenceError, SpiceError
+from repro.spice.mna import DEFAULT_GMIN, System
+from repro.spice.netlist import AnalysisContext, Circuit
+from repro.spice.solver import newton_solve
+from repro.spice.waveforms import merge_breakpoints
+
+
+class TransientResult:
+    """Recorded node voltages over time.
+
+    Supports waveform lookup by node name, linear interpolation at arbitrary
+    instants, and exporting the final state for cycle chaining.
+    """
+
+    def __init__(self, times: np.ndarray, data: np.ndarray,
+                 node_names: list[str], final_x: np.ndarray):
+        self.time = times
+        self._data = data
+        self._col = {name: i for i, name in enumerate(node_names)}
+        self.node_names = list(node_names)
+        self.final_x = final_x
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._col
+
+    def v(self, name: str) -> np.ndarray:
+        """Full voltage waveform of node ``name``."""
+        try:
+            return self._data[:, self._col[name]]
+        except KeyError:
+            raise SpiceError(f"no recorded node named {name!r}") from None
+
+    def at(self, name: str, t: float) -> float:
+        """Linearly-interpolated voltage of ``name`` at time ``t``."""
+        wave = self.v(name)
+        times = self.time
+        if t <= times[0]:
+            return float(wave[0])
+        if t >= times[-1]:
+            return float(wave[-1])
+        i = bisect.bisect_right(times.tolist(), t)
+        t0, t1 = times[i - 1], times[i]
+        frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+        return float(wave[i - 1] + frac * (wave[i] - wave[i - 1]))
+
+    def final(self, name: str) -> float:
+        """Voltage of ``name`` at the last time point."""
+        return float(self.v(name)[-1])
+
+    def final_state(self) -> dict[str, float]:
+        """Map of node name → final voltage (for chaining transients)."""
+        return {name: float(self._data[-1, col])
+                for name, col in self._col.items()}
+
+
+def _build_grid(tstop: float, dt: float, waveforms) -> list[float]:
+    """Uniform grid plus waveform breakpoints, strictly increasing."""
+    n_steps = max(1, int(round(tstop / dt)))
+    grid = [tstop * i / n_steps for i in range(n_steps + 1)]
+    extra = merge_breakpoints(waveforms, 0.0, tstop)
+    if extra:
+        merged = sorted(set(grid) | set(extra))
+        # Drop points that crowd a neighbour closer than dt/1e6 to avoid
+        # degenerate steps.
+        tol = dt * 1e-6
+        grid = [merged[0]]
+        for t in merged[1:]:
+            if t - grid[-1] > tol:
+                grid.append(t)
+        if grid[-1] != tstop:
+            grid[-1] = tstop
+    return grid
+
+
+def transient(circuit: Circuit, tstop: float, dt: float, *,
+              temp_c: float = 27.0, method: str = "be",
+              initial: dict[str, float] | None = None,
+              gmin: float = DEFAULT_GMIN,
+              max_step_halvings: int = 14) -> TransientResult:
+    """Run a transient analysis from 0 to ``tstop``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to simulate.
+    tstop, dt:
+        Stop time and nominal step (seconds).
+    temp_c:
+        Simulation temperature (degrees Celsius) — fed to every
+        temperature-aware device.
+    method:
+        ``"be"`` (backward Euler, default, very robust) or ``"trap"``
+        (trapezoidal, second order).
+    initial:
+        ``{node_name: volts}`` initial node voltages; unlisted nodes start
+        at 0 V.  SPICE ``UIC`` semantics.
+    gmin:
+        Node-to-ground regularisation conductance.
+    max_step_halvings:
+        How many times a non-converging step may be bisected before the
+        analysis gives up.
+    """
+    if tstop <= 0 or dt <= 0:
+        raise SpiceError("tstop and dt must be positive")
+    if method not in ("be", "trap"):
+        raise SpiceError(f"unknown integration method {method!r}")
+
+    system = System(circuit, gmin=gmin)
+    node_names = circuit.node_names
+    num_nodes = circuit.num_nodes
+
+    x = np.zeros(system.size)
+    if initial:
+        for name, volts in initial.items():
+            if name in ("0", "gnd", "GND", "ground"):
+                continue
+            if not circuit.has_node(name):
+                raise SpiceError(f"initial condition for unknown node "
+                                 f"{name!r}")
+            x[circuit.node(name).index] = float(volts)
+
+    grid = _build_grid(tstop, dt, system.source_waveforms())
+    dt_floor = dt / (2 ** max_step_halvings)
+
+    times = [0.0]
+    rows = [x[:num_nodes].copy()]
+
+    t = 0.0
+    pending = list(grid[1:])
+    while pending:
+        t_target = pending[0]
+        dt_step = t_target - t
+        ctx = AnalysisContext(time=t_target, dt=dt_step, temp_c=temp_c,
+                              x=x, x_prev=x, method=method)
+        A_step, b_step = system.build_step(ctx)
+        try:
+            x_new = newton_solve(system, A_step, b_step, ctx, x)
+        except ConvergenceError:
+            if dt_step / 2 < dt_floor:
+                raise ConvergenceError(
+                    f"transient stalled at t={t:.4g}s: step below floor "
+                    f"{dt_floor:.3g}s still fails to converge",
+                    time=t) from None
+            pending.insert(0, t + dt_step / 2)
+            continue
+        system.accept_step(x, x_new, dt_step, method)
+        x = x_new
+        t = t_target
+        pending.pop(0)
+        times.append(t)
+        rows.append(x[:num_nodes].copy())
+
+    return TransientResult(np.asarray(times), np.asarray(rows),
+                           node_names, x)

@@ -1,0 +1,187 @@
+"""Time-domain waveforms for independent sources.
+
+Waveforms drive the control signals of the DRAM column (word lines, precharge
+equalise, sense enable, write enable, ...).  Each waveform can enumerate its
+*breakpoints* — instants where its derivative is discontinuous — so the
+transient engine can place time steps exactly on the corners instead of
+smearing them across a step.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+
+class Waveform:
+    """Base class: a scalar function of time."""
+
+    def value(self, t: float) -> float:
+        """Return the waveform value at time ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def breakpoints(self, t0: float, t1: float) -> list[float]:
+        """Return corner instants within ``[t0, t1]`` (may be empty)."""
+        return []
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+
+class Constant(Waveform):
+    """A DC level."""
+
+    def __init__(self, level: float):
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def __repr__(self):
+        return f"Constant({self.level!r})"
+
+
+class PWL(Waveform):
+    """Piecewise-linear waveform given as ``[(t0, v0), (t1, v1), ...]``.
+
+    Before the first point the waveform holds ``v0``; after the last point it
+    holds the final value.  Time points must be non-decreasing; exactly
+    coincident points model an ideal step (the later value wins).
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if not points:
+            raise ValueError("PWL requires at least one (time, value) point")
+        times = [float(t) for t, _ in points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL time points must be non-decreasing")
+        self.times = times
+        self.values = [float(v) for _, v in points]
+
+    def value(self, t: float) -> float:
+        times, values = self.times, self.values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        i = bisect.bisect_right(times, t)
+        t0, t1 = times[i - 1], times[i]
+        v0, v1 = values[i - 1], values[i]
+        if t1 == t0:
+            return v1
+        frac = (t - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    def breakpoints(self, t0: float, t1: float) -> list[float]:
+        return [t for t in self.times if t0 < t < t1]
+
+    def __repr__(self):
+        pts = list(zip(self.times, self.values))
+        return f"PWL({pts!r})"
+
+
+class Pulse(Waveform):
+    """A (possibly repeating) trapezoidal pulse, mirroring SPICE ``PULSE``.
+
+    Parameters
+    ----------
+    v1, v2:
+        Initial and pulsed values.
+    delay:
+        Time of the first rising edge start.
+    rise, fall:
+        Edge transition times (must be > 0 to stay piecewise-linear-friendly).
+    width:
+        Time spent at ``v2`` between the edges.
+    period:
+        Repetition period; ``None`` yields a single pulse.
+    """
+
+    def __init__(self, v1, v2, delay=0.0, rise=1e-10, fall=1e-10,
+                 width=1e-9, period=None):
+        if rise <= 0 or fall <= 0:
+            raise ValueError("rise and fall times must be positive")
+        if width < 0:
+            raise ValueError("pulse width must be non-negative")
+        total = rise + width + fall
+        if period is not None and period < total:
+            raise ValueError("period shorter than rise+width+fall")
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = None if period is None else float(period)
+
+    def _phase(self, t: float) -> float:
+        """Time since the start of the current pulse repetition."""
+        tp = t - self.delay
+        if tp < 0:
+            return -1.0
+        if self.period is not None:
+            tp %= self.period
+        return tp
+
+    def value(self, t: float) -> float:
+        tp = self._phase(t)
+        if tp < 0:
+            return self.v1
+        if tp < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tp / self.rise
+        tp -= self.rise
+        if tp < self.width:
+            return self.v2
+        tp -= self.width
+        if tp < self.fall:
+            return self.v2 + (self.v1 - self.v2) * tp / self.fall
+        return self.v1
+
+    def breakpoints(self, t0: float, t1: float) -> list[float]:
+        corners = [0.0, self.rise, self.rise + self.width,
+                   self.rise + self.width + self.fall]
+        out = []
+        if self.period is None:
+            for c in corners:
+                tc = self.delay + c
+                if t0 < tc < t1:
+                    out.append(tc)
+            return out
+        # Repeating: enumerate periods overlapping [t0, t1].
+        k0 = max(0, int((t0 - self.delay) / self.period) - 1)
+        k = k0
+        while True:
+            base = self.delay + k * self.period
+            if base > t1:
+                break
+            for c in corners:
+                tc = base + c
+                if t0 < tc < t1:
+                    out.append(tc)
+            k += 1
+        return out
+
+    def __repr__(self):
+        return (f"Pulse(v1={self.v1}, v2={self.v2}, delay={self.delay}, "
+                f"rise={self.rise}, fall={self.fall}, width={self.width}, "
+                f"period={self.period})")
+
+
+def step(t_step: float, v_before: float, v_after: float,
+         slope_time: float = 1e-10) -> PWL:
+    """A convenience near-ideal step waveform built from :class:`PWL`."""
+    return PWL([(t_step, v_before), (t_step + slope_time, v_after)])
+
+
+def merge_breakpoints(waveforms: Sequence[Waveform], t0: float, t1: float,
+                      tol: float = 1e-15) -> list[float]:
+    """Union of the breakpoints of several waveforms, sorted and de-duplicated."""
+    raw = []
+    for wf in waveforms:
+        raw.extend(wf.breakpoints(t0, t1))
+    raw.sort()
+    merged: list[float] = []
+    for t in raw:
+        if not merged or t - merged[-1] > tol:
+            merged.append(t)
+    return merged

@@ -1,0 +1,127 @@
+"""Stress (ST) and stress-combination (SC) definitions.
+
+The paper uses four operational parameters as stresses (Sec. 2):
+
+* ``tcyc`` — clock cycle time (timing stress #1),
+* ``duty`` — clock duty cycle (timing stress #2); in this model the duty
+  cycle scales the word-line active window within the cycle,
+* ``temp_c`` — ambient temperature,
+* ``vdd`` — supply voltage, with the word-line boost ``vpp`` and the
+  bit-line precharge level tracking it.
+
+A :class:`StressConditions` instance is a full SC; :data:`NOMINAL_STRESS`
+matches the paper's nominal point (60 ns, 50 %, +27 °C, 2.4 V).  Each ST has
+a specification range (:data:`STRESS_RANGES`) patterned after the paper's
+examples (e.g. Vdd 2.1–2.7 V); optimization picks one of the two extremes
+per ST.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class StressKind(enum.Enum):
+    """The four stress axes used at test time."""
+
+    TCYC = "tcyc"
+    DUTY = "duty"
+    TEMP = "temp_c"
+    VDD = "vdd"
+
+    @property
+    def field(self) -> str:
+        """Name of the corresponding :class:`StressConditions` field."""
+        return self.value
+
+    @property
+    def unit(self) -> str:
+        return {"tcyc": "s", "duty": "", "temp_c": "degC", "vdd": "V"}[
+            self.value]
+
+
+@dataclass(frozen=True)
+class StressConditions:
+    """One stress combination (SC): a complete operating point.
+
+    Attributes
+    ----------
+    tcyc:
+        Clock cycle time in seconds.
+    duty:
+        Clock duty cycle in (0, 1); scales the word-line active window.
+    temp_c:
+        Temperature in degrees Celsius.
+    vdd:
+        Supply voltage in volts.
+    """
+
+    tcyc: float = 60e-9
+    duty: float = 0.5
+    temp_c: float = 27.0
+    vdd: float = 2.4
+
+    def __post_init__(self):
+        if self.tcyc <= 0:
+            raise ValueError(f"tcyc must be positive, got {self.tcyc}")
+        if not 0.1 <= self.duty <= 0.9:
+            raise ValueError(f"duty must be within [0.1, 0.9], "
+                             f"got {self.duty}")
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        if not -100.0 <= self.temp_c <= 200.0:
+            raise ValueError(f"temp_c out of plausible range: {self.temp_c}")
+
+    def with_(self, **kwargs) -> "StressConditions":
+        """Return a copy with some stresses replaced."""
+        return replace(self, **kwargs)
+
+    def value_of(self, kind: StressKind) -> float:
+        return getattr(self, kind.field)
+
+    def with_value(self, kind: StressKind, value: float) -> "StressConditions":
+        return self.with_(**{kind.field: value})
+
+    def describe(self) -> str:
+        return (f"tcyc={self.tcyc * 1e9:.1f}ns duty={self.duty:.2f} "
+                f"T={self.temp_c:+.0f}C Vdd={self.vdd:.2f}V")
+
+
+#: The paper's nominal SC: tcyc = 60 ns, T = +27 °C, Vdd = 2.4 V.
+NOMINAL_STRESS = StressConditions()
+
+
+def nominal_stress() -> StressConditions:
+    """The paper's nominal operating point (fresh instance by value)."""
+    return NOMINAL_STRESS
+
+
+@dataclass(frozen=True)
+class StressRange:
+    """The specified excursion of one ST: ``low <= nominal <= high``."""
+
+    kind: StressKind
+    low: float
+    nominal: float
+    high: float
+
+    def __post_init__(self):
+        if not self.low <= self.nominal <= self.high:
+            raise ValueError(
+                f"{self.kind}: require low <= nominal <= high, got "
+                f"{self.low}, {self.nominal}, {self.high}")
+
+    @property
+    def extremes(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+
+#: Specification ranges patterned after the paper's examples:
+#: tcyc 55–65 ns, duty 40–60 %, T −33…+87 °C, Vdd 2.1–2.7 V.
+STRESS_RANGES: dict[StressKind, StressRange] = {
+    StressKind.TCYC: StressRange(StressKind.TCYC, 55e-9, 60e-9, 65e-9),
+    StressKind.DUTY: StressRange(StressKind.DUTY, 0.40, 0.50, 0.60),
+    StressKind.TEMP: StressRange(StressKind.TEMP, -33.0, 27.0, 87.0),
+    StressKind.VDD: StressRange(StressKind.VDD, 2.1, 2.4, 2.7),
+}

@@ -1,0 +1,59 @@
+"""Two-cell coupling-fault analysis (electrical; module-scoped fixture
+keeps the SPICE cost down)."""
+
+import pytest
+
+from repro.analysis.coupling import (
+    CouplingFault,
+    CouplingKind,
+    classify_coupling,
+)
+from repro.defects import Defect, DefectKind
+
+
+@pytest.fixture(scope="module")
+def b1_report():
+    """Bridge storage-node <-> own bit line at a strong resistance."""
+    return classify_coupling(Defect(DefectKind.B1), 100e3)
+
+
+class TestBridgeCoupling:
+    def test_coupling_observed(self, b1_report):
+        assert b1_report.has_coupling
+
+    def test_disturb_faults_present(self, b1_report):
+        kinds = {f.kind for f in b1_report.faults}
+        assert CouplingKind.CFDS in kinds
+
+    def test_aggressor_w1_flips_zero(self, b1_report):
+        """Driving the shared bit line high pulls the victim's 0 up
+        through the bridge."""
+        assert any(f.kind is CouplingKind.CFDS
+                   and f.aggressor_op == "w1" and f.victim_value == 0
+                   for f in b1_report.faults)
+
+    def test_aggressor_on_same_bitline(self, b1_report):
+        assert b1_report.aggressor_cell == 2
+        assert b1_report.victim_cell == 0
+
+    def test_render_mentions_notation(self, b1_report):
+        text = b1_report.render()
+        assert "CFds<" in text
+
+
+class TestNoCoupling:
+    def test_weak_bridge_clean(self):
+        report = classify_coupling(Defect(DefectKind.B1), 1e9,
+                                   n_aggressor_ops=1)
+        assert not report.has_coupling
+        assert "none observed" in report.render()
+
+
+class TestNotation:
+    def test_cfds_notation(self):
+        f = CouplingFault(CouplingKind.CFDS, "w1", 0, 2, 0)
+        assert f.notation() == "CFds<w1; 0->1> (a=2, v=0)"
+
+    def test_cfst_notation(self):
+        f = CouplingFault(CouplingKind.CFST, "state=1", 0, 2, 0)
+        assert "CFst<" in f.notation()

@@ -1,0 +1,96 @@
+"""Vsa threshold and settlement curves (behavioral backend)."""
+
+import pytest
+
+from repro.analysis import sense_threshold, settle_curve, vsa_curve
+from repro.analysis.planes import log_grid
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+
+
+@pytest.fixture
+def model():
+    return behavioral_model(Defect(DefectKind.O3, resistance=200e3))
+
+
+class TestSenseThreshold:
+    def test_exists_at_moderate_open(self, model):
+        v = sense_threshold(model)
+        assert v is not None
+        assert 0.3 < v < 1.5
+
+    def test_none_for_strong_open(self, model):
+        model.set_defect_resistance(20e6)
+        assert sense_threshold(model) is None
+
+    def test_bisection_tolerance(self, model):
+        coarse = sense_threshold(model, tol=0.1)
+        fine = sense_threshold(model, tol=0.005)
+        assert abs(coarse - fine) < 0.1
+
+    def test_reads_flip_across_threshold(self, model):
+        v = sense_threshold(model, tol=0.005)
+        below = model.run_sequence("r", init_vc=v - 0.05).outputs[0]
+        above = model.run_sequence("r", init_vc=v + 0.05).outputs[0]
+        assert below == 0
+        assert above == 1
+
+    def test_comp_cell_threshold_in_physical_domain(self):
+        model = behavioral_model(
+            Defect(DefectKind.O3, Placement.COMP, 200e3))
+        v = sense_threshold(model)
+        assert v is not None
+        # physical high on the comp line must sense as stored-1
+        out = model.run_sequence("r", init_vc=v + 0.1).outputs[0]
+        assert out == 0   # stored high on blc = logical 0
+
+
+class TestVsaCurve:
+    def test_descends_with_resistance(self, model):
+        grid = log_grid(50e3, 1e6, 6)
+        curve = vsa_curve(model, grid)
+        usable = [v for v in curve.thresholds if v is not None]
+        assert len(usable) >= 4
+        assert usable[0] > usable[-1]
+
+    def test_interpolation_between_samples(self, model):
+        grid = log_grid(50e3, 1e6, 6)
+        curve = vsa_curve(model, grid)
+        mid = curve.at(120e3)
+        assert curve.thresholds[0] >= mid >= (curve.thresholds[-1] or 0.0)
+
+    def test_at_clamps_to_ends(self, model):
+        grid = log_grid(50e3, 1e6, 4)
+        curve = vsa_curve(model, grid)
+        assert curve.at(1e3) == curve.thresholds[0]
+        assert curve.at(1e9) == curve.thresholds[-1]
+
+
+class TestSettleCurve:
+    def test_w0_residual_rises_with_resistance(self, model):
+        grid = log_grid(50e3, 1e6, 6)
+        curve = settle_curve(model, 0, grid, n_ops=1)
+        first = curve.after(1)
+        assert first[-1] > first[0]
+
+    def test_second_write_settles_further(self, model):
+        grid = log_grid(50e3, 1e6, 5)
+        curve = settle_curve(model, 0, grid, n_ops=2)
+        for v1, v2 in zip(curve.after(1), curve.after(2)):
+            assert v2 <= v1 + 1e-9
+
+    def test_w1_dual_polarity(self, model):
+        grid = log_grid(50e3, 1e6, 5)
+        curve = settle_curve(model, 1, grid, n_ops=2)
+        for v1, v2 in zip(curve.after(1), curve.after(2)):
+            assert v2 >= v1 - 1e-9
+
+    def test_rejects_bad_value(self, model):
+        with pytest.raises(ValueError):
+            settle_curve(model, 2, [1e5])
+
+    def test_levels_shape(self, model):
+        grid = log_grid(50e3, 1e6, 4)
+        curve = settle_curve(model, 0, grid, n_ops=3)
+        assert len(curve.levels) == 4
+        assert all(len(row) == 3 for row in curve.levels)

@@ -1,0 +1,94 @@
+"""Detection-condition derivation."""
+
+import pytest
+
+from repro.analysis import derive_detection_condition
+from repro.analysis.detection import _candidates
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+from repro.stress import NOMINAL_STRESS
+
+
+@pytest.fixture
+def o3_model():
+    return behavioral_model(Defect(DefectKind.O3, resistance=200e3))
+
+
+class TestCandidates:
+    def test_cover_both_polarities(self):
+        texts = list(_candidates(3, 2))
+        assert any("w0 r0" in t for t in texts)
+        assert any("w1 r1" in t for t in texts)
+
+    def test_charge_prefixes_grow(self):
+        texts = list(_candidates(3, 2))
+        assert any(t.startswith("w1^3") for t in texts)
+
+
+class TestDerivation:
+    def test_paper_structure_for_cell_open(self, o3_model):
+        cond = derive_detection_condition(o3_model, 300e3)
+        assert cond is not None
+        tokens = [str(o) for o in cond.ops]
+        # the paper's ⇕(... w1 w1 w0 r0 ...): a charge phase, the
+        # stressed w0, then the expecting read
+        assert tokens[-1] == "r0"
+        assert tokens[-2] == "w0"
+        assert tokens[0] == "w1"
+        assert cond.expected == 0
+
+    def test_none_when_benign(self, o3_model):
+        cond = derive_detection_condition(o3_model, 1e3)
+        assert cond is None
+
+    def test_detects_from_both_initial_states(self, o3_model):
+        cond = derive_detection_condition(o3_model, 300e3)
+        for init in (0.0, 2.4):
+            seq = o3_model.run_sequence(list(cond.ops), init_vc=init)
+            assert seq.any_fault
+
+    def test_comp_cell_interchanges_values(self):
+        model = behavioral_model(
+            Defect(DefectKind.O3, Placement.COMP, 300e3))
+        cond = derive_detection_condition(model, 300e3)
+        tokens = [str(o) for o in cond.ops]
+        assert tokens[-1] == "r1"
+        assert tokens[-2] == "w1"
+        assert tokens[0] == "w0"
+
+    def test_short_gnd_detected_by_w1_sequence(self):
+        model = behavioral_model(Defect(DefectKind.SG, resistance=2e5))
+        cond = derive_detection_condition(model, 2e5)
+        assert cond is not None
+        assert cond.expected == 1
+
+    def test_stress_requires_longer_charge(self, o3_model):
+        """Fig. 6: the SC's detection condition (derived just inside its
+        own, larger failing range) needs more charge operations than the
+        nominal one does at the nominal border."""
+        from repro.analysis import border_resistance
+        nom_border = border_resistance(o3_model, fails_high=True,
+                                       r_lo=3e4, r_hi=3e6, rel_tol=0.05)
+        nominal = derive_detection_condition(
+            o3_model, nom_border.resistance * 1.3)
+        o3_model.set_stress(NOMINAL_STRESS.with_(
+            vdd=2.1, tcyc=55e-9, temp_c=87.0))
+        str_border = border_resistance(o3_model, fails_high=True,
+                                       r_lo=3e4, r_hi=3e6, rel_tol=0.05)
+        assert str_border.resistance < nom_border.resistance
+        mid = (str_border.resistance * nom_border.resistance) ** 0.5
+        stressed = derive_detection_condition(o3_model, mid)
+        assert stressed is not None
+        assert nominal is not None
+        assert stressed.length >= nominal.length
+
+    def test_notation_rendering(self, o3_model):
+        cond = derive_detection_condition(o3_model, 300e3)
+        text = cond.notation()
+        assert text.startswith("⇕(")
+        assert "w0" in text
+
+    def test_failing_read_index_valid(self, o3_model):
+        cond = derive_detection_condition(o3_model, 300e3)
+        assert 0 <= cond.failing_read < cond.length
+        assert str(cond.ops[cond.failing_read]).startswith("r")

@@ -1,0 +1,85 @@
+"""Fault dictionary construction and diagnosis."""
+
+import pytest
+
+from repro.analysis.dictionary import (
+    DictionaryEntry,
+    FaultDictionary,
+    build_fault_dictionary,
+)
+from repro.analysis.faults import FaultPrimitive, classify_fault_primitives
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+from repro.stress import NOMINAL_STRESS
+
+
+def _factory(defect, stress):
+    return behavioral_model(defect, stress=stress)
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    defects = (Defect(DefectKind.O3, Placement.TRUE),
+               Defect(DefectKind.SG, Placement.TRUE),
+               Defect(DefectKind.SV, Placement.TRUE))
+    return build_fault_dictionary(_factory, defects=defects,
+                                  points_per_defect=4)
+
+
+class TestConstruction:
+    def test_entry_count(self, dictionary):
+        assert len(dictionary.entries) == 12
+
+    def test_some_entries_faulty(self, dictionary):
+        assert dictionary.faulty_entries
+
+    def test_signatures_nonempty_for_faulty(self, dictionary):
+        for entry in dictionary.faulty_entries:
+            assert entry.signature()
+
+    def test_render_lists_defects(self, dictionary):
+        text = dictionary.render()
+        assert "fault dictionary" in text
+
+
+class TestDiagnosis:
+    def test_exact_signature_ranks_source_first(self, dictionary):
+        """Classifying a fresh device with a known defect and feeding the
+        observed primitives back must rank that defect kind first."""
+        source = dictionary.faulty_entries[0]
+        ranked = dictionary.diagnose(list(source.primitives))
+        assert ranked
+        assert ranked[0][0].kind is source.defect.kind
+        assert ranked[0][1] == pytest.approx(1.0)
+
+    def test_sg_and_sv_distinguished(self, dictionary):
+        """Shorts to opposite rails produce opposite-polarity
+        primitives, so diagnosis separates them."""
+        sg_model = behavioral_model(Defect(DefectKind.SG,
+                                           resistance=3e4))
+        observed = classify_fault_primitives(sg_model, 3e4).primitives
+        ranked = dictionary.diagnose(list(observed))
+        assert ranked[0][0].kind is DefectKind.SG
+
+    def test_empty_observation_no_candidates(self, dictionary):
+        assert dictionary.diagnose([]) == []
+
+    def test_top_limits_results(self, dictionary):
+        source = dictionary.faulty_entries[0]
+        ranked = dictionary.diagnose(list(source.primitives), top=1)
+        assert len(ranked) == 1
+
+    def test_scores_descending(self, dictionary):
+        source = dictionary.faulty_entries[-1]
+        ranked = dictionary.diagnose(list(source.primitives), top=3)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestEntryBasics:
+    def test_clean_entry_not_faulty(self):
+        entry = DictionaryEntry(Defect(DefectKind.O3), frozenset())
+        assert not entry.is_faulty
+
+    def test_dictionary_stress_recorded(self, dictionary):
+        assert dictionary.stress == NOMINAL_STRESS

@@ -1,0 +1,83 @@
+"""Functional fault-primitive classification."""
+
+import pytest
+
+from repro.analysis import classify_fault_primitives
+from repro.analysis.faults import FaultPrimitive
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+
+
+class TestHealthy:
+    def test_no_primitives_for_weak_defect(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=100.0))
+        result = classify_fault_primitives(model, 100.0)
+        assert not result.is_faulty
+        assert "fault-free" in result.describe()
+
+
+class TestOpens:
+    def test_moderate_open_transition_flavour(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=400e3))
+        result = classify_fault_primitives(model, 400e3)
+        assert result.is_faulty
+        # a cell open degrades writes/reads of 0 on the true cell
+        zeroside = {FaultPrimitive.TF_DOWN, FaultPrimitive.RDF0,
+                    FaultPrimitive.IRF0, FaultPrimitive.DRDF0,
+                    FaultPrimitive.SAF1}
+        assert result.primitives & zeroside
+
+    def test_extreme_open_stuck_like(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=50e6))
+        result = classify_fault_primitives(model, 50e6)
+        assert result.is_faulty
+
+    def test_evidence_recorded(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=400e3))
+        result = classify_fault_primitives(model, 400e3)
+        for prim in result.primitives:
+            assert prim in result.evidence
+            assert result.evidence[prim]
+
+
+class TestShorts:
+    def test_short_gnd_attacks_ones(self):
+        model = behavioral_model(Defect(DefectKind.SG, resistance=3e4))
+        result = classify_fault_primitives(model, 3e4)
+        oneside = {FaultPrimitive.SAF0, FaultPrimitive.TF_UP,
+                   FaultPrimitive.RDF1, FaultPrimitive.IRF1,
+                   FaultPrimitive.DRDF1, FaultPrimitive.WDF1}
+        assert result.primitives & oneside
+
+    def test_short_vdd_attacks_zeros(self):
+        model = behavioral_model(Defect(DefectKind.SV, resistance=3e4))
+        result = classify_fault_primitives(model, 3e4)
+        zeroside = {FaultPrimitive.SAF1, FaultPrimitive.TF_DOWN,
+                    FaultPrimitive.RDF0, FaultPrimitive.IRF0,
+                    FaultPrimitive.DRDF0, FaultPrimitive.WDF0}
+        assert result.primitives & zeroside
+
+
+class TestPlacementSymmetry:
+    def test_comp_cell_mirrors_primitive_polarity(self):
+        mirror = {
+            FaultPrimitive.SAF0: FaultPrimitive.SAF1,
+            FaultPrimitive.SAF1: FaultPrimitive.SAF0,
+            FaultPrimitive.TF_UP: FaultPrimitive.TF_DOWN,
+            FaultPrimitive.TF_DOWN: FaultPrimitive.TF_UP,
+            FaultPrimitive.RDF0: FaultPrimitive.RDF1,
+            FaultPrimitive.RDF1: FaultPrimitive.RDF0,
+            FaultPrimitive.IRF0: FaultPrimitive.IRF1,
+            FaultPrimitive.IRF1: FaultPrimitive.IRF0,
+            FaultPrimitive.DRDF0: FaultPrimitive.DRDF1,
+            FaultPrimitive.DRDF1: FaultPrimitive.DRDF0,
+            FaultPrimitive.WDF0: FaultPrimitive.WDF1,
+            FaultPrimitive.WDF1: FaultPrimitive.WDF0,
+        }
+        r_true = classify_fault_primitives(
+            behavioral_model(Defect(DefectKind.SG, Placement.TRUE, 3e4)),
+            3e4)
+        r_comp = classify_fault_primitives(
+            behavioral_model(Defect(DefectKind.SG, Placement.COMP, 3e4)),
+            3e4)
+        assert {mirror[p] for p in r_true.primitives} == r_comp.primitives

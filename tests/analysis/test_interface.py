@@ -1,0 +1,82 @@
+"""Model-protocol helpers: placement-aware levels and cycle counting."""
+
+import pytest
+
+from repro.analysis.interface import (
+    ColumnModel,
+    CycleCountingModel,
+    electrical_model,
+    opposite_rail_init,
+    stored_level,
+)
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+from repro.dram.ops import parse_ops
+
+
+class TestStoredLevel:
+    def test_true_cell_direct(self):
+        model = behavioral_model(Defect(DefectKind.O3))
+        assert stored_level(model, 1) == pytest.approx(2.4)
+        assert stored_level(model, 0) == pytest.approx(0.0)
+
+    def test_comp_cell_inverted(self):
+        model = behavioral_model(Defect(DefectKind.O3, Placement.COMP))
+        assert stored_level(model, 1) == pytest.approx(0.0)
+        assert stored_level(model, 0) == pytest.approx(2.4)
+
+
+class TestOppositeRailInit:
+    def test_w0_first_starts_high(self):
+        model = behavioral_model(Defect(DefectKind.O3))
+        assert opposite_rail_init(model, parse_ops("w0 r0")) == \
+            pytest.approx(2.4)
+
+    def test_w1_first_starts_low(self):
+        model = behavioral_model(Defect(DefectKind.O3))
+        assert opposite_rail_init(model, parse_ops("w1 r1")) == \
+            pytest.approx(0.0)
+
+    def test_read_first_midrail(self):
+        model = behavioral_model(Defect(DefectKind.O3))
+        assert opposite_rail_init(model, parse_ops("r")) == \
+            pytest.approx(1.2)
+
+    def test_comp_cell_flips(self):
+        model = behavioral_model(Defect(DefectKind.O3, Placement.COMP))
+        assert opposite_rail_init(model, parse_ops("w1 r1")) == \
+            pytest.approx(2.4)
+
+
+class TestProtocol:
+    def test_both_backends_satisfy(self):
+        defect = Defect(DefectKind.O3)
+        assert isinstance(behavioral_model(defect), ColumnModel)
+        assert isinstance(electrical_model(defect), ColumnModel)
+
+    def test_electrical_model_uses_placement(self):
+        model = electrical_model(Defect(DefectKind.O3, Placement.COMP))
+        assert model.target_cell == 1
+
+
+class TestCycleCounting:
+    def test_counts_sequence_cycles(self):
+        model = CycleCountingModel(behavioral_model(Defect(DefectKind.O3)))
+        model.run_sequence("w1 w1 r1", init_vc=0.0)
+        assert model.cycles == 3
+
+    def test_counts_single_ops(self):
+        model = CycleCountingModel(behavioral_model(Defect(DefectKind.O3)))
+        state = model.idle_state(0.0)
+        model.run_op("w1", state)
+        model.run_op("r", state)
+        assert model.cycles == 2
+
+    def test_delegates_configuration(self):
+        from repro.stress import NOMINAL_STRESS
+        model = CycleCountingModel(behavioral_model(Defect(DefectKind.O3)))
+        sc = NOMINAL_STRESS.with_(vdd=2.1)
+        model.set_stress(sc)
+        assert model.stress == sc
+        model.set_defect_resistance(5e5)
+        assert model.defect.resistance == 5e5

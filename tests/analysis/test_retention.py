@@ -1,0 +1,73 @@
+"""Retention analysis of decaying cells."""
+
+import pytest
+
+from repro.analysis.retention import RetentionResult, retention_cycles
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind
+from repro.stress import NOMINAL_STRESS
+
+
+def _sg(r_ohm, stress=NOMINAL_STRESS):
+    return behavioral_model(Defect(DefectKind.SG, resistance=r_ohm),
+                            stress=stress)
+
+
+class TestRetentionMeasurement:
+    def test_healthy_cell_retains(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=10.0))
+        result = retention_cycles(model, 1, max_cycles=32)
+        assert result.retains_forever
+
+    def test_strong_short_loses_immediately(self):
+        result = retention_cycles(_sg(2e4), 1, max_cycles=32)
+        assert result.immediate_loss
+
+    def test_moderate_short_finite_retention(self):
+        result = retention_cycles(_sg(2.5e6), 1, max_cycles=256)
+        assert not result.immediate_loss
+        assert result.cycles is not None
+        assert 1 <= result.cycles < 256
+
+    def test_weaker_short_retains_longer(self):
+        tight = retention_cycles(_sg(2e6), 1, max_cycles=512)
+        loose = retention_cycles(_sg(5e6), 1, max_cycles=512)
+        if tight.cycles is not None and loose.cycles is not None:
+            assert loose.cycles >= tight.cycles
+
+    def test_zero_value_unaffected_by_gnd_short(self):
+        """A short to GND cannot destroy a stored 0."""
+        result = retention_cycles(_sg(1e5), 0, max_cycles=16)
+        assert result.retains_forever
+
+    def test_time_seconds(self):
+        r = RetentionResult(1, cycles=10, immediate_loss=False,
+                            max_cycles=64)
+        assert r.time_seconds(60e-9) == pytest.approx(600e-9)
+        forever = RetentionResult(1, None, False, 64)
+        assert forever.time_seconds(60e-9) is None
+
+    def test_describe_variants(self):
+        assert "immediately" in RetentionResult(1, None, True,
+                                                8).describe()
+        assert "beyond" in RetentionResult(0, None, False,
+                                           8).describe()
+        assert "retained for" in RetentionResult(1, 5, False,
+                                                 8).describe()
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            retention_cycles(_sg(1e6), 2)
+
+
+class TestTemperatureDependence:
+    def test_hot_retention_not_longer(self):
+        """Leakage doubles every 10 K: retention shrinks (or at worst
+        ties within bisection resolution) at high temperature."""
+        room = retention_cycles(_sg(3e6), 1, max_cycles=512)
+        hot = retention_cycles(
+            _sg(3e6, NOMINAL_STRESS.with_(temp_c=87.0)), 1,
+            max_cycles=512)
+        room_c = room.cycles if room.cycles is not None else 512
+        hot_c = hot.cycles if hot.cycles is not None else 512
+        assert hot_c <= room_c

@@ -1,0 +1,90 @@
+"""Cross-validation: behavioral vs electrical model.
+
+The behavioral model's value comes from standing in for the electrical
+one in wide sweeps; these tests pin down how far the two may drift.
+Each electrical data point costs a real SPICE transient, so the grids are
+deliberately small.
+"""
+
+import pytest
+
+from repro.analysis import electrical_model, sense_threshold
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind
+from repro.stress import NOMINAL_STRESS
+
+
+@pytest.fixture(scope="module")
+def pair():
+    defect = Defect(DefectKind.O3, resistance=200e3)
+    return behavioral_model(defect), electrical_model(defect)
+
+
+class TestVoltageAgreement:
+    def test_write_sequence_traces_close(self, pair):
+        behav, elec = pair
+        for model in pair:
+            model.set_defect_resistance(200e3)
+        sb = behav.run_sequence("w1 w1 w0", init_vc=0.0)
+        se = elec.run_sequence("w1 w1 w0", init_vc=0.0)
+        for vb, ve in zip(sb.vc_after, se.vc_after):
+            assert vb == pytest.approx(ve, abs=0.25)
+
+    def test_sense_threshold_close_at_reference(self, pair):
+        behav, elec = pair
+        for model in pair:
+            model.set_defect_resistance(200e3)
+        vb = sense_threshold(behav, tol=0.01)
+        ve = sense_threshold(elec, tol=0.01)
+        assert vb == pytest.approx(ve, abs=0.08)
+
+    def test_read_decisions_agree_off_threshold(self, pair):
+        behav, elec = pair
+        for model in pair:
+            model.set_defect_resistance(200e3)
+        ve = sense_threshold(elec, tol=0.02)
+        for vc in (ve - 0.25, ve + 0.25):
+            ob = behav.run_sequence("r", init_vc=vc).outputs[0]
+            oe = elec.run_sequence("r", init_vc=vc).outputs[0]
+            assert ob == oe
+
+
+class TestShapeAgreement:
+    def test_nonmonotonic_vsa_over_temperature(self, pair):
+        """Both backends must reproduce the Fig. 4 non-monotonicity."""
+        behav, elec = pair
+        for model, collect in ((behav, {}), (elec, {})):
+            pass
+        results = {}
+        for name, model in (("behav", behav), ("elec", elec)):
+            vs = {}
+            for temp in (-33.0, 27.0, 87.0):
+                model.set_stress(NOMINAL_STRESS.with_(temp_c=temp))
+                model.set_defect_resistance(200e3)
+                vs[temp] = sense_threshold(model, tol=0.01)
+            model.set_stress(NOMINAL_STRESS)
+            results[name] = vs
+        for vs in results.values():
+            assert vs[-33.0] > vs[27.0]
+            assert vs[87.0] > vs[27.0]
+
+    def test_fault_verdicts_agree_on_probe_battery(self, pair):
+        behav, elec = pair
+        for r_ohm in (50e3, 400e3, 1.5e6):
+            for model in pair:
+                model.set_defect_resistance(r_ohm)
+            vb = behav.run_sequence("w1^4 w0 r0", init_vc=0.0).any_fault
+            ve = elec.run_sequence("w1^4 w0 r0", init_vc=0.0).any_fault
+            assert vb == ve, f"disagreement at R={r_ohm}"
+
+    def test_border_resistance_within_factor(self, pair):
+        from repro.analysis import border_resistance
+        behav, elec = pair
+        borders = {}
+        for name, model in (("behav", behav), ("elec", elec)):
+            res = border_resistance(model, fails_high=True, r_lo=5e4,
+                                    r_hi=2e6, rel_tol=0.15,
+                                    sequences=("w1^4 w0 r0",))
+            borders[name] = res.resistance
+        assert borders["behav"] == pytest.approx(borders["elec"],
+                                                 rel=0.5)

@@ -1,0 +1,156 @@
+"""Behavioral column model: interface parity and physics sanity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behav import BehavCalibration, behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+from repro.stress import NOMINAL_STRESS
+
+
+@pytest.fixture
+def o3():
+    return behavioral_model(Defect(DefectKind.O3, resistance=200e3))
+
+
+class TestHealthyBehaviour:
+    def test_roundtrip_both_values(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=10.0))
+        seq = model.run_sequence("w1 r1 w0 r0", init_vc=0.0)
+        assert not seq.any_fault
+
+    def test_write1_charges(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=10.0))
+        assert model.run_sequence("w1", init_vc=0.0).vc_after[0] > 2.0
+
+    def test_nop_roughly_preserves(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=10.0))
+        seq = model.run_sequence("w1 nop nop r1", init_vc=0.0)
+        assert not seq.any_fault
+
+    def test_no_defect_column(self):
+        model = behavioral_model(None)
+        seq = model.run_sequence("w1 r1 w0 r0", init_vc=0.0)
+        assert not seq.any_fault
+
+    def test_set_resistance_without_defect_raises(self):
+        model = behavioral_model(None)
+        with pytest.raises(ValueError):
+            model.set_defect_resistance(1e5)
+
+
+class TestDefectPhysics:
+    def test_open_slows_write(self, o3):
+        vc_weak = o3.run_sequence("w1", init_vc=0.0).vc_after[0]
+        o3.set_defect_resistance(10.0)
+        vc_strong = o3.run_sequence("w1", init_vc=0.0).vc_after[0]
+        assert vc_weak < vc_strong - 0.3
+
+    def test_strong_open_reads_one(self, o3):
+        o3.set_defect_resistance(20e6)
+        assert o3.run_sequence("r", init_vc=0.0).outputs[0] == 1
+
+    def test_short_gnd_drains_one(self):
+        model = behavioral_model(Defect(DefectKind.SG, resistance=3e4))
+        seq = model.run_sequence("w1 nop nop r1", init_vc=0.0)
+        assert seq.any_fault
+
+    def test_short_vdd_pulls_zero_up(self):
+        model = behavioral_model(Defect(DefectKind.SV, resistance=3e4))
+        seq = model.run_sequence("w0 nop nop r0", init_vc=2.4)
+        assert seq.any_fault
+
+    def test_bridge_bl_pulls_toward_precharge(self):
+        model = behavioral_model(Defect(DefectKind.B1, resistance=2e4))
+        seq = model.run_sequence("w1 nop nop nop", init_vc=0.0)
+        # the bridge drags the stored 1 toward the precharge level
+        assert seq.vc_after[-1] < 1.8
+
+    def test_gate_open_blocks_access(self):
+        model = behavioral_model(Defect(DefectKind.O2, resistance=1e9))
+        seq = model.run_sequence("w1", init_vc=0.0)
+        assert seq.vc_after[0] < 1.0
+
+    def test_gate_open_weak_is_fine(self):
+        model = behavioral_model(Defect(DefectKind.O2, resistance=1e3))
+        seq = model.run_sequence("w1 r1 w0 r0", init_vc=0.0)
+        assert not seq.any_fault
+
+
+class TestStressResponse:
+    def test_shorter_tcyc_weakens_write(self, o3):
+        o3.set_stress(NOMINAL_STRESS)
+        v60 = o3.run_sequence("w0", init_vc=2.4).vc_after[0]
+        o3.set_stress(NOMINAL_STRESS.with_(tcyc=55e-9))
+        v55 = o3.run_sequence("w0", init_vc=2.4).vc_after[0]
+        assert v55 > v60
+
+    def test_hot_weakens_write(self, o3):
+        o3.set_stress(NOMINAL_STRESS.with_(temp_c=87.0))
+        hot = o3.run_sequence("w0", init_vc=2.4).vc_after[0]
+        o3.set_stress(NOMINAL_STRESS.with_(temp_c=-33.0))
+        cold = o3.run_sequence("w0", init_vc=2.4).vc_after[0]
+        assert hot > cold
+
+    def test_higher_vdd_weakens_w0(self, o3):
+        o3.set_stress(NOMINAL_STRESS.with_(vdd=2.7))
+        hi = o3.run_sequence("w0", init_vc=2.7).vc_after[0]
+        o3.set_stress(NOMINAL_STRESS.with_(vdd=2.1))
+        lo = o3.run_sequence("w0", init_vc=2.1).vc_after[0]
+        assert hi > lo
+
+
+class TestComplementaryPlacement:
+    def test_logical_roundtrip(self):
+        model = behavioral_model(
+            Defect(DefectKind.O3, Placement.COMP, 10.0))
+        seq = model.run_sequence("w1 r1 w0 r0", init_vc=2.4)
+        assert not seq.any_fault
+
+    def test_inverted_storage(self):
+        model = behavioral_model(
+            Defect(DefectKind.O3, Placement.COMP, 10.0))
+        seq = model.run_sequence("w1", init_vc=2.4)
+        assert seq.vc_after[0] < 0.3
+
+
+class TestCalibration:
+    def test_latch_delay_grows_with_temperature(self):
+        cal = BehavCalibration()
+        assert cal.delay_at(87.0) > cal.delay_at(27.0) > cal.delay_at(-33.0)
+
+    def test_custom_calibration_changes_threshold(self):
+        from repro.analysis import sense_threshold
+        fast = behavioral_model(Defect(DefectKind.O3, resistance=200e3),
+                                calibration=BehavCalibration(0.5e-9, 0.9))
+        slow = behavioral_model(Defect(DefectKind.O3, resistance=200e3),
+                                calibration=BehavCalibration(8e-9, 0.9))
+        v_fast = sense_threshold(fast)
+        v_slow = sense_threshold(slow)
+        assert v_fast != pytest.approx(v_slow, abs=0.005)
+
+
+class TestProperties:
+    @given(st.floats(0.0, 2.4))
+    @settings(max_examples=20, deadline=None)
+    def test_w1_moves_cell_up(self, init):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=300e3))
+        out = model.run_sequence("w1", init_vc=init).vc_after[0]
+        assert out >= init - 0.25   # small leak/tail slack
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_successive_w1_monotone(self, n):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=300e3))
+        seq = model.run_sequence(["w1"] * n, init_vc=0.0)
+        levels = seq.vc_after
+        assert all(b >= a - 1e-6 for a, b in zip(levels, levels[1:]))
+
+    @given(st.floats(5e4, 5e6))
+    @settings(max_examples=20, deadline=None)
+    def test_single_write_residual_monotone_in_r(self, r):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=r))
+        vc_r = model.run_sequence("w0", init_vc=2.4).vc_after[0]
+        model.set_defect_resistance(r * 2)
+        vc_2r = model.run_sequence("w0", init_vc=2.4).vc_after[0]
+        assert vc_2r >= vc_r - 1e-6

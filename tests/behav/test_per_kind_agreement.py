@@ -1,0 +1,51 @@
+"""Behavioral vs electrical fault verdicts for every defect kind.
+
+One strong and one weak resistance per kind; the two backends must agree
+on whether the probe battery observes a fault.  This is the coarse
+contract that lets the optimizer run on the fast model.
+"""
+
+import pytest
+
+from repro.analysis import electrical_model
+from repro.analysis.interface import opposite_rail_init
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind
+from repro.dram.ops import parse_ops
+
+#: (kind, strong R, weak R, probe sequence)
+CASES = [
+    (DefectKind.O1, 3e6, 1e3, "w1^2 w0 r0"),
+    (DefectKind.O2, 50e6, 1e4, "w0 r0"),
+    (DefectKind.O3, 3e6, 1e3, "w1^2 w0 r0"),
+    (DefectKind.SG, 3e4, 1e8, "w1 r1 r1"),
+    (DefectKind.SV, 3e4, 1e8, "w0 r0 r0"),
+    (DefectKind.B1, 2e4, 1e8, "w0 r0 r0"),
+    (DefectKind.B2, 3e4, 1e8, "w0 r0 r0"),
+]
+
+
+def _verdict(model, sequence):
+    ops = parse_ops(sequence)
+    init = opposite_rail_init(model, ops)
+    return model.run_sequence(ops, init_vc=init).any_fault
+
+
+@pytest.mark.parametrize("kind,strong,weak,sequence", CASES,
+                         ids=[c[0].value for c in CASES])
+class TestKindAgreement:
+    def test_strong_defect_faults_on_both_backends(self, kind, strong,
+                                                   weak, sequence):
+        defect = Defect(kind, resistance=strong)
+        assert _verdict(behavioral_model(defect), sequence), \
+            "behavioral misses a strong defect"
+        assert _verdict(electrical_model(defect), sequence), \
+            "electrical misses a strong defect"
+
+    def test_weak_defect_clean_on_both_backends(self, kind, strong,
+                                                weak, sequence):
+        defect = Defect(kind, resistance=weak)
+        assert not _verdict(behavioral_model(defect), sequence), \
+            "behavioral false-positives on a weak defect"
+        assert not _verdict(electrical_model(defect), sequence), \
+            "electrical false-positives on a weak defect"

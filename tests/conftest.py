@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Electrical (SPICE-level) simulations cost ~0.15 s per operation cycle, so
+most analysis-level tests run on the behavioral model; a dedicated
+agreement suite cross-checks the two.  Fixtures below provide both.
+"""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.analysis import electrical_model
+from repro.defects import Defect, DefectKind, Placement
+from repro.stress import NOMINAL_STRESS
+from repro.dram.tech import default_tech
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return default_tech()
+
+
+@pytest.fixture
+def o3_defect():
+    """The paper's reference defect: cell open at 200 kΩ."""
+    return Defect(DefectKind.O3, resistance=200e3)
+
+
+@pytest.fixture
+def behav_o3(o3_defect):
+    return behavioral_model(o3_defect)
+
+
+@pytest.fixture
+def behav_factory():
+    def factory(defect, stress=NOMINAL_STRESS):
+        return behavioral_model(defect, stress=stress)
+    return factory
+
+
+@pytest.fixture
+def elec_factory():
+    def factory(defect, stress=NOMINAL_STRESS):
+        return electrical_model(defect, stress=stress)
+    return factory
+
+
+@pytest.fixture(scope="session")
+def healthy_runner():
+    """A defect-free electrical column (session-scoped: construction is
+    cheap but repeated healthy cycles are not)."""
+    from repro.dram import ColumnRunner
+    return ColumnRunner()

@@ -1,0 +1,116 @@
+"""Quick direction analysis (Sec. 4.1-4.3) on the behavioral model."""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.core import StressKind, analyze_direction
+from repro.core.directions import (
+    Vote,
+    _vote_from_metric,
+    analyze_read_panel,
+    analyze_write_panel,
+    write_residual,
+)
+from repro.defects import Defect, DefectKind
+from repro.stress import NOMINAL_STRESS, STRESS_RANGES
+
+
+@pytest.fixture
+def o3():
+    model = behavioral_model(Defect(DefectKind.O3, resistance=200e3))
+    model.set_defect_resistance(200e3)
+    return model
+
+
+class TestVoting:
+    def test_clear_high_vote(self):
+        assert _vote_from_metric([1, 2, 3], [0.0, 0.1, 0.2], 0.01) \
+            is Vote.HIGH
+
+    def test_clear_low_vote(self):
+        assert _vote_from_metric([1, 2, 3], [0.2, 0.1, 0.0], 0.01) \
+            is Vote.LOW
+
+    def test_no_impact(self):
+        assert _vote_from_metric([1, 2, 3], [0.1, 0.1001, 0.1002], 0.01) \
+            is Vote.NONE
+
+    def test_non_monotone_peak(self):
+        assert _vote_from_metric([1, 2, 3], [0.0, 0.5, 0.05], 0.01) \
+            is Vote.NON_MONOTONE
+
+    def test_non_monotone_valley(self):
+        assert _vote_from_metric([1, 2, 3], [0.5, 0.0, 0.45], 0.01) \
+            is Vote.NON_MONOTONE
+
+
+class TestPanels:
+    def test_write_residual_definition(self, o3):
+        v = write_residual(o3, 0)
+        direct = o3.run_sequence("w0", init_vc=2.4).vc_after[0]
+        assert v == pytest.approx(direct, abs=1e-9)
+
+    def test_tcyc_write_panel_votes_low(self, o3):
+        panel = analyze_write_panel(o3, StressKind.TCYC,
+                                    [55e-9, 60e-9, 65e-9], 0,
+                                    NOMINAL_STRESS)
+        assert panel.vote is Vote.LOW
+
+    def test_tcyc_read_panel_weak_effect(self, o3):
+        """The paper reports no timing impact on Vsa; the electrical
+        model agrees within tolerance while the behavioral race slightly
+        overestimates the share-window scaling.  Either way the read
+        panel must not contradict the write panel's tcyc-down call."""
+        panel = analyze_read_panel(o3, StressKind.TCYC,
+                                   [55e-9, 60e-9, 65e-9], 0,
+                                   NOMINAL_STRESS)
+        assert panel.vote in (Vote.NONE, Vote.LOW)
+        usable = [m for m in panel.metrics if m is not None]
+        assert max(usable) - min(usable) < 0.05
+
+    def test_temp_read_panel_non_monotone(self, o3):
+        panel = analyze_read_panel(o3, StressKind.TEMP,
+                                   [-33.0, 27.0, 87.0], 0,
+                                   NOMINAL_STRESS)
+        assert panel.vote is Vote.NON_MONOTONE
+
+    def test_vdd_write_panel_votes_high(self, o3):
+        """Higher Vdd leaves the stored level proportionally higher
+        after w0 -> weaker write."""
+        panel = analyze_write_panel(o3, StressKind.VDD, [2.1, 2.4, 2.7],
+                                    0, NOMINAL_STRESS)
+        assert panel.vote is Vote.HIGH
+
+    def test_panel_describe_renders(self, o3):
+        panel = analyze_write_panel(o3, StressKind.TCYC,
+                                    [55e-9, 65e-9], 0, NOMINAL_STRESS)
+        assert "vote" in panel.describe()
+
+
+class TestDirectionCalls:
+    def test_tcyc_decided_by_write_without_tiebreak(self, o3):
+        call = analyze_direction(o3, StressKind.TCYC, 0)
+        assert call.chosen_value == STRESS_RANGES[StressKind.TCYC].low
+        assert not call.needs_border_tiebreak
+        assert call.arrow == "↓"
+
+    def test_temperature_flags_tiebreak(self, o3):
+        call = analyze_direction(o3, StressKind.TEMP, 0)
+        assert call.needs_border_tiebreak
+        assert len(call.tiebreak_candidates) >= 2
+
+    def test_vdd_flags_tiebreak_on_conflict(self, o3):
+        call = analyze_direction(o3, StressKind.VDD, 0)
+        assert call.needs_border_tiebreak
+
+    def test_duty_decided_low(self, o3):
+        call = analyze_direction(o3, StressKind.DUTY, 0)
+        assert call.chosen_value == STRESS_RANGES[StressKind.DUTY].low
+
+    def test_describe_mentions_decision(self, o3):
+        call = analyze_direction(o3, StressKind.TCYC, 0)
+        assert "tcyc" in call.describe()
+
+    def test_probe_points_validation(self, o3):
+        with pytest.raises(ValueError):
+            analyze_direction(o3, StressKind.TCYC, 0, probe_points=1)

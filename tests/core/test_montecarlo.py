@@ -1,0 +1,94 @@
+"""Monte-Carlo robustness of the direction calls."""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.core import StressKind
+from repro.core.montecarlo import (
+    DirectionRobustness,
+    VariationSpec,
+    direction_robustness,
+)
+from repro.defects import Defect, DefectKind
+from repro.dram.tech import default_tech
+
+import numpy as np
+
+
+def _factory(defect, stress, tech):
+    return behavioral_model(defect, stress=stress, tech=tech)
+
+
+class TestVariationSpec:
+    def test_sampling_deterministic_per_seed(self):
+        spec = VariationSpec()
+        t1 = spec.sample(default_tech(), np.random.default_rng(7))
+        t2 = spec.sample(default_tech(), np.random.default_rng(7))
+        assert t1.cs == t2.cs
+        assert t1.nmos.vth0 == t2.nmos.vth0
+
+    def test_sampling_actually_varies(self):
+        spec = VariationSpec()
+        rng = np.random.default_rng(7)
+        t1 = spec.sample(default_tech(), rng)
+        t2 = spec.sample(default_tech(), rng)
+        assert t1.cs != t2.cs
+
+    def test_clamps_keep_parameters_physical(self):
+        spec = VariationSpec(vth_sigma=3.0, cap_sigma=3.0,
+                             offset_sigma=3.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            t = spec.sample(default_tech(), rng)
+            assert t.nmos.vth0 >= 0.1
+            assert t.cs > 0
+            assert t.v_ref_offset >= 0.01
+
+
+class TestRobustnessReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return direction_robustness(_factory, Defect(DefectKind.O3),
+                                    kinds=(StressKind.TCYC,),
+                                    samples=4, seed=11)
+
+    def test_sample_accounting(self, report):
+        rob = report.robustness[StressKind.TCYC]
+        assert rob.samples == 4
+
+    def test_tcyc_direction_robust(self, report):
+        """The timing mechanism is first-order RC — variation must not
+        flip it."""
+        rob = report.robustness[StressKind.TCYC]
+        assert rob.confidence >= 0.75
+
+    def test_border_samples_recorded(self, report):
+        assert len(report.border_samples) >= 3
+        for border in report.border_samples:
+            assert 3e4 < border < 3e6
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Monte-Carlo" in text
+        assert "tcyc" in text
+
+    def test_reproducible_across_runs(self):
+        a = direction_robustness(_factory, Defect(DefectKind.O3),
+                                 kinds=(StressKind.TCYC,), samples=3,
+                                 seed=5)
+        b = direction_robustness(_factory, Defect(DefectKind.O3),
+                                 kinds=(StressKind.TCYC,), samples=3,
+                                 seed=5)
+        assert a.border_samples == b.border_samples
+
+
+class TestDirectionRobustnessMath:
+    def test_confidence_with_undecided(self):
+        rob = DirectionRobustness(StressKind.VDD, 2.1, agree=3,
+                                  disagree=1, undecided=2)
+        assert rob.samples == 6
+        assert rob.confidence == pytest.approx(0.75)
+
+    def test_confidence_all_undecided(self):
+        rob = DirectionRobustness(StressKind.VDD, 2.1, undecided=4)
+        assert rob.confidence == 0.0

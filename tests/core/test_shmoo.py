@@ -1,0 +1,83 @@
+"""Shmoo plotting baseline."""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.core import StressKind, shmoo
+from repro.defects import Defect, DefectKind
+
+
+@pytest.fixture
+def model():
+    return behavioral_model(Defect(DefectKind.O3, resistance=250e3))
+
+
+def _grid(model, nx=5, ny=4):
+    return shmoo(model, "w1^2 w0 r0",
+                 x_kind=StressKind.VDD,
+                 x_values=[2.1 + i * 0.15 for i in range(nx)],
+                 y_kind=StressKind.TCYC,
+                 y_values=[52e-9 + i * 4e-9 for i in range(ny)])
+
+
+class TestShmooGrid:
+    def test_shape(self, model):
+        plot = _grid(model)
+        assert len(plot.grid) == 4
+        assert all(len(row) == 5 for row in plot.grid)
+
+    def test_counts_sum_to_grid(self, model):
+        plot = _grid(model)
+        assert plot.pass_count + plot.fail_count == 20
+
+    def test_boundary_exists_near_border(self, model):
+        """A defect near the nominal BR must show both outcomes."""
+        plot = _grid(model)
+        assert plot.pass_count > 0
+        assert plot.fail_count > 0
+
+    def test_healthy_device_all_pass(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=10.0))
+        plot = _grid(model)
+        assert plot.fail_count == 0
+
+    def test_gross_defect_all_fail(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=50e6))
+        plot = _grid(model)
+        assert plot.pass_count == 0
+
+    def test_low_vdd_more_failing(self, model):
+        """Failures concentrate at the stressful corner (low Vdd)."""
+        plot = _grid(model, nx=6)
+        fails_low = sum(1 for row in plot.grid if not row[0])
+        fails_high = sum(1 for row in plot.grid if not row[-1])
+        assert fails_low >= fails_high
+
+    def test_stress_restored_after_run(self, model):
+        base = model.stress
+        _grid(model)
+        assert model.stress == base
+
+    def test_same_axis_rejected(self, model):
+        with pytest.raises(ValueError):
+            shmoo(model, "w0 r0",
+                  x_kind=StressKind.VDD, x_values=[2.1],
+                  y_kind=StressKind.VDD, y_values=[2.4])
+
+
+class TestRendering:
+    def test_render_dimensions(self, model):
+        plot = _grid(model)
+        lines = plot.render().splitlines()
+        # title + ny rows + axis + labels
+        assert len(lines) == 1 + 4 + 2
+
+    def test_render_uses_markers(self, model):
+        plot = _grid(model)
+        text = plot.render()
+        assert "X" in text or "." in text
+
+    def test_custom_markers(self, model):
+        plot = _grid(model)
+        text = plot.render(pass_char="+", fail_char="#")
+        assert "X" not in text

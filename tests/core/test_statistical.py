@@ -1,0 +1,91 @@
+"""Statistical (aggregate) optimization baseline."""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.core import NOMINAL_STRESS, StressKind
+from repro.core.statistical import (
+    corner_combinations,
+    sample_population,
+    statistical_optimization,
+)
+from repro.defects import Defect, DefectKind, Placement
+
+
+def _factory(defect, stress):
+    return behavioral_model(defect, stress=stress)
+
+
+class TestCornerCombinations:
+    def test_counts_power_of_two(self):
+        assert len(corner_combinations((StressKind.VDD,))) == 2
+        assert len(corner_combinations((StressKind.VDD,
+                                        StressKind.TCYC))) == 4
+        assert len(corner_combinations(tuple(StressKind))) == 16
+
+    def test_corners_at_extremes(self):
+        corners = corner_combinations((StressKind.VDD,))
+        vdds = sorted(sc.vdd for sc in corners)
+        assert vdds == [2.1, 2.7]
+
+    def test_unlisted_axes_stay_nominal(self):
+        corners = corner_combinations((StressKind.VDD,))
+        assert all(sc.tcyc == NOMINAL_STRESS.tcyc for sc in corners)
+
+
+class TestPopulation:
+    def test_points_per_defect(self):
+        pop = sample_population([Defect(DefectKind.O3)],
+                                points_per_defect=4)
+        assert len(pop) == 4
+
+    def test_resistances_inside_search_range(self):
+        pop = sample_population([Defect(DefectKind.SG)],
+                                points_per_defect=5)
+        lo, hi = DefectKind.SG.search_range
+        for point in pop:
+            assert lo <= point.defect.resistance <= hi
+
+    def test_labels_unique(self):
+        pop = sample_population([Defect(DefectKind.O3),
+                                 Defect(DefectKind.SG)], 3)
+        labels = [p.label for p in pop]
+        assert len(set(labels)) == len(labels)
+
+
+class TestStatisticalOptimization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        defects = (Defect(DefectKind.O3, Placement.TRUE),
+                   Defect(DefectKind.SG, Placement.TRUE))
+        return statistical_optimization(
+            _factory, defects=defects,
+            kinds=(StressKind.VDD, StressKind.TEMP),
+            points_per_defect=4)
+
+    def test_best_is_argmax(self, result):
+        assert result.best_score == max(result.scores)
+        assert result.candidates[result.best_index] == result.best_sc
+
+    def test_per_defect_counts_bounded(self, result):
+        for counts in result.per_defect.values():
+            assert all(0 <= c <= 4 for c in counts)
+
+    def test_scores_are_sum_of_per_defect(self, result):
+        for i in range(len(result.candidates)):
+            total = sum(counts[i]
+                        for counts in result.per_defect.values())
+            assert total == result.scores[i]
+
+    def test_aggregate_loss_nonnegative(self, result):
+        for name in result.per_defect:
+            assert result.aggregate_loss(name) >= 0
+
+    def test_best_for_defect_at_least_aggregate(self, result):
+        for name, counts in result.per_defect.items():
+            best = result.best_for_defect(name)
+            idx = result.candidates.index(best)
+            assert counts[idx] >= counts[result.best_index]
+
+    def test_describe_mentions_best_sc(self, result):
+        assert "best SC" in result.describe()

@@ -1,0 +1,84 @@
+"""ST/SC datatypes and specification ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stress import (
+    NOMINAL_STRESS,
+    STRESS_RANGES,
+    StressConditions,
+    StressKind,
+    StressRange,
+    nominal_stress,
+)
+
+
+class TestStressConditions:
+    def test_nominal_matches_paper(self):
+        assert NOMINAL_STRESS.tcyc == pytest.approx(60e-9)
+        assert NOMINAL_STRESS.temp_c == 27.0
+        assert NOMINAL_STRESS.vdd == 2.4
+        assert NOMINAL_STRESS.duty == 0.5
+
+    def test_with_replaces_one_field(self):
+        sc = NOMINAL_STRESS.with_(vdd=2.1)
+        assert sc.vdd == 2.1
+        assert sc.tcyc == NOMINAL_STRESS.tcyc
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            NOMINAL_STRESS.vdd = 3.0
+
+    @pytest.mark.parametrize("bad", [
+        dict(tcyc=-1e-9), dict(duty=0.05), dict(duty=0.95),
+        dict(vdd=0.0), dict(temp_c=500.0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            StressConditions(**bad)
+
+    def test_value_of_and_with_value_roundtrip(self):
+        for kind in StressKind:
+            sc = NOMINAL_STRESS.with_value(kind,
+                                           STRESS_RANGES[kind].low)
+            assert sc.value_of(kind) == STRESS_RANGES[kind].low
+
+    def test_describe_contains_all_sts(self):
+        text = NOMINAL_STRESS.describe()
+        for token in ("tcyc", "duty", "T=", "Vdd"):
+            assert token in text
+
+    def test_nominal_stress_function(self):
+        assert nominal_stress() == NOMINAL_STRESS
+
+
+class TestStressRanges:
+    def test_all_kinds_covered(self):
+        assert set(STRESS_RANGES) == set(StressKind)
+
+    def test_nominal_inside_each_range(self):
+        for kind, rng in STRESS_RANGES.items():
+            assert rng.low <= rng.nominal <= rng.high
+            assert rng.nominal == NOMINAL_STRESS.value_of(kind)
+
+    def test_paper_vdd_range(self):
+        rng = STRESS_RANGES[StressKind.VDD]
+        assert rng.low == 2.1
+        assert rng.high == 2.7
+
+    def test_paper_temperature_range(self):
+        rng = STRESS_RANGES[StressKind.TEMP]
+        assert rng.low == -33.0
+        assert rng.high == 87.0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            StressRange(StressKind.VDD, 2.4, 2.1, 2.7)
+
+    def test_extremes(self):
+        rng = STRESS_RANGES[StressKind.TCYC]
+        assert rng.extremes == (55e-9, 65e-9)
+
+    @given(st.sampled_from(list(StressKind)))
+    def test_kind_field_mapping(self, kind):
+        assert hasattr(NOMINAL_STRESS, kind.field)

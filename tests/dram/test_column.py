@@ -1,0 +1,123 @@
+"""Column netlist construction and defect injection routing."""
+
+import pytest
+
+from repro.dram.column import (
+    DEFECT_DEVICE,
+    DEFECT_KINDS,
+    DefectSite,
+    build_column,
+)
+from repro.dram.tech import default_tech
+from repro.spice.errors import NetlistError
+
+
+class TestHealthyColumn:
+    def test_expected_node_inventory(self):
+        col = build_column()
+        circ = col.circuit
+        for name in ("blt", "blc", "san", "sap", "dout", "snd_t",
+                     "snd_c", "vref"):
+            assert circ.has_node(name), name
+        for i in range(default_tech().num_wordlines):
+            assert circ.has_node(f"sn{i}")
+
+    def test_cells_alternate_bitlines(self):
+        col = build_column()
+        circ = col.circuit
+        assert circ["m_acc0"].drain.name == "blt"
+        assert circ["m_acc1"].drain.name == "blc"
+        assert circ["m_acc2"].drain.name == "blt"
+        assert circ["m_acc3"].drain.name == "blc"
+
+    def test_no_defect_device(self):
+        col = build_column()
+        assert DEFECT_DEVICE not in col.circuit
+        assert col.defect is None
+        assert col.defect_resistance is None
+
+    def test_control_sources_exist(self):
+        col = build_column()
+        for name in col.control_sources:
+            assert name in col.circuit
+
+    def test_storage_nodes_listed(self):
+        col = build_column()
+        assert col.storage_node(0) == "sn0"
+        assert col.storage_node(3) == "sn3"
+
+    def test_set_resistance_without_defect_raises(self):
+        col = build_column()
+        with pytest.raises(NetlistError):
+            col.set_defect_resistance(1e5)
+
+
+class TestDefectRouting:
+    @pytest.mark.parametrize("kind", DEFECT_KINDS)
+    def test_injects_resistor(self, kind):
+        col = build_column(defect=DefectSite(kind, 0, 123e3))
+        assert DEFECT_DEVICE in col.circuit
+        assert col.defect_resistance == pytest.approx(123e3)
+
+    def test_open_sn_reroutes_access_source(self):
+        col = build_column(defect=DefectSite("open_sn", 0, 1e5))
+        acc = col.circuit["m_acc0"]
+        assert acc.source.name == "s_int0"
+        r = col.circuit[DEFECT_DEVICE]
+        assert {r.a.name, r.b.name} == {"s_int0", "sn0"}
+
+    def test_open_bl_reroutes_drain(self):
+        col = build_column(defect=DefectSite("open_bl", 0, 1e5))
+        acc = col.circuit["m_acc0"]
+        assert acc.drain.name == "d_int0"
+
+    def test_open_gate_reroutes_gate(self):
+        col = build_column(defect=DefectSite("open_gate", 2, 1e6))
+        acc = col.circuit["m_acc2"]
+        assert acc.gate.name == "g_int2"
+
+    def test_short_gnd_targets_storage(self):
+        col = build_column(defect=DefectSite("short_gnd", 1, 5e4))
+        r = col.circuit[DEFECT_DEVICE]
+        names = {r.a.name, r.b.name}
+        assert "sn1" in names
+        assert "0" in names
+
+    def test_bridge_bl_connects_own_bitline(self):
+        col = build_column(defect=DefectSite("bridge_bl", 1, 5e4))
+        r = col.circuit[DEFECT_DEVICE]
+        assert {r.a.name, r.b.name} == {"sn1", "blc"}
+
+    def test_bridge_wl_connects_own_wordline(self):
+        col = build_column(defect=DefectSite("bridge_wl", 2, 5e4))
+        r = col.circuit[DEFECT_DEVICE]
+        assert {r.a.name, r.b.name} == {"sn2", "wl2"}
+
+    def test_other_cells_untouched(self):
+        col = build_column(defect=DefectSite("open_sn", 0, 1e5))
+        assert col.circuit["m_acc1"].source.name == "sn1"
+
+    def test_resistance_sweep_in_place(self):
+        col = build_column(defect=DefectSite("open_sn", 0, 1e5))
+        col.set_defect_resistance(3e5)
+        assert col.circuit[DEFECT_DEVICE].resistance == 3e5
+        assert col.defect.resistance == 3e5
+
+    def test_bad_resistance_rejected(self):
+        col = build_column(defect=DefectSite("open_sn", 0, 1e5))
+        with pytest.raises(NetlistError):
+            col.set_defect_resistance(-1.0)
+
+
+class TestDefectSiteValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(NetlistError):
+            DefectSite("open_nowhere", 0, 1e5)
+
+    def test_nonpositive_resistance(self):
+        with pytest.raises(NetlistError):
+            DefectSite("open_sn", 0, 0.0)
+
+    def test_cell_outside_array(self):
+        with pytest.raises(NetlistError):
+            build_column(defect=DefectSite("open_sn", 7, 1e5))

@@ -1,0 +1,125 @@
+"""Cycle-plan generation: schedules, scaling and per-op waveforms."""
+
+import pytest
+
+from repro.stress import NOMINAL_STRESS
+from repro.dram.ops import Op
+from repro.dram.tech import default_tech
+from repro.dram.timing import plan_cycle, wordline_window
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_tech()
+
+
+class TestWordlineWindow:
+    def test_scales_with_tcyc(self):
+        t_on_60, t_off_60 = wordline_window(NOMINAL_STRESS)
+        t_on_55, t_off_55 = wordline_window(
+            NOMINAL_STRESS.with_(tcyc=55e-9))
+        assert t_on_55 < t_on_60
+        assert (t_off_55 - t_on_55) < (t_off_60 - t_on_60)
+
+    def test_duty_extends_window(self):
+        _, off_40 = wordline_window(NOMINAL_STRESS.with_(duty=0.40))
+        _, off_60 = wordline_window(NOMINAL_STRESS.with_(duty=0.60))
+        assert off_60 > off_40
+
+    def test_window_capped_inside_cycle(self):
+        stress = NOMINAL_STRESS.with_(duty=0.9)
+        _, t_off = wordline_window(stress)
+        assert t_off <= 0.97 * stress.tcyc
+
+
+class TestWritePlan(object):
+    def test_write1_drives_true_high(self, tech):
+        plan = plan_cycle(Op.parse("w1"), NOMINAL_STRESS, tech,
+                          target_cell=0)
+        assert plan.waveforms["v_wdt"].value(30e-9) == pytest.approx(2.4)
+        assert plan.waveforms["v_wdc"].value(30e-9) == pytest.approx(0.0)
+
+    def test_write0_drives_true_low(self, tech):
+        plan = plan_cycle(Op.parse("w0"), NOMINAL_STRESS, tech)
+        assert plan.waveforms["v_wdt"].value(30e-9) == pytest.approx(0.0)
+        assert plan.waveforms["v_wdc"].value(30e-9) == pytest.approx(2.4)
+
+    def test_write_does_not_sense(self, tech):
+        plan = plan_cycle(Op.parse("w1"), NOMINAL_STRESS, tech)
+        assert plan.waveforms["v_sen"].value(30e-9) == 0.0
+        assert plan.t_sense is None
+
+    def test_only_target_wordline_fires(self, tech):
+        plan = plan_cycle(Op.parse("w1"), NOMINAL_STRESS, tech,
+                          target_cell=2)
+        mid = 30e-9
+        assert plan.waveforms["v_wl2"].value(mid) > 3.0
+        for i in (0, 1, 3):
+            assert plan.waveforms[f"v_wl{i}"].value(mid) == 0.0
+
+    def test_wordline_boosted(self, tech):
+        plan = plan_cycle(Op.parse("w1"), NOMINAL_STRESS, tech)
+        level = plan.waveforms["v_wl0"].value(30e-9)
+        assert level == pytest.approx(tech.vpp(2.4))
+
+
+class TestReadPlan:
+    def test_sense_after_share(self, tech):
+        plan = plan_cycle(Op.parse("r"), NOMINAL_STRESS, tech)
+        assert plan.t_sense is not None
+        assert plan.t_sense > plan.t_wl_on
+        assert plan.t_sample is not None
+        assert plan.t_sample < plan.t_wl_off
+
+    def test_dummy_fires_opposite_line_true(self, tech):
+        plan = plan_cycle(Op.parse("r"), NOMINAL_STRESS, tech,
+                          target_cell=0)
+        mid = 30e-9
+        assert plan.waveforms["v_rwl_c"].value(mid) > 3.0
+        assert plan.waveforms["v_rwl_t"].value(mid) == 0.0
+
+    def test_dummy_fires_opposite_line_comp(self, tech):
+        plan = plan_cycle(Op.parse("r"), NOMINAL_STRESS, tech,
+                          target_cell=1)
+        mid = 30e-9
+        assert plan.waveforms["v_rwl_t"].value(mid) > 3.0
+        assert plan.waveforms["v_rwl_c"].value(mid) == 0.0
+
+    def test_write_driver_off_during_read(self, tech):
+        plan = plan_cycle(Op.parse("r"), NOMINAL_STRESS, tech)
+        assert plan.waveforms["v_wen"].value(30e-9) == 0.0
+
+    def test_reference_level_tracks_temperature(self, tech):
+        cold = plan_cycle(Op.parse("r"),
+                          NOMINAL_STRESS.with_(temp_c=-33.0), tech)
+        room = plan_cycle(Op.parse("r"), NOMINAL_STRESS, tech)
+        assert cold.waveforms["v_ref"].value(0) > \
+            room.waveforms["v_ref"].value(0)
+
+
+class TestNopPlan:
+    def test_everything_inactive(self, tech):
+        plan = plan_cycle(Op.parse("nop"), NOMINAL_STRESS, tech)
+        mid = 30e-9
+        for name in ("v_wl0", "v_sen", "v_wen", "v_csl", "v_rwl_t",
+                     "v_rwl_c"):
+            assert plan.waveforms[name].value(mid) == 0.0
+        assert plan.t_sense is None
+
+    def test_precharge_still_runs(self, tech):
+        plan = plan_cycle(Op.parse("nop"), NOMINAL_STRESS, tech)
+        t_eq = 0.1 * NOMINAL_STRESS.tcyc
+        assert plan.waveforms["v_eq"].value(t_eq) > 3.0
+
+
+class TestValidation:
+    def test_bad_target_cell(self, tech):
+        with pytest.raises(ValueError):
+            plan_cycle(Op.parse("w1"), NOMINAL_STRESS, tech,
+                       target_cell=99)
+
+    def test_supply_follows_stress(self, tech):
+        plan = plan_cycle(Op.parse("w1"), NOMINAL_STRESS.with_(vdd=2.1),
+                          tech)
+        assert plan.waveforms["v_vdd"].value(0) == pytest.approx(2.1)
+        assert plan.waveforms["v_pre"].value(0) == pytest.approx(1.05)

@@ -1,0 +1,61 @@
+"""Fault-coverage evaluation over resistance grids."""
+
+import pytest
+
+from repro.analysis.planes import log_grid
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind
+from repro.march import MARCH_CMINUS, MATS_PLUS, fault_coverage
+from repro.stress import NOMINAL_STRESS
+
+
+def _factory(defect, stress):
+    return behavioral_model(defect, stress=stress)
+
+
+@pytest.fixture(scope="module")
+def o3_grid():
+    return log_grid(60e3, 3e6, 8)
+
+
+class TestCoverage:
+    def test_detects_fraction_of_range(self, o3_grid):
+        rep = fault_coverage(MARCH_CMINUS, _factory,
+                             Defect(DefectKind.O3), NOMINAL_STRESS,
+                             resistances=o3_grid)
+        assert 0.0 < rep.coverage <= 1.0
+
+    def test_detected_range_reported(self, o3_grid):
+        rep = fault_coverage(MARCH_CMINUS, _factory,
+                             Defect(DefectKind.O3), NOMINAL_STRESS,
+                             resistances=o3_grid)
+        rng = rep.detected_range()
+        assert rng is not None
+        assert rng[0] <= rng[1]
+
+    def test_healthy_range_zero_coverage(self):
+        grid = [10.0, 100.0, 1000.0]   # far below the border
+        rep = fault_coverage(MARCH_CMINUS, _factory,
+                             Defect(DefectKind.O3), NOMINAL_STRESS,
+                             resistances=grid)
+        assert rep.coverage == 0.0
+        assert rep.detected_range() is None
+
+    def test_optimized_sc_not_worse(self, o3_grid):
+        optimized = NOMINAL_STRESS.with_(vdd=2.1, tcyc=55e-9,
+                                         duty=0.40, temp_c=87.0)
+        nom = fault_coverage(MARCH_CMINUS, _factory,
+                             Defect(DefectKind.O3), NOMINAL_STRESS,
+                             resistances=o3_grid)
+        opt = fault_coverage(MARCH_CMINUS, _factory,
+                             Defect(DefectKind.O3), optimized,
+                             resistances=o3_grid)
+        assert opt.coverage >= nom.coverage
+
+    def test_describe_mentions_test_and_defect(self, o3_grid):
+        rep = fault_coverage(MATS_PLUS, _factory,
+                             Defect(DefectKind.O3), NOMINAL_STRESS,
+                             resistances=o3_grid)
+        text = rep.describe()
+        assert "MATS+" in text
+        assert "O3" in text

@@ -1,0 +1,60 @@
+"""Pause insertion for retention-targeting march tests."""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind
+from repro.dram.ops import Operation
+from repro.march import MATS_PLUS, run_march
+from repro.march.delays import delay_element, with_delay
+
+
+class TestConstruction:
+    def test_delay_element_ops(self):
+        e = delay_element(3)
+        assert len(e.ops) == 3
+        assert all(o.operation is Operation.NOP for o in e.ops)
+
+    def test_rejects_zero_delay(self):
+        with pytest.raises(ValueError):
+            delay_element(0)
+
+    def test_pause_before_read_leading_elements(self):
+        delayed = with_delay(MATS_PLUS, 4)
+        # MATS+: b(w0); u(r0,w1); d(r1,w0) -> pauses before both
+        # read-leading elements.
+        assert len(delayed.elements) == 5
+        assert delayed.elements[1].ops[0].operation is Operation.NOP
+        assert delayed.elements[3].ops[0].operation is Operation.NOP
+
+    def test_name_suffixed(self):
+        assert with_delay(MATS_PLUS, 2).name.endswith("+delay")
+
+    def test_write_leading_elements_untouched(self):
+        delayed = with_delay(MATS_PLUS, 2)
+        assert str(delayed.elements[0].ops[0]) == "w0"
+
+
+class TestRetentionDetection:
+    def test_delay_extends_short_detection(self):
+        """A weak short escapes plain MATS+ but fails the delayed
+        variant — the pause gives it time to discharge the cell."""
+        def detected(test, r_ohm):
+            model = behavioral_model(Defect(DefectKind.SG,
+                                            resistance=r_ohm))
+            return run_march(test, model, n_cells=2,
+                             defective_address=0).detected
+
+        delayed = with_delay(MATS_PLUS, 24)
+        # find a resistance where the plain test passes
+        for r_ohm in (1.5e6, 2.5e6, 4e6, 6e6):
+            if not detected(MATS_PLUS, r_ohm):
+                break
+        else:
+            pytest.skip("plain MATS+ detects the whole probed range")
+        assert detected(delayed, r_ohm), \
+            f"delayed MATS+ must catch the weak short at {r_ohm:.3g}"
+
+    def test_healthy_cell_passes_delayed_test(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=10.0))
+        assert not run_march(with_delay(MATS_PLUS, 16), model).detected

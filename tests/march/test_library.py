@@ -1,0 +1,53 @@
+"""Standard march-test library contents."""
+
+import pytest
+
+from repro.march import (
+    MARCH_A,
+    MARCH_B,
+    MARCH_CMINUS,
+    MARCH_X,
+    MARCH_Y,
+    MATS,
+    MATS_PLUS,
+    MATS_PP,
+    PMOVI,
+    STANDARD_TESTS,
+)
+
+
+class TestComplexities:
+    @pytest.mark.parametrize("test,length", [
+        (MATS, 4), (MATS_PLUS, 5), (MATS_PP, 6), (MARCH_X, 6),
+        (MARCH_Y, 8), (MARCH_CMINUS, 10), (MARCH_A, 15), (MARCH_B, 17),
+        (PMOVI, 13),
+    ])
+    def test_textbook_lengths(self, test, length):
+        assert test.length == length
+
+
+class TestStructure:
+    def test_library_sorted_by_length(self):
+        lengths = [t.length for t in STANDARD_TESTS]
+        assert lengths == sorted(lengths)
+
+    def test_all_start_with_initialising_write(self):
+        for t in STANDARD_TESTS:
+            first = t.elements[0].ops[0]
+            assert str(first) in ("w0", "w1")
+
+    def test_march_cminus_symmetry(self):
+        """March C- pairs each ascending element with a descending one."""
+        orders = [e.order.value for e in MARCH_CMINUS.elements]
+        assert orders == ["⇕", "⇑", "⇑", "⇓", "⇓", "⇕"]
+
+    def test_unique_names(self):
+        names = [t.name for t in STANDARD_TESTS]
+        assert len(names) == len(set(names))
+
+    def test_every_read_carries_expectation(self):
+        for t in STANDARD_TESTS:
+            for e in t.elements:
+                for op in e.ops:
+                    if str(op).startswith("r"):
+                        assert op.expected in (0, 1), (t.name, str(op))

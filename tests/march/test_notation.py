@@ -1,0 +1,84 @@
+"""March DSL parsing and rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.march import AddressOrder, MarchElement, MarchTest, parse_march
+
+
+class TestAddressOrder:
+    @pytest.mark.parametrize("token,order", [
+        ("u", AddressOrder.UP), ("up", AddressOrder.UP),
+        ("⇑", AddressOrder.UP),
+        ("d", AddressOrder.DOWN), ("⇓", AddressOrder.DOWN),
+        ("b", AddressOrder.ANY), ("any", AddressOrder.ANY),
+        ("⇕", AddressOrder.ANY),
+    ])
+    def test_aliases(self, token, order):
+        assert AddressOrder.parse(token) is order
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            AddressOrder.parse("sideways")
+
+    def test_up_addresses(self):
+        assert list(AddressOrder.UP.addresses(3)) == [0, 1, 2]
+
+    def test_down_addresses(self):
+        assert list(AddressOrder.DOWN.addresses(3)) == [2, 1, 0]
+
+    def test_any_defaults_up(self):
+        assert list(AddressOrder.ANY.addresses(2)) == [0, 1]
+
+
+class TestMarchElement:
+    def test_parse_basic(self):
+        e = MarchElement.parse("u(r0,w1)")
+        assert e.order is AddressOrder.UP
+        assert [str(o) for o in e.ops] == ["r0", "w1"]
+
+    def test_parse_spaces(self):
+        e = MarchElement.parse(" d( r1 , w0 , r0 ) ")
+        assert len(e.ops) == 3
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            MarchElement.parse("u r0,w1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MarchElement.parse("u()")
+
+    def test_str_uses_arrows(self):
+        assert str(MarchElement.parse("u(w0)")) == "⇑(w0)"
+
+
+class TestMarchTest:
+    def test_parse_multi_element(self):
+        t = parse_march("X", "b(w0); u(r0,w1); d(r1,w0)")
+        assert len(t.elements) == 3
+
+    def test_length_counts_ops_per_cell(self):
+        t = parse_march("X", "b(w0); u(r0,w1); d(r1,w0)")
+        assert t.length == 5
+
+    def test_notation_roundtrip(self):
+        t = parse_march("X", "b(w0); u(r0,w1)")
+        t2 = parse_march("X", t.notation())
+        assert t2.elements == t.elements
+
+    def test_empty_test_rejected(self):
+        with pytest.raises(ValueError):
+            parse_march("X", " ; ")
+
+    def test_str_mentions_complexity(self):
+        t = parse_march("X", "b(w0); u(r0)")
+        assert "2N" in str(t)
+
+    @given(st.lists(st.sampled_from(["w0", "w1", "r0", "r1"]),
+                    min_size=1, max_size=5),
+           st.sampled_from(["u", "d", "b"]))
+    def test_roundtrip_property(self, ops, order):
+        text = f"{order}({','.join(ops)})"
+        t = parse_march("T", text)
+        assert parse_march("T", t.notation()).elements == t.elements

@@ -1,0 +1,96 @@
+"""March-test synthesis from detection conditions."""
+
+import pytest
+
+from repro.analysis import derive_detection_condition
+from repro.analysis.detection import DetectionCondition
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+from repro.dram.ops import parse_ops
+from repro.march import run_march
+from repro.march.notation import AddressOrder
+from repro.march.synthesis import march_from_conditions, synthesize_for_defects
+
+
+def _condition(text, resistance=2e5, failing_read=None, expected=0):
+    ops = tuple(parse_ops(text))
+    if failing_read is None:
+        failing_read = len(ops) - 1
+    return DetectionCondition(ops, resistance, failing_read, expected)
+
+
+class TestMarchFromConditions:
+    def test_one_condition_three_elements(self):
+        test = march_from_conditions([_condition("w1^2 w0 r0")])
+        # init + up + down
+        assert len(test.elements) == 3
+        assert test.elements[1].order is AddressOrder.UP
+        assert test.elements[2].order is AddressOrder.DOWN
+
+    def test_single_order_variant(self):
+        test = march_from_conditions([_condition("w1^2 w0 r0")],
+                                     both_orders=False)
+        assert len(test.elements) == 2
+
+    def test_duplicates_merged(self):
+        test = march_from_conditions([
+            _condition("w1^2 w0 r0"),
+            _condition("w1^2 w0 r0", resistance=4e5),
+        ])
+        assert len(test.elements) == 3
+
+    def test_distinct_conditions_kept(self):
+        test = march_from_conditions([
+            _condition("w1^2 w0 r0"),
+            _condition("w0^2 w1 r1", expected=1),
+        ], both_orders=False)
+        assert len(test.elements) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            march_from_conditions([])
+
+    def test_rejects_read_first_condition(self):
+        with pytest.raises(ValueError):
+            march_from_conditions([
+                DetectionCondition(tuple(parse_ops("r0 w1")), 1e5, 0, 0)])
+
+    def test_initialising_element_first(self):
+        test = march_from_conditions([_condition("w1 r1", expected=1)])
+        assert str(test.elements[0].ops[0]) == "w0"
+
+
+class TestEndToEnd:
+    def test_synthesized_march_detects_source_defect(self):
+        """The march built from a defect's own detection condition must
+        detect that defect."""
+        defect = Defect(DefectKind.O3, resistance=300e3)
+        model = behavioral_model(defect)
+        cond = derive_detection_condition(model, 300e3)
+        test = march_from_conditions([cond], name="O3-march")
+        fresh = behavioral_model(defect)
+        assert run_march(test, fresh).detected
+
+    def test_synthesized_march_passes_healthy(self):
+        cond = _condition("w1^2 w0 r0")
+        test = march_from_conditions([cond])
+        healthy = behavioral_model(Defect(DefectKind.O3,
+                                          resistance=10.0))
+        assert not run_march(test, healthy).detected
+
+    def test_synthesize_for_defect_family(self):
+        defects = (Defect(DefectKind.O3, Placement.TRUE),
+                   Defect(DefectKind.O3, Placement.COMP),
+                   Defect(DefectKind.SG, Placement.TRUE))
+        test = synthesize_for_defects(
+            defects, lambda d, s: behavioral_model(d, stress=s),
+            name="family")
+        # every source defect (at a just-failing resistance) is caught
+        for defect in defects:
+            from repro.core.border import find_border_resistance
+            from repro.core.optimizer import probe_resistance
+            model = behavioral_model(defect)
+            border = find_border_resistance(model, defect, rel_tol=0.1)
+            probe = probe_resistance(defect, border)
+            victim = behavioral_model(defect.with_resistance(probe))
+            assert run_march(test, victim).detected, defect.name

@@ -1,0 +1,96 @@
+"""Classic march-test theory, validated on the simulated memory.
+
+Memory-testing theory says which fault primitives each march test is
+guaranteed to catch; the behavioral column with targeted defects lets us
+confirm the guarantees hold end-to-end (and that the known blind spots
+are real).
+"""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind
+from repro.march import (
+    MARCH_B,
+    MARCH_CMINUS,
+    MARCH_Y,
+    MATS,
+    MATS_PLUS,
+    run_march,
+)
+
+
+def _sg(r_ohm):
+    """A GND short: attacks stored 1s (SAF0/TF-up flavour)."""
+    return behavioral_model(Defect(DefectKind.SG, resistance=r_ohm))
+
+
+def _sv(r_ohm):
+    """A Vdd short: attacks stored 0s."""
+    return behavioral_model(Defect(DefectKind.SV, resistance=r_ohm))
+
+
+def _o3(r_ohm):
+    """A cell open: down-transition flavour on the true cell."""
+    return behavioral_model(Defect(DefectKind.O3, resistance=r_ohm))
+
+
+class TestStuckAtCoverage:
+    """All march tests (even MATS) detect hard stuck-at faults."""
+
+    @pytest.mark.parametrize("test", [MATS, MATS_PLUS, MARCH_CMINUS],
+                             ids=lambda t: t.name)
+    def test_hard_saf0_detected(self, test):
+        assert run_march(test, _sg(5e3)).detected
+
+    @pytest.mark.parametrize("test", [MATS, MATS_PLUS, MARCH_CMINUS],
+                             ids=lambda t: t.name)
+    def test_hard_saf1_detected(self, test):
+        assert run_march(test, _sv(5e3)).detected
+
+
+class TestTransitionCoverage:
+    """TF coverage requires a (w_x̄ ... w_x ... r_x) structure; all the
+    5N+ tests in the library have it for the down transition."""
+
+    @pytest.mark.parametrize("test", [MATS_PLUS, MARCH_CMINUS, MARCH_B],
+                             ids=lambda t: t.name)
+    def test_down_transition_fault_detected(self, test):
+        # O3 just above its border: the single w0 after a full charge
+        # fails, i.e. a TF<1/0> with write-back assistance.
+        assert run_march(test, _o3(600e3)).detected
+
+
+class TestReadCountSensitivity:
+    """Tests with r-after-w in the same element (March Y/B) catch
+    marginal defects earlier than write-only-element tests."""
+
+    def test_immediate_verify_stronger(self):
+        detected_y, detected_mats = [], []
+        for r_ohm in (3e5, 4e5, 5e5):
+            detected_y.append(run_march(MARCH_Y, _o3(r_ohm)).detected)
+            detected_mats.append(run_march(MATS, _o3(r_ohm)).detected)
+        # March Y detects at least wherever MATS does
+        for y, m in zip(detected_y, detected_mats):
+            assert y or not m
+
+    def test_march_b_superset_of_mats_plus_on_opens(self):
+        for r_ohm in (2.5e5, 4e5, 7e5):
+            b = run_march(MARCH_B, _o3(r_ohm)).detected
+            mp = run_march(MATS_PLUS, _o3(r_ohm)).detected
+            assert b or not mp
+
+
+class TestAddressOrderMatters:
+    def test_detection_independent_of_defective_address_for_saf(self):
+        for address in (0, 3, 7):
+            model = _sg(5e3)
+            assert run_march(MARCH_CMINUS, model, n_cells=8,
+                             defective_address=address).detected
+
+    def test_first_failure_read_is_expecting(self):
+        result = run_march(MARCH_CMINUS, _o3(700e3))
+        failure = result.failures[0]
+        element = MARCH_CMINUS.elements[failure.element_index]
+        op = element.ops[failure.op_index]
+        assert op.expected is not None

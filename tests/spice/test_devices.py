@@ -1,0 +1,144 @@
+"""Linear devices and the diode junction model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.devices import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Resistor,
+    VoltageSource,
+    thermal_voltage,
+)
+from repro.spice.errors import NetlistError
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Constant
+from repro.spice import dc_operating_point, transient
+
+
+class TestResistor:
+    def test_rejects_nonpositive(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            Resistor("R", c.node("a"), c.node("0"), 0.0)
+        with pytest.raises(NetlistError):
+            Resistor("R", c.node("a"), c.node("0"), -5.0)
+
+    def test_divider_dc(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"), Constant(3.0)))
+        c.add(Resistor("R1", c.node("in"), c.node("mid"), 1e3))
+        c.add(Resistor("R2", c.node("mid"), c.node("0"), 2e3))
+        op = dc_operating_point(c)
+        assert op["mid"] == pytest.approx(2.0, rel=1e-6)
+
+    @given(st.floats(1.0, 1e6), st.floats(1.0, 1e6))
+    def test_divider_ratio_property(self, r1, r2):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"), Constant(1.0)))
+        c.add(Resistor("R1", c.node("in"), c.node("mid"), r1))
+        c.add(Resistor("R2", c.node("mid"), c.node("0"), r2))
+        op = dc_operating_point(c)
+        assert op["mid"] == pytest.approx(r2 / (r1 + r2), rel=1e-4)
+
+
+class TestCapacitor:
+    def test_rejects_nonpositive(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            Capacitor("C", c.node("a"), c.node("0"), -1e-12)
+
+    def test_open_in_dc(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"), Constant(2.0)))
+        c.add(Resistor("R", c.node("in"), c.node("out"), 1e3))
+        c.add(Capacitor("C", c.node("out"), c.node("0"), 1e-9))
+        op = dc_operating_point(c)
+        # No DC path to ground besides gmin -> output floats to the input.
+        assert op["out"] == pytest.approx(2.0, rel=1e-3)
+
+    def test_holds_initial_condition(self):
+        c = Circuit()
+        c.add(Resistor("R", c.node("a"), c.node("0"), 1e12))
+        c.add(Capacitor("C", c.node("a"), c.node("0"), 1e-9))
+        res = transient(c, 1e-6, 1e-8, initial={"a": 1.7})
+        assert res.final("a") == pytest.approx(1.7, abs=1e-3)
+
+
+class TestSources:
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add(CurrentSource("I", c.node("0"), c.node("a"), Constant(1e-3)))
+        c.add(Resistor("R", c.node("a"), c.node("0"), 1e3))
+        op = dc_operating_point(c)
+        assert op["a"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_voltage_source_forces_node(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("a"), c.node("0"), Constant(-1.2)))
+        c.add(Resistor("R", c.node("a"), c.node("0"), 50.0))
+        op = dc_operating_point(c)
+        assert op["a"] == pytest.approx(-1.2)
+
+    def test_floating_differential_source(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", c.node("a"), c.node("0"), Constant(2.0)))
+        c.add(VoltageSource("V2", c.node("b"), c.node("a"), Constant(0.5)))
+        c.add(Resistor("R", c.node("b"), c.node("0"), 1e3))
+        op = dc_operating_point(c)
+        assert op["b"] == pytest.approx(2.5)
+
+
+class TestDiode:
+    def test_forward_conduction(self):
+        d = Diode("D", Circuit().node("a"), Circuit().node("0"),
+                  isat=1e-14)
+        i, g = d.iv(0.7, 27.0)
+        assert i > 1e-4
+        assert g > 0
+
+    def test_reverse_saturation(self):
+        c = Circuit()
+        d = Diode("D", c.node("a"), c.node("0"), isat=1e-12)
+        i, _ = d.iv(-1.0, 27.0)
+        assert i == pytest.approx(-1e-12, rel=1e-3)
+
+    def test_temperature_doubling(self):
+        c = Circuit()
+        d = Diode("D", c.node("a"), c.node("0"), isat=1e-12,
+                  isat_tdouble=10.0, temp_nom_c=27.0)
+        assert d.isat_at(37.0) == pytest.approx(2e-12)
+        assert d.isat_at(27.0) == pytest.approx(1e-12)
+        assert d.isat_at(17.0) == pytest.approx(0.5e-12)
+
+    def test_exp_clamp_no_overflow(self):
+        c = Circuit()
+        d = Diode("D", c.node("a"), c.node("0"))
+        i, g = d.iv(100.0, 27.0)   # absurd forward bias
+        assert math.isfinite(i)
+        assert math.isfinite(g)
+
+    def test_rejects_bad_isat(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            Diode("D", c.node("a"), c.node("0"), isat=0.0)
+
+    def test_dc_forward_drop(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"), Constant(2.0)))
+        c.add(Resistor("R", c.node("in"), c.node("a"), 1e3))
+        c.add(Diode("D", c.node("a"), c.node("0"), isat=1e-14))
+        op = dc_operating_point(c)
+        assert 0.5 < op["a"] < 0.8    # a silicon-ish forward drop
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(27.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_monotone_in_temperature(self):
+        assert thermal_voltage(87.0) > thermal_voltage(27.0) > \
+            thermal_voltage(-33.0)

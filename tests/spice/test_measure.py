@@ -1,0 +1,125 @@
+"""Waveform measurement utilities."""
+
+import math
+
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    PWL,
+    Resistor,
+    SpiceError,
+    VoltageSource,
+    transient,
+)
+from repro.spice.measure import (
+    average,
+    cross_time,
+    edge_time,
+    extremum,
+    settle_time,
+)
+
+
+@pytest.fixture(scope="module")
+def rc_result():
+    """RC charge to 2.0 V with tau = 100 ns, step at t = 0."""
+    c = Circuit()
+    c.add(VoltageSource("V", c.node("in"), c.node("0"),
+                        PWL([(0.0, 0.0), (1e-10, 2.0)])))
+    c.add(Resistor("R", c.node("in"), c.node("out"), 1e3))
+    c.add(Capacitor("C", c.node("out"), c.node("0"), 100e-12))
+    return transient(c, 800e-9, 1e-9)
+
+
+class TestCrossTime:
+    def test_rc_half_level(self, rc_result):
+        t = cross_time(rc_result, "out", 1.0, direction="rise")
+        assert t == pytest.approx(100e-9 * math.log(2), rel=0.05)
+
+    def test_no_crossing_returns_none(self, rc_result):
+        assert cross_time(rc_result, "out", 5.0) is None
+
+    def test_fall_direction_filters(self, rc_result):
+        assert cross_time(rc_result, "out", 1.0,
+                          direction="fall") is None
+
+    def test_occurrence_selection(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("a"), c.node("0"),
+                            PWL([(0, 0), (10e-9, 2), (20e-9, 0),
+                                 (30e-9, 2)])))
+        c.add(Resistor("R", c.node("a"), c.node("0"), 1e3))
+        res = transient(c, 40e-9, 0.5e-9)
+        t1 = cross_time(res, "a", 1.0, direction="rise", occurrence=1)
+        t2 = cross_time(res, "a", 1.0, direction="rise", occurrence=2)
+        assert t1 == pytest.approx(5e-9, rel=0.05)
+        assert t2 == pytest.approx(25e-9, rel=0.05)
+
+    def test_bad_arguments(self, rc_result):
+        with pytest.raises(SpiceError):
+            cross_time(rc_result, "out", 1.0, direction="sideways")
+        with pytest.raises(SpiceError):
+            cross_time(rc_result, "out", 1.0, occurrence=0)
+
+
+class TestEdgeTime:
+    def test_rc_10_90_rise(self, rc_result):
+        t = edge_time(rc_result, "out")
+        # analytic 10-90% of an RC step: tau * ln(9)
+        assert t == pytest.approx(100e-9 * math.log(9), rel=0.10)
+
+    def test_flat_waveform_none(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("a"), c.node("0"), 1.0))
+        c.add(Resistor("R", c.node("a"), c.node("0"), 1e3))
+        res = transient(c, 10e-9, 1e-9, initial={"a": 1.0})
+        assert edge_time(res, "a") is None
+
+
+class TestSettleTime:
+    def test_rc_settles_within_tolerance(self, rc_result):
+        t = settle_time(rc_result, "out", final=2.0, tolerance=0.05)
+        # settles to 2.5% band at ~ tau*ln(40)
+        assert t == pytest.approx(100e-9 * math.log(2.0 / 0.05),
+                                  rel=0.15)
+
+    def test_never_settles(self, rc_result):
+        assert settle_time(rc_result, "out", final=0.0,
+                           tolerance=0.01) is None
+
+    def test_already_settled(self, rc_result):
+        t = settle_time(rc_result, "out", final=2.0, tolerance=3.0)
+        assert t == pytest.approx(0.0, abs=1e-12)
+
+
+class TestExtremumAndAverage:
+    def test_extremum_of_rc(self, rc_result):
+        v_min, t_min, v_max, t_max = extremum(rc_result, "out")
+        assert v_min == pytest.approx(0.0, abs=1e-6)
+        assert v_max == pytest.approx(2.0, abs=0.02)
+        assert t_min < t_max
+
+    def test_extremum_window(self, rc_result):
+        with pytest.raises(SpiceError):
+            extremum(rc_result, "out", t_start=1.0, t_stop=2.0)
+
+    def test_average_of_constant(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("a"), c.node("0"), 1.5))
+        c.add(Resistor("R", c.node("a"), c.node("0"), 1e3))
+        res = transient(c, 10e-9, 1e-9, initial={"a": 1.5})
+        assert average(res, "a") == pytest.approx(1.5, rel=1e-6)
+
+    def test_average_of_ramp(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("a"), c.node("0"),
+                            PWL([(0.0, 0.0), (10e-9, 2.0)])))
+        c.add(Resistor("R", c.node("a"), c.node("0"), 1e3))
+        res = transient(c, 10e-9, 0.5e-9)
+        assert average(res, "a") == pytest.approx(1.0, rel=0.02)
+
+    def test_average_bad_window(self, rc_result):
+        with pytest.raises(SpiceError):
+            average(rc_result, "out", t_start=5e-9, t_stop=5e-9)

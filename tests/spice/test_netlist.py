@@ -1,0 +1,161 @@
+"""Circuit construction, node management and stamping primitives."""
+
+import numpy as np
+import pytest
+
+from repro.spice.devices import Resistor, VoltageSource
+from repro.spice.errors import NetlistError
+from repro.spice.netlist import (
+    AnalysisContext,
+    Circuit,
+    GROUND,
+    Stamper,
+)
+from repro.spice.waveforms import Constant
+
+
+class TestNodes:
+    def test_ground_aliases(self):
+        c = Circuit()
+        for name in ("0", "gnd", "GND", "ground"):
+            assert c.node(name) is GROUND
+
+    def test_node_identity_per_name(self):
+        c = Circuit()
+        assert c.node("a") is c.node("a")
+
+    def test_distinct_names_distinct_nodes(self):
+        c = Circuit()
+        assert c.node("a") is not c.node("b")
+
+    def test_ground_not_counted(self):
+        c = Circuit()
+        c.node("0")
+        assert c.num_nodes == 0
+
+    def test_indices_sequential(self):
+        c = Circuit()
+        assert c.node("a").index == 0
+        assert c.node("b").index == 1
+
+    def test_has_node(self):
+        c = Circuit()
+        c.node("x")
+        assert c.has_node("x")
+        assert c.has_node("gnd")
+        assert not c.has_node("y")
+
+
+class TestDevices:
+    def test_add_and_lookup(self):
+        c = Circuit()
+        r = c.add(Resistor("R1", c.node("a"), c.node("0"), 1e3))
+        assert c["R1"] is r
+        assert "R1" in c
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add(Resistor("R1", c.node("a"), c.node("0"), 1e3))
+        with pytest.raises(NetlistError):
+            c.add(Resistor("R1", c.node("b"), c.node("0"), 1e3))
+
+    def test_foreign_node_rejected(self):
+        c1, c2 = Circuit(), Circuit()
+        alien = c2.node("x")
+        with pytest.raises(NetlistError):
+            c1.add(Resistor("R1", alien, c1.node("0"), 1e3))
+
+    def test_remove(self):
+        c = Circuit()
+        c.add(Resistor("R1", c.node("a"), c.node("0"), 1e3))
+        c.remove("R1")
+        assert "R1" not in c
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(NetlistError):
+            Circuit().remove("nope")
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(NetlistError):
+            Circuit()["nope"]
+
+
+class TestFinalize:
+    def test_branch_indices_for_vsources(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", c.node("a"), c.node("0"), Constant(1)))
+        c.add(Resistor("R1", c.node("a"), c.node("0"), 1e3))
+        c.add(VoltageSource("V2", c.node("b"), c.node("0"), Constant(2)))
+        assert c.branch_index("V1") == 0
+        assert c.branch_index("V2") == 1
+        assert c.num_branches == 2
+
+    def test_system_size(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", c.node("a"), c.node("0"), Constant(1)))
+        c.add(Resistor("R1", c.node("a"), c.node("b"), 1e3))
+        assert c.system_size == 2 + 1
+
+    def test_resistor_has_no_branch(self):
+        c = Circuit()
+        c.add(Resistor("R1", c.node("a"), c.node("0"), 1e3))
+        with pytest.raises(NetlistError):
+            c.branch_index("R1")
+
+    def test_adding_after_finalize_refinalizes(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", c.node("a"), c.node("0"), Constant(1)))
+        c.finalize()
+        c.add(VoltageSource("V2", c.node("b"), c.node("0"), Constant(2)))
+        assert c.branch_index("V2") == 1
+
+
+class TestStamper:
+    def _stamper(self, n):
+        A = np.zeros((n, n))
+        b = np.zeros(n)
+        return Stamper(A, b, n, AnalysisContext()), A, b
+
+    def test_conductance_two_nodes(self):
+        c = Circuit()
+        a, b_node = c.node("a"), c.node("b")
+        st, A, _ = self._stamper(2)
+        st.conductance(a, b_node, 0.5)
+        assert A[0, 0] == 0.5
+        assert A[1, 1] == 0.5
+        assert A[0, 1] == -0.5
+        assert A[1, 0] == -0.5
+
+    def test_conductance_to_ground(self):
+        c = Circuit()
+        a = c.node("a")
+        st, A, _ = self._stamper(1)
+        st.conductance(a, GROUND, 2.0)
+        assert A[0, 0] == 2.0
+
+    def test_current_directions(self):
+        c = Circuit()
+        a, b_node = c.node("a"), c.node("b")
+        st, _, rhs = self._stamper(2)
+        st.current(a, b_node, 1e-3)
+        assert rhs[0] == -1e-3
+        assert rhs[1] == 1e-3
+
+    def test_transconductance_pattern(self):
+        c = Circuit()
+        d, g, s = c.node("d"), c.node("g"), c.node("s")
+        st, A, _ = self._stamper(3)
+        st.transconductance(d, s, g, s, 1e-3)
+        assert A[d.index, g.index] == pytest.approx(1e-3)
+        assert A[d.index, s.index] == pytest.approx(-1e-3)
+        assert A[s.index, g.index] == pytest.approx(-1e-3)
+        assert A[s.index, s.index] == pytest.approx(1e-3)
+
+    def test_voltage_reads(self):
+        c = Circuit()
+        a = c.node("a")
+        ctx = AnalysisContext(x=np.array([1.5]), x_prev=np.array([0.5]))
+        st = Stamper(np.zeros((1, 1)), np.zeros(1), 1, ctx)
+        assert st.v(a) == 1.5
+        assert st.v_prev(a) == 0.5
+        assert st.v(GROUND) == 0.0

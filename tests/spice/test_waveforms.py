@@ -1,0 +1,151 @@
+"""Waveform evaluation and breakpoint enumeration."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.waveforms import (
+    Constant,
+    PWL,
+    Pulse,
+    merge_breakpoints,
+    step,
+)
+
+
+class TestConstant:
+    def test_value_everywhere(self):
+        wf = Constant(2.4)
+        assert wf.value(0.0) == 2.4
+        assert wf.value(1e-3) == 2.4
+        assert wf.value(-1.0) == 2.4
+
+    def test_no_breakpoints(self):
+        assert Constant(1.0).breakpoints(0, 1) == []
+
+    def test_callable(self):
+        assert Constant(3.3)(0.5) == 3.3
+
+
+class TestPWL:
+    def test_holds_before_first_point(self):
+        wf = PWL([(1e-9, 1.0), (2e-9, 2.0)])
+        assert wf.value(0.0) == 1.0
+
+    def test_holds_after_last_point(self):
+        wf = PWL([(1e-9, 1.0), (2e-9, 2.0)])
+        assert wf.value(5e-9) == 2.0
+
+    def test_linear_interpolation(self):
+        wf = PWL([(0.0, 0.0), (1.0, 2.0)])
+        assert wf.value(0.5) == pytest.approx(1.0)
+        assert wf.value(0.25) == pytest.approx(0.5)
+
+    def test_exact_points(self):
+        wf = PWL([(0.0, 0.0), (1.0, 2.0), (2.0, -1.0)])
+        assert wf.value(1.0) == pytest.approx(2.0)
+        assert wf.value(2.0) == pytest.approx(-1.0)
+
+    def test_ideal_step_coincident_points(self):
+        wf = PWL([(0.0, 0.0), (1.0, 0.0), (1.0, 5.0)])
+        assert wf.value(0.999999) == pytest.approx(0.0, abs=1e-4)
+        assert wf.value(1.0) == 5.0
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            PWL([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PWL([])
+
+    def test_breakpoints_interior_only(self):
+        wf = PWL([(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)])
+        assert wf.breakpoints(0.0, 2.0) == [1.0]
+        assert wf.breakpoints(0.0, 3.0) == [1.0, 2.0]
+
+    @given(st.lists(st.tuples(st.floats(0, 1e-6),
+                              st.floats(-5, 5)),
+                    min_size=1, max_size=8))
+    def test_value_bounded_by_samples(self, points):
+        points = sorted(points, key=lambda p: p[0])
+        wf = PWL(points)
+        values = [v for _, v in points]
+        lo, hi = min(values), max(values)
+        for frac in (0.0, 0.3, 0.7, 1.0):
+            t = points[0][0] + frac * (points[-1][0] - points[0][0])
+            assert lo - 1e-9 <= wf.value(t) <= hi + 1e-9
+
+
+class TestPulse:
+    def test_level_before_delay(self):
+        wf = Pulse(0.0, 1.0, delay=10e-9, rise=1e-9, width=5e-9)
+        assert wf.value(5e-9) == 0.0
+
+    def test_plateau(self):
+        wf = Pulse(0.0, 1.0, delay=0.0, rise=1e-9, width=5e-9, fall=1e-9)
+        assert wf.value(3e-9) == 1.0
+
+    def test_edges_interpolate(self):
+        wf = Pulse(0.0, 2.0, delay=0.0, rise=2e-9, width=5e-9)
+        assert wf.value(1e-9) == pytest.approx(1.0)
+
+    def test_returns_to_v1(self):
+        wf = Pulse(0.0, 1.0, delay=0.0, rise=1e-9, width=2e-9, fall=1e-9)
+        assert wf.value(10e-9) == 0.0
+
+    def test_periodic_repeats(self):
+        wf = Pulse(0.0, 1.0, delay=0.0, rise=1e-9, width=2e-9, fall=1e-9,
+                   period=10e-9)
+        assert wf.value(12e-9) == pytest.approx(wf.value(2e-9))
+
+    def test_rejects_zero_rise(self):
+        with pytest.raises(ValueError):
+            Pulse(0, 1, rise=0.0)
+
+    def test_rejects_period_shorter_than_pulse(self):
+        with pytest.raises(ValueError):
+            Pulse(0, 1, rise=1e-9, width=5e-9, fall=1e-9, period=3e-9)
+
+    def test_breakpoints_single(self):
+        wf = Pulse(0.0, 1.0, delay=1e-9, rise=1e-9, width=2e-9, fall=1e-9)
+        bps = wf.breakpoints(0.0, 10e-9)
+        assert bps == pytest.approx([1e-9, 2e-9, 4e-9, 5e-9])
+
+    def test_breakpoints_periodic_count(self):
+        wf = Pulse(0.0, 1.0, rise=1e-9, width=2e-9, fall=1e-9,
+                   period=10e-9)
+        bps = wf.breakpoints(0.0, 25e-9)
+        # ~2.5 periods x 4 corners, minus those at exactly 0
+        assert len(bps) >= 8
+        assert bps == sorted(bps)
+
+    @given(st.floats(0, 100e-9))
+    def test_periodic_value_in_range(self, t):
+        wf = Pulse(-1.0, 2.0, rise=1e-9, width=3e-9, fall=2e-9,
+                   period=12e-9)
+        assert -1.0 <= wf.value(t) <= 2.0
+
+
+class TestHelpers:
+    def test_step_levels(self):
+        wf = step(1e-9, 0.0, 2.4)
+        assert wf.value(0.0) == 0.0
+        assert wf.value(2e-9) == 2.4
+
+    def test_merge_breakpoints_sorted_unique(self):
+        a = PWL([(0.0, 0), (1.0, 1), (2.0, 0)])
+        b = PWL([(0.0, 0), (1.0, 2), (3.0, 0)])
+        merged = merge_breakpoints([a, b], 0.0, 5.0)
+        assert merged == [1.0, 2.0, 3.0]
+
+    def test_merge_respects_window(self):
+        a = PWL([(0.0, 0), (1.0, 1), (9.0, 0)])
+        assert merge_breakpoints([a], 0.0, 5.0) == [1.0]
+
+    def test_merge_dedup_tolerance(self):
+        a = PWL([(1.0, 0), (2.0, 1)])
+        b = PWL([(1.0 + 1e-16, 0), (2.0, 1)])
+        merged = merge_breakpoints([a, b], 0.5, 3.0)
+        assert merged == [1.0, 2.0]   # 1.0+1e-16 collapses into 1.0

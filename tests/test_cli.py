@@ -1,0 +1,50 @@
+"""Command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_args(self):
+        args = build_parser().parse_args(["optimize", "O3", "--comp"])
+        assert args.defect == "O3"
+        assert args.comp
+
+    def test_planes_defaults(self):
+        args = build_parser().parse_args(["planes"])
+        assert not args.stressed
+        assert args.points == 8
+
+
+class TestCommands:
+    def test_optimize_unknown_defect(self, capsys):
+        rc = main(["optimize", "O9"])
+        assert rc == 2
+        assert "unknown defect" in capsys.readouterr().err
+
+    def test_optimize_behavioral(self, capsys):
+        rc = main(["optimize", "O3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "O3 (true)" in out
+        assert "tcyc" in out
+
+    def test_shmoo(self, capsys):
+        rc = main(["shmoo", "--resistance", "250000"])
+        assert rc == 0
+        assert "Shmoo" in capsys.readouterr().out
+
+    def test_planes_behavioral(self, capsys):
+        rc = main(["planes", "--points", "5"])
+        assert rc == 0
+        assert "Plane of w0" in capsys.readouterr().out
+
+    def test_coverage(self, capsys):
+        rc = main(["coverage", "--points", "6"])
+        assert rc == 0
+        assert "march coverage" in capsys.readouterr().out

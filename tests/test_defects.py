@@ -1,0 +1,77 @@
+"""Defect catalog semantics."""
+
+import pytest
+
+from repro.defects import ALL_DEFECTS, Defect, DefectClass, DefectKind, Placement
+
+
+class TestCatalog:
+    def test_seven_kinds(self):
+        assert len(DefectKind) == 7
+
+    def test_fourteen_table_rows(self):
+        assert len(ALL_DEFECTS) == 14
+
+    def test_classes(self):
+        assert DefectKind.O1.defect_class is DefectClass.OPEN
+        assert DefectKind.O2.defect_class is DefectClass.OPEN
+        assert DefectKind.O3.defect_class is DefectClass.OPEN
+        assert DefectKind.SG.defect_class is DefectClass.SHORT
+        assert DefectKind.SV.defect_class is DefectClass.SHORT
+        assert DefectKind.B1.defect_class is DefectClass.BRIDGE
+        assert DefectKind.B2.defect_class is DefectClass.BRIDGE
+
+    def test_polarity_opens_fail_high(self):
+        for kind in DefectKind:
+            expected = kind.defect_class is DefectClass.OPEN
+            assert kind.fails_high == expected
+
+    def test_search_ranges_ordered(self):
+        for kind in DefectKind:
+            lo, hi = kind.search_range
+            assert 0 < lo < hi
+
+    def test_gate_open_range_higher(self):
+        lo_o2, _ = DefectKind.O2.search_range
+        lo_o3, _ = DefectKind.O3.search_range
+        assert lo_o2 > lo_o3
+
+    def test_descriptions_nonempty(self):
+        for kind in DefectKind:
+            assert kind.describe()
+
+
+class TestPlacement:
+    def test_true_cell_even(self):
+        assert Placement.TRUE.cell_index == 0
+
+    def test_comp_cell_odd(self):
+        assert Placement.COMP.cell_index == 1
+
+
+class TestDefect:
+    def test_site_conversion(self):
+        d = Defect(DefectKind.O3, Placement.COMP, 150e3)
+        site = d.site()
+        assert site.kind == "open_sn"
+        assert site.cell == 1
+        assert site.resistance == 150e3
+
+    def test_with_resistance(self):
+        d = Defect(DefectKind.SG)
+        d2 = d.with_resistance(5e4)
+        assert d2.resistance == 5e4
+        assert d2.kind is DefectKind.SG
+        assert d.resistance != 5e4
+
+    def test_rejects_bad_resistance(self):
+        with pytest.raises(ValueError):
+            Defect(DefectKind.O1, resistance=-1.0)
+
+    def test_name_mentions_placement(self):
+        assert "comp" in Defect(DefectKind.B1, Placement.COMP).name
+        assert "true" in Defect(DefectKind.B1, Placement.TRUE).name
+
+    def test_all_defects_cover_both_placements(self):
+        pairs = {(d.kind, d.placement) for d in ALL_DEFECTS}
+        assert len(pairs) == 14

@@ -1,0 +1,83 @@
+"""Experiment plumbing: model factory, panel rendering, constants."""
+
+import pytest
+
+from repro.core import NOMINAL_STRESS, StressKind
+from repro.core.directions import DirectionCall, DirectionReport, PanelResult, Vote
+from repro.defects import Defect, DefectKind
+from repro.experiments.figures import (
+    FIG6_STRESS,
+    REFERENCE_DEFECT,
+    PanelStudy,
+    make_model,
+    render_vsa_vs_temperature,
+)
+
+
+class TestMakeModel:
+    def test_behavioral_backend(self):
+        model = make_model(REFERENCE_DEFECT, NOMINAL_STRESS,
+                           "behavioral")
+        from repro.behav import BehavioralColumn
+        assert isinstance(model, BehavioralColumn)
+
+    def test_electrical_backend(self):
+        model = make_model(REFERENCE_DEFECT, NOMINAL_STRESS,
+                           "electrical")
+        from repro.dram import ColumnRunner
+        assert isinstance(model, ColumnRunner)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_model(REFERENCE_DEFECT, NOMINAL_STRESS, "quantum")
+
+
+class TestConstants:
+    def test_reference_defect_is_paper_fig1(self):
+        assert REFERENCE_DEFECT.kind is DefectKind.O3
+        assert REFERENCE_DEFECT.resistance == pytest.approx(200e3)
+
+    def test_fig6_stress_values(self):
+        assert FIG6_STRESS.vdd == pytest.approx(2.1)
+        assert FIG6_STRESS.tcyc == pytest.approx(55e-9)
+        assert FIG6_STRESS.temp_c == pytest.approx(87.0)
+
+
+class TestPanelRendering:
+    def _study(self, vsa):
+        return PanelStudy("T", [-33.0, 27.0, 87.0],
+                          [0.85, 0.92, 0.99], vsa, NOMINAL_STRESS,
+                          REFERENCE_DEFECT, notes=["check"])
+
+    def test_render_mentions_values(self):
+        text = self._study([1.0, 0.8, 0.83]).render()
+        assert "T=27" in text
+        assert "note: check" in text
+
+    def test_render_handles_missing_vsa(self):
+        text = self._study([1.0, None, 0.83]).render()
+        assert "-" in text
+
+    def test_vsa_plot(self):
+        text = render_vsa_vs_temperature(self._study([1.0, 0.8, 0.83]))
+        assert "Vsa vs temperature" in text
+
+    def test_vsa_plot_degenerate(self):
+        text = render_vsa_vs_temperature(self._study([None, None, 0.8]))
+        assert "undefined" in text
+
+
+class TestDirectionReport:
+    def _call(self, kind, value):
+        panel = PanelResult("x", [0.0, 1.0], [0.0, 1.0], Vote.HIGH)
+        return DirectionCall(kind, value, "write", panel, panel, False)
+
+    def test_stressed_conditions_composition(self):
+        report = DirectionReport(0, {
+            StressKind.TCYC: self._call(StressKind.TCYC, 55e-9),
+            StressKind.VDD: self._call(StressKind.VDD, 2.1),
+        })
+        sc = report.stressed_conditions(NOMINAL_STRESS)
+        assert sc.tcyc == pytest.approx(55e-9)
+        assert sc.vdd == pytest.approx(2.1)
+        assert sc.temp_c == NOMINAL_STRESS.temp_c

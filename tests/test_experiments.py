@@ -1,0 +1,119 @@
+"""Experiment entry points (behavioral backend for speed).
+
+These check that each figure/table reproduction produces the paper's
+qualitative shape; the benchmarks run the same entry points at full
+(electrical) fidelity.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_result_planes,
+    fig3_timing_panels,
+    fig4_temperature_panels,
+    fig5_voltage_panels,
+    fig6_stressed_planes,
+    march_coverage_comparison,
+    shmoo_baseline,
+    table1_optimization,
+)
+from repro.defects import DefectKind, Placement
+from repro.core import StressKind
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return fig2_result_planes(backend="behavioral", points=7)
+
+    def test_border_near_nominal(self, study):
+        assert study.border is not None
+        assert 8e4 < study.border < 6e5
+
+    def test_render_contains_planes(self, study):
+        text = study.render()
+        for token in ("Plane of w0", "Plane of w1", "Vsa"):
+            assert token in text
+
+
+class TestFig3:
+    def test_shorter_tcyc_weakens_write(self):
+        study = fig3_timing_panels(backend="behavioral")
+        assert study.w0_residuals[1] > study.w0_residuals[0]
+
+    def test_vsa_nearly_unchanged(self):
+        study = fig3_timing_panels(backend="behavioral")
+        assert abs(study.vsa[0] - study.vsa[1]) < 0.05
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return fig4_temperature_panels(backend="behavioral")
+
+    def test_write_weakens_with_temperature(self, study):
+        assert study.w0_residuals == sorted(study.w0_residuals)
+
+    def test_vsa_non_monotonic(self, study):
+        cold, room, hot = study.vsa
+        assert cold > room
+        assert hot > room
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return fig5_voltage_panels(backend="behavioral")
+
+    def test_write_weakens_with_vdd(self, study):
+        assert study.w0_residuals == sorted(study.w0_residuals)
+
+    def test_read_threshold_scales_with_vdd(self, study):
+        assert study.vsa == sorted(study.vsa)
+
+
+class TestFig6:
+    def test_border_shrinks_under_sc(self):
+        nominal = fig2_result_planes(backend="behavioral", points=7)
+        stressed = fig6_stressed_planes(backend="behavioral", points=7)
+        assert stressed.border < nominal.border
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.defects import Defect
+        subset = (Defect(DefectKind.O3, Placement.TRUE),
+                  Defect(DefectKind.SG, Placement.TRUE))
+        return table1_optimization(defects=subset)
+
+    def test_rows_rendered(self, table):
+        text = table.render()
+        assert "O3 (true)" in text
+        assert "Sg (true)" in text
+
+    def test_temperature_up(self, table):
+        for row in table.rows:
+            assert row.directions[StressKind.TEMP].arrow == "↑"
+
+
+class TestShmooBaseline:
+    def test_boundary_visible(self):
+        study = shmoo_baseline(nx=6, ny=5)
+        assert study.plot.pass_count > 0
+        assert study.plot.fail_count > 0
+        assert "Shmoo" in study.render()
+
+
+class TestMarchCoverage:
+    def test_optimized_never_worse(self):
+        from repro.march import MARCH_CMINUS, PMOVI
+        study = march_coverage_comparison(tests=(MARCH_CMINUS, PMOVI),
+                                          r_points=8)
+        for name, nom, opt in study.rows:
+            assert opt >= nom, name
+
+    def test_render_table(self):
+        from repro.march import MATS_PLUS
+        study = march_coverage_comparison(tests=(MATS_PLUS,), r_points=6)
+        assert "MATS+" in study.render()

@@ -1,0 +1,59 @@
+"""Public-API surface checks: exports resolve, version, lazy wrappers."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_lazy_optimize_wrapper(self):
+        from repro import optimize_defect
+        row = optimize_defect(repro.DefectKind.B1)
+        assert row.defect.kind is repro.DefectKind.B1
+
+
+@pytest.mark.parametrize("module", [
+    "repro.spice", "repro.dram", "repro.defects", "repro.analysis",
+    "repro.core", "repro.behav", "repro.march", "repro.report",
+    "repro.experiments",
+])
+class TestSubpackages:
+    def test_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_module_docstring(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__) > 40
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize("module", [
+        "repro.spice.mosfet", "repro.spice.transient",
+        "repro.dram.column", "repro.dram.runner",
+        "repro.analysis.border", "repro.analysis.detection",
+        "repro.core.optimizer", "repro.core.directions",
+        "repro.behav.model", "repro.march.runner",
+    ])
+    def test_public_callables_documented(self, module):
+        mod = importlib.import_module(module)
+        missing = []
+        for name in dir(mod):
+            if name.startswith("_"):
+                continue
+            obj = getattr(mod, name)
+            if getattr(obj, "__module__", None) != module:
+                continue
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"{module}: undocumented {missing}"

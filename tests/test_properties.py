@@ -1,0 +1,119 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold across the whole parameter space, not just the
+paper's operating points.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import border_resistance, sense_threshold
+from repro.analysis.planes import log_grid
+from repro.behav import behavioral_model
+from repro.defects import Defect, DefectKind, Placement
+from repro.spice.mosfet import NMOS_DEFAULT, mosfet_curves
+from repro.stress import NOMINAL_STRESS, StressConditions
+
+
+class TestMosfetInvariants:
+    @given(st.floats(0.0, 4.0), st.floats(0.0, 4.0),
+           st.floats(-40.0, 120.0))
+    @settings(max_examples=60)
+    def test_current_nonnegative_and_finite(self, vgs, vds, temp):
+        ids, gm, gds = mosfet_curves(NMOS_DEFAULT, 2.0, vgs, vds, temp)
+        assert ids >= 0.0
+        assert math.isfinite(ids)
+        assert math.isfinite(gm)
+        assert math.isfinite(gds)
+
+    @given(st.floats(0.2, 3.5), st.floats(0.01, 3.0))
+    @settings(max_examples=40)
+    def test_gm_is_actual_derivative(self, vgs, vds):
+        eps = 1e-5
+        i0, gm, _ = mosfet_curves(NMOS_DEFAULT, 2.0, vgs, vds, 27.0)
+        i1, _, _ = mosfet_curves(NMOS_DEFAULT, 2.0, vgs + eps, vds, 27.0)
+        assert (i1 - i0) / eps == pytest.approx(gm, rel=0.05, abs=1e-9)
+
+    @given(st.floats(0.8, 3.5), st.floats(0.01, 3.0))
+    @settings(max_examples=40)
+    def test_gds_is_actual_derivative(self, vgs, vds):
+        eps = 1e-5
+        i0, _, gds = mosfet_curves(NMOS_DEFAULT, 2.0, vgs, vds, 27.0)
+        i1, _, _ = mosfet_curves(NMOS_DEFAULT, 2.0, vgs, vds + eps, 27.0)
+        assert (i1 - i0) / eps == pytest.approx(gds, rel=0.05, abs=1e-9)
+
+
+class TestStressInvariants:
+    @given(st.floats(50e-9, 70e-9), st.floats(0.3, 0.7),
+           st.floats(-40.0, 100.0), st.floats(1.8, 3.0))
+    @settings(max_examples=30)
+    def test_roundtrip_construction(self, tcyc, duty, temp, vdd):
+        sc = StressConditions(tcyc=tcyc, duty=duty, temp_c=temp, vdd=vdd)
+        assert sc.with_().__eq__(sc)
+        assert "Vdd" in sc.describe()
+
+
+class TestColumnInvariants:
+    @given(st.floats(3e4, 5e6))
+    @settings(max_examples=20, deadline=None)
+    def test_read_monotone_in_initial_voltage(self, r_ohm):
+        """Single reads are monotone: a higher stored voltage never
+        senses lower (no inversions across the threshold)."""
+        model = behavioral_model(Defect(DefectKind.O3, resistance=r_ohm))
+        outputs = [model.run_sequence("r", init_vc=v).outputs[0]
+                   for v in (0.0, 0.8, 1.6, 2.4)]
+        assert outputs == sorted(outputs)
+
+    @given(st.sampled_from([DefectKind.O1, DefectKind.O3]),
+           st.floats(1e5, 2e6))
+    @settings(max_examples=12, deadline=None)
+    def test_true_comp_physical_symmetry(self, kind, r_ohm):
+        """The stored *physical* voltage trace is placement-independent
+        when the logical data is interchanged (the paper's Table 1
+        symmetry)."""
+        t = behavioral_model(Defect(kind, Placement.TRUE, r_ohm))
+        c = behavioral_model(Defect(kind, Placement.COMP, r_ohm))
+        st_t = t.run_sequence("w1 w1 w0", init_vc=0.0)
+        st_c = c.run_sequence("w0 w0 w1", init_vc=0.0)
+        for vt, vc in zip(st_t.vc_after, st_c.vc_after):
+            assert vt == pytest.approx(vc, abs=0.02)
+
+    @given(st.floats(0.35, 0.65))
+    @settings(max_examples=10, deadline=None)
+    def test_longer_duty_writes_more(self, duty):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=4e5))
+        model.set_stress(NOMINAL_STRESS.with_(duty=duty))
+        lo = model.run_sequence("w1", init_vc=0.0).vc_after[0]
+        model.set_stress(NOMINAL_STRESS.with_(duty=min(duty + 0.1,
+                                                       0.75)))
+        hi = model.run_sequence("w1", init_vc=0.0).vc_after[0]
+        assert hi >= lo - 1e-6
+
+
+class TestAnalysisInvariants:
+    @given(st.floats(6e4, 8e5))
+    @settings(max_examples=10, deadline=None)
+    def test_border_separates_outcomes(self, r_probe):
+        """Any probed resistance sits on the side of the border its
+        fault verdict says it should."""
+        model = behavioral_model(Defect(DefectKind.O3, resistance=1e5))
+        border = border_resistance(model, fails_high=True, r_lo=3e4,
+                                   r_hi=5e6, rel_tol=0.05,
+                                   sequences=("w1^6 w0 r0",))
+        model.set_defect_resistance(r_probe)
+        faulty = model.run_sequence("w1^6 w0 r0", init_vc=0.0).any_fault
+        if faulty:
+            assert r_probe > border.resistance * 0.9
+        else:
+            assert r_probe < border.resistance * 1.1
+
+    def test_vsa_descends_along_grid(self):
+        model = behavioral_model(Defect(DefectKind.O3, resistance=1e5))
+        values = []
+        for r_ohm in log_grid(6e4, 2e6, 6):
+            model.set_defect_resistance(r_ohm)
+            values.append(sense_threshold(model, tol=0.01))
+        usable = [v for v in values if v is not None]
+        assert all(b <= a + 0.02 for a, b in zip(usable, usable[1:]))

@@ -1,0 +1,86 @@
+"""JSON records of optimization runs."""
+
+import json
+
+import pytest
+
+from repro.core import StressKind, optimize_all_defects
+from repro.defects import Defect, DefectKind, Placement
+from repro.report.records import (
+    diff_tables,
+    load_table,
+    row_to_dict,
+    table_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return optimize_all_defects(defects=(
+        Defect(DefectKind.O3, Placement.TRUE),
+        Defect(DefectKind.SG, Placement.TRUE)))
+
+
+class TestSerialisation:
+    def test_roundtrip_row_count(self, table):
+        rows = load_table(table_to_json(table))
+        assert len(rows) == 2
+
+    def test_roundtrip_preserves_directions(self, table):
+        rows = load_table(table_to_json(table))
+        o3 = next(r for r in rows if r.kind == "O3")
+        assert o3.direction_arrow(StressKind.TCYC) == "↓"
+        assert o3.direction_arrow(StressKind.TEMP) == "↑"
+
+    def test_roundtrip_preserves_conditions(self, table):
+        rows = load_table(table_to_json(table))
+        o3 = next(r for r in rows if r.kind == "O3")
+        assert o3.stressed_conditions.tcyc == pytest.approx(55e-9)
+
+    def test_roundtrip_preserves_detection(self, table):
+        rows = load_table(table_to_json(table))
+        o3 = next(r for r in rows if r.kind == "O3")
+        assert o3.nominal_detection[-1] == "r0"
+
+    def test_json_is_valid_and_versioned(self, table):
+        payload = json.loads(table_to_json(table))
+        assert payload["schema"] == 1
+
+    def test_unknown_schema_rejected(self, table):
+        payload = json.loads(table_to_json(table))
+        payload["schema"] = 99
+        with pytest.raises(ValueError):
+            load_table(json.dumps(payload))
+
+    def test_row_dict_improved_flag(self, table):
+        raw = row_to_dict(table.rows[0])
+        assert raw["improved"] is True
+
+
+class TestDiff:
+    def test_identical_runs_no_diff(self, table):
+        rows = load_table(table_to_json(table))
+        assert diff_tables(rows, rows) == []
+
+    def test_direction_flip_reported(self, table):
+        old = load_table(table_to_json(table))
+        new = load_table(table_to_json(table))
+        new[0].directions["tcyc"] = dict(new[0].directions["tcyc"])
+        new[0].directions["tcyc"]["arrow"] = "↑"
+        messages = diff_tables(old, new)
+        assert any("direction changed" in m for m in messages)
+
+    def test_border_move_reported(self, table):
+        old = load_table(table_to_json(table))
+        new = load_table(table_to_json(table))
+        object.__setattr__(new[0], "nominal_border",
+                           old[0].nominal_border * 2)
+        messages = diff_tables(old, new)
+        assert any("border moved" in m for m in messages)
+
+    def test_added_and_removed_rows(self, table):
+        rows = load_table(table_to_json(table))
+        messages = diff_tables(rows[:1], rows)
+        assert any("new row" in m for m in messages)
+        messages = diff_tables(rows, rows[:1])
+        assert any("row removed" in m for m in messages)

@@ -1,0 +1,89 @@
+"""Text tables and ASCII plots."""
+
+import pytest
+
+from repro.analysis.planes import log_grid
+from repro.report.ascii_plot import ascii_curves, ascii_plane
+from repro.report.tables import format_resistance, render_table
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # header and separator equal width per column
+        assert lines[1].startswith("---")
+
+    def test_handles_non_strings(self):
+        text = render_table(["x"], [[42], [3.5]])
+        assert "42" in text
+        assert "3.5" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatResistance:
+    @pytest.mark.parametrize("ohms,expect", [
+        (None, "-"),
+        (213e3, "213k"),
+        (1.5e6, "1.5M"),
+        (2e9, "2G"),
+        (470.0, "470"),
+    ])
+    def test_engineering_units(self, ohms, expect):
+        assert format_resistance(ohms) == expect
+
+
+class TestAsciiCurves:
+    def test_renders_bounds(self):
+        x = [1e4, 1e5, 1e6]
+        text = ascii_curves(x, {"alpha": [0.0, 1.0, 2.0]}, width=20,
+                            height=6, title="demo")
+        assert "demo" in text
+        assert "2.00" in text
+        assert "0.00" in text
+
+    def test_skips_none_samples(self):
+        x = [1e4, 1e5, 1e6]
+        text = ascii_curves(x, {"alpha": [0.5, None, 1.5]})
+        assert "alpha" in text
+
+    def test_multiple_curves_in_legend(self):
+        x = [1.0, 2.0]
+        text = ascii_curves(x, {"one": [0, 1], "two": [1, 0]},
+                            logx=False)
+        assert "one" in text
+        assert "two" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_curves([], {})
+
+    def test_rejects_all_none(self):
+        with pytest.raises(ValueError):
+            ascii_curves([1.0], {"a": [None]})
+
+
+class TestAsciiPlane:
+    @pytest.fixture(scope="class")
+    def planes(self):
+        from repro.analysis import result_planes
+        from repro.behav import behavioral_model
+        from repro.defects import Defect, DefectKind
+        model = behavioral_model(Defect(DefectKind.O3, resistance=2e5))
+        return result_planes(model, log_grid(5e4, 1e6, 5), n_writes=2)
+
+    def test_w0_plane_renders(self, planes):
+        text = ascii_plane(planes, "w0")
+        assert "Plane of w0" in text
+
+    def test_r_plane_renders(self, planes):
+        text = ascii_plane(planes, "r")
+        assert "Vsa" in text
+
+    def test_unknown_plane_rejected(self, planes):
+        with pytest.raises(ValueError):
+            ascii_plane(planes, "zz")

@@ -1,0 +1,77 @@
+"""Temperature-dependent defect resistance (the paper's Sec. 5.2 remark)."""
+
+import pytest
+
+from repro.behav import behavioral_model
+from repro.core import StressKind, optimize_defect
+from repro.defects import Defect, DefectKind
+from repro.defects.thermal import SILICON_LIKE_TCR, ThermalResistanceModel
+from repro.stress import NOMINAL_STRESS
+
+
+def _thermal(defect, tcr=SILICON_LIKE_TCR, stress=NOMINAL_STRESS):
+    return ThermalResistanceModel(behavioral_model(defect, stress=stress),
+                                  tcr=tcr)
+
+
+class TestResistanceLaw:
+    def test_nominal_unchanged(self):
+        model = _thermal(Defect(DefectKind.O3, resistance=2e5))
+        assert model.resistance_at(27.0) == pytest.approx(2e5)
+
+    def test_silicon_like_grows_when_cold(self):
+        model = _thermal(Defect(DefectKind.O3, resistance=2e5))
+        assert model.resistance_at(-33.0) > model.resistance_at(27.0)
+        assert model.resistance_at(87.0) < model.resistance_at(27.0)
+
+    def test_factor_floor(self):
+        model = _thermal(Defect(DefectKind.O3, resistance=2e5), tcr=-0.1)
+        assert model.resistance_at(200.0) >= 2e5 * 0.05
+
+    def test_set_resistance_means_nominal(self):
+        model = _thermal(Defect(DefectKind.O3, resistance=2e5))
+        model.set_resistance = model.set_defect_resistance
+        model.set_defect_resistance(4e5)
+        assert model.resistance_at(27.0) == pytest.approx(4e5)
+
+    def test_requires_defect(self):
+        with pytest.raises(ValueError):
+            ThermalResistanceModel(behavioral_model(None))
+
+
+class TestModelDelegation:
+    def test_stress_change_reapplies_resistance(self):
+        defect = Defect(DefectKind.O3, resistance=2e5)
+        model = _thermal(defect)
+        model.set_stress(NOMINAL_STRESS.with_(temp_c=-33.0))
+        assert model.defect.resistance == pytest.approx(
+            model.resistance_at(-33.0))
+
+    def test_sequence_runs_through(self):
+        model = _thermal(Defect(DefectKind.O3, resistance=10.0))
+        seq = model.run_sequence("w1 r1 w0 r0", init_vc=0.0)
+        assert not seq.any_fault
+
+    def test_protocol_surface(self):
+        model = _thermal(Defect(DefectKind.O3, resistance=2e5))
+        assert model.tech is not None
+        assert model.target_on_true
+        state = model.idle_state(1.0)
+        _, state2 = model.run_op("nop", state)
+        assert state2 is state
+
+
+class TestDirectionFlip:
+    def test_temperature_direction_flips(self):
+        """The paper's prediction: silicon-like R(T) changes the
+        temperature stress value."""
+        def thermal_factory(defect, stress):
+            return _thermal(defect, stress=stress)
+
+        ohmic = optimize_defect(DefectKind.O3,
+                                st_kinds=(StressKind.TEMP,))
+        thermal = optimize_defect(DefectKind.O3,
+                                  model_factory=thermal_factory,
+                                  st_kinds=(StressKind.TEMP,))
+        assert ohmic.directions[StressKind.TEMP].arrow == "↑"
+        assert thermal.directions[StressKind.TEMP].arrow == "↓"
