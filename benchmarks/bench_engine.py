@@ -1,0 +1,61 @@
+"""Execution engine — cold vs warm cache on the headline sweeps.
+
+Runs the Fig. 2 result planes and the full Table 1 twice through one
+:class:`repro.engine.BatchExecutor`: the first pass simulates every
+unique sequence (cold), the second recalls them from the content-
+addressed cache (warm).  The report records wall time and the engine's
+cycle accounting for both passes; the assertions pin the acceptance
+criterion that a warm repeat simulates at least 50% fewer cycles
+(in practice: none at all).
+"""
+
+import time
+
+from repro.engine import BatchExecutor, ResultCache
+from repro.experiments import fig2_result_planes, table1_optimization
+
+WORKLOADS = (
+    ("fig2 result planes (behavioral, 9 points)",
+     lambda engine: fig2_result_planes(backend="behavioral", points=9,
+                                       engine=engine)),
+    ("table1 optimization (behavioral, full catalog)",
+     lambda engine: table1_optimization(engine=engine)),
+)
+
+
+def _cold_warm(run):
+    engine = BatchExecutor(cache=ResultCache())
+    t0 = time.perf_counter()
+    run(engine)
+    cold_s = time.perf_counter() - t0
+    cold = engine.stats.snapshot()
+
+    t0 = time.perf_counter()
+    run(engine)
+    warm_s = time.perf_counter() - t0
+    warm = engine.stats.delta_since(cold)
+    return cold_s, cold, warm_s, warm
+
+
+def test_engine_cold_vs_warm(benchmark, save_report):
+    outcomes = benchmark.pedantic(
+        lambda: [(name, *_cold_warm(run)) for name, run in WORKLOADS],
+        rounds=1, iterations=1)
+
+    lines = ["engine result cache: cold vs warm pass (serial execution)"]
+    for name, cold_s, cold, warm_s, warm in outcomes:
+        lines.append(f"\n{name}:")
+        lines.append(f"  cold: {cold_s:8.3f} s   "
+                     f"{cold.cycles_simulated} cycles simulated, "
+                     f"{cold.cycles_saved} saved")
+        lines.append(f"  warm: {warm_s:8.3f} s   "
+                     f"{warm.cycles_simulated} cycles simulated, "
+                     f"{warm.cycles_saved} saved "
+                     f"({warm.hit_rate:.0%} hit rate)")
+    save_report("engine", "\n".join(lines))
+
+    for name, _, cold, _, warm in outcomes:
+        assert cold.cycles_simulated > 0, name
+        assert warm.cycles_simulated <= 0.5 * cold.cycles_simulated, \
+            f"{name}: warm cache must halve the simulated cycles"
+        assert warm.cycles_saved >= 0.5 * cold.cycles_simulated, name

@@ -12,6 +12,12 @@ Commands
     Render the Sec. 2 Shmoo baseline.
 ``coverage``
     March-test coverage at nominal vs optimized SC (Sec. 5.2).
+
+The sweep-heavy commands (``table1``, ``planes``, ``coverage``) accept
+``--workers N`` (process-pool fan-out), ``--no-cache`` (disable the
+content-addressed result cache) and ``--verbose`` (engine statistics on
+stderr).  Results are identical for any worker count; only stderr and
+wall time change.
 """
 
 from __future__ import annotations
@@ -20,11 +26,28 @@ import argparse
 import sys
 
 
+def _setup_engine(args) -> None:
+    """Install the process-wide engine from the CLI flags."""
+    from repro.engine import configure_default_engine
+    configure_default_engine(workers=getattr(args, "workers", 1),
+                             cache=not getattr(args, "no_cache", False))
+
+
+def _report_engine(args) -> None:
+    """Print engine statistics to stderr (``--verbose`` only)."""
+    if getattr(args, "verbose", False):
+        from repro.engine import default_engine
+        print(default_engine().stats.describe(), file=sys.stderr)
+
+
 def _cmd_table1(args) -> int:
     from repro.experiments import table1_optimization
     backend = "electrical" if args.electrical else "behavioral"
-    table = table1_optimization(backend=backend)
+    _setup_engine(args)
+    table = table1_optimization(backend=backend, workers=args.workers,
+                                engine=True)
     print(table.render())
+    _report_engine(args)
     return 0
 
 
@@ -55,8 +78,10 @@ def _cmd_planes(args) -> int:
     from repro.experiments import fig2_result_planes, fig6_stressed_planes
     backend = "electrical" if args.electrical else "behavioral"
     fn = fig6_stressed_planes if args.stressed else fig2_result_planes
-    study = fn(backend=backend, points=args.points)
+    _setup_engine(args)
+    study = fn(backend=backend, points=args.points, engine=True)
     print(study.render())
+    _report_engine(args)
     return 0
 
 
@@ -69,9 +94,21 @@ def _cmd_shmoo(args) -> int:
 
 def _cmd_coverage(args) -> int:
     from repro.experiments import march_coverage_comparison
-    study = march_coverage_comparison(r_points=args.points)
+    _setup_engine(args)
+    study = march_coverage_comparison(r_points=args.points,
+                                      workers=args.workers, engine=True)
     print(study.render())
+    _report_engine(args)
     return 0
+
+
+def _add_engine_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes for simulation fan-out")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-addressed result cache")
+    p.add_argument("--verbose", action="store_true",
+                   help="print engine statistics to stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="reproduce Table 1")
     p.add_argument("--electrical", action="store_true")
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_table1)
 
     p = sub.add_parser("optimize", help="optimize one defect")
@@ -97,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the Fig. 6 stress combination")
     p.add_argument("--electrical", action="store_true")
     p.add_argument("--points", type=int, default=8)
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_planes)
 
     p = sub.add_parser("shmoo", help="Sec. 2 Shmoo baseline")
@@ -105,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("coverage", help="Sec. 5.2 march coverage")
     p.add_argument("--points", type=int, default=10)
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_coverage)
 
     return parser

@@ -10,6 +10,15 @@ The default predicate uses a saturating charge phase (several ``w1``/``w0``
 operations) so the detection is not limited by incomplete charging — the
 paper's Sec. 4.4 makes the same adjustment when the stress combination
 weakens writes.
+
+Bisection is inherently sequential, so the engine's contribution here is
+memoization rather than parallelism: on an engine-backed model
+(:class:`repro.engine.EngineModel`) every probe is content-addressed, so
+repeated border searches — the quick direction analysis, tie-breaks and
+full-plane generation all probe overlapping points — skip resimulation.
+The probe battery keeps its short-circuit semantics (later sequences are
+not simulated once one detects a fault), matching the hand-rolled search
+cycle for cycle on a cold cache.
 """
 
 from __future__ import annotations

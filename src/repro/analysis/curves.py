@@ -11,6 +11,14 @@ Two curve families drive the whole methodology:
   same-value writes, starting from the opposite rail; the ``(1) w0``
   member of this family intersected with ``Vsa`` defines the border
   resistance.
+
+Both sweeps run through :func:`repro.engine.batch_run`: the whole
+resistance grid is one batch (settlement), and the per-resistance
+bisections advance in lock-step so each bisection iteration is one batch
+of independent read probes (``Vsa``).  On an engine-backed model the
+batches are deduplicated, memoized and optionally spread over worker
+processes; on a plain model they replay the classic per-point loop and
+produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -19,7 +27,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.interface import ColumnModel, stored_level
-from repro.dram.ops import Op, Operation
+from repro.dram.ops import Op, Operation, format_ops
+from repro.engine.model import BatchItem, batch_run
 
 
 def sense_threshold(model: ColumnModel, *, lo: float = 0.0,
@@ -82,12 +91,55 @@ class VsaCurve:
 
 def vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
               tol: float = 0.01) -> VsaCurve:
-    """Sample ``Vsa`` over ``resistances`` (paper Fig. 2c bold curve)."""
-    thresholds = []
-    for r in resistances:
-        model.set_defect_resistance(r)
-        thresholds.append(sense_threshold(model, tol=tol))
-    return VsaCurve(list(resistances), thresholds)
+    """Sample ``Vsa`` over ``resistances`` (paper Fig. 2c bold curve).
+
+    All resistances bisect in lock-step: each iteration issues one batch
+    of single-read probes (one per still-active resistance), so the grid
+    parallelises even though each bisection is sequential in itself.
+    The probe schedule per resistance is identical to calling
+    :func:`sense_threshold` point by point.
+    """
+    resistances = list(resistances)
+    on_true = getattr(model, "target_on_true", True)
+    vdd = model.stress.vdd
+
+    def read_bits(points: list[tuple[float, float]]) -> list[int]:
+        """Sensed physical bits for a batch of (resistance, Vc) probes."""
+        items = [BatchItem(ops="r", init_vc=vc, resistance=r)
+                 for r, vc in points]
+        results = batch_run(model, items)
+        return [seq.outputs[0] if on_true else 1 - seq.outputs[0]
+                for seq in results]
+
+    bits_lo = read_bits([(r, 0.0) for r in resistances])
+    bits_hi = read_bits([(r, vdd) for r in resistances])
+
+    thresholds: list[float | None] = [None] * len(resistances)
+    bounds = {}
+    for i, (blo, bhi) in enumerate(zip(bits_lo, bits_hi)):
+        if blo == bhi:
+            continue
+        if vdd - 0.0 > tol:
+            bounds[i] = (0.0, vdd)
+        else:
+            thresholds[i] = 0.5 * vdd
+    # Reads are monotone in the stored voltage: low -> 0, high -> 1.
+    while bounds:
+        active = sorted(bounds)
+        mids = {i: 0.5 * (bounds[i][0] + bounds[i][1]) for i in active}
+        bits = read_bits([(resistances[i], mids[i]) for i in active])
+        for i, bit in zip(active, bits):
+            lo, hi = bounds[i]
+            if bit == 1:
+                hi = mids[i]
+            else:
+                lo = mids[i]
+            if hi - lo > tol:
+                bounds[i] = (lo, hi)
+            else:
+                del bounds[i]
+                thresholds[i] = 0.5 * (lo + hi)
+    return VsaCurve(resistances, thresholds)
 
 
 @dataclass
@@ -114,15 +166,15 @@ def settle_curve(model: ColumnModel, value: int,
 
     Writes ``value`` ``n_ops`` times starting from the opposite rail
     (``from_full=True``, the paper's initialisation) or from the
-    written-value rail.
+    written-value rail.  The whole resistance grid executes as one
+    engine batch.
     """
     if value not in (0, 1):
         raise ValueError("value must be 0 or 1")
     init = stored_level(model, 1 - value if from_full else value)
     op = Op(Operation.W0 if value == 0 else Operation.W1)
-    levels = []
-    for r in resistances:
-        model.set_defect_resistance(r)
-        seq = model.run_sequence([op] * n_ops, init_vc=init)
-        levels.append(seq.vc_after)
+    ops = format_ops([op] * n_ops)
+    items = [BatchItem(ops=ops, init_vc=init, resistance=r)
+             for r in resistances]
+    levels = [seq.vc_after for seq in batch_run(model, items)]
     return SettleCurve(value, list(resistances), levels)

@@ -91,28 +91,34 @@ class CycleCountingModel:
         return self._inner.run_op(op, state)
 
 
-def stored_level(model: ColumnModel, value: int) -> float:
+def stored_level(model: ColumnModel, value: int,
+                 stress: StressConditions | None = None) -> float:
     """Physical storage voltage encoding logical ``value`` on the target.
 
     Cells on the complementary bit line store inverted data (differential
-    write convention), so logical 1 there is 0 V at the node.
+    write convention), so logical 1 there is 0 V at the node.  ``stress``
+    overrides the model's current stress combination — batched sweeps use
+    it to derive per-point rails without mutating the model.
     """
     on_true = getattr(model, "target_on_true", True)
     stored = value if on_true else 1 - value
-    return float(stored) * model.stress.vdd
+    vdd = (stress or model.stress).vdd
+    return float(stored) * vdd
 
 
-def opposite_rail_init(model: ColumnModel, ops) -> float:
+def opposite_rail_init(model: ColumnModel, ops,
+                       stress: StressConditions | None = None) -> float:
     """Initial cell voltage opposing the first write of a sequence.
 
     The paper initialises the floating cell to the rail *opposite* the
     first written value so that write is maximally stressed.  Sequences
-    starting with a read default to mid-rail.
+    starting with a read default to mid-rail.  ``stress`` overrides the
+    model's stress as in :func:`stored_level`.
     """
     first = ops[0]
     if not first.operation.is_write:
-        return 0.5 * model.stress.vdd
-    return stored_level(model, 1 - first.operation.write_value)
+        return 0.5 * (stress or model.stress).vdd
+    return stored_level(model, 1 - first.operation.write_value, stress)
 
 
 def electrical_model(defect: Defect | None = None,

@@ -21,7 +21,8 @@ from typing import Sequence
 
 from repro.analysis.curves import SettleCurve, VsaCurve, settle_curve, vsa_curve
 from repro.analysis.interface import ColumnModel
-from repro.dram.ops import Op, Operation
+from repro.dram.ops import Op, Operation, format_ops
+from repro.engine.model import BatchItem, batch_run
 
 
 def log_grid(lo: float, hi: float, points: int) -> list[float]:
@@ -120,6 +121,11 @@ def result_planes(model: ColumnModel, resistances: Sequence[float], *,
     Follows the paper's recipe: write planes start from the opposite rail;
     the read plane establishes ``Vsa`` first, then applies ``n_reads``
     successive reads from ``Vsa - seed_offset`` and ``Vsa + seed_offset``.
+
+    The three sweeps are expressed as engine batches: each write plane is
+    one batched ``map`` over the resistance grid, ``Vsa`` bisections run
+    in lock-step (see :func:`repro.analysis.curves.vsa_curve`), and the
+    seeded read traces of both labels form one final batch.
     """
     resistances = list(resistances)
     vdd = model.stress.vdd
@@ -131,18 +137,26 @@ def result_planes(model: ColumnModel, resistances: Sequence[float], *,
                     vmp)
 
     vsa = vsa_curve(model, resistances, tol=vsa_tol)
-    read_ops = [Op(Operation.R)] * n_reads
+    read_ops = format_ops([Op(Operation.R)] * n_reads)
+    points: list[tuple[str, BatchItem]] = []
+    for r, threshold in zip(resistances, vsa.thresholds):
+        if threshold is None:
+            continue
+        for label, sign in (("below", -1.0), ("above", 1.0)):
+            seed = min(max(threshold + sign * seed_offset, 0.0), vdd)
+            points.append((label, BatchItem(ops=read_ops, init_vc=seed,
+                                            resistance=r)))
+    runs = iter(batch_run(model, [item for _, item in points]))
+
     traces: dict[str, list[list[float] | None]] = {"below": [], "above": []}
     sensed: dict[str, list[list[int] | None]] = {"below": [], "above": []}
-    for r, threshold in zip(resistances, vsa.thresholds):
-        for label, sign in (("below", -1.0), ("above", 1.0)):
+    for threshold in vsa.thresholds:
+        for label in ("below", "above"):
             if threshold is None:
                 traces[label].append(None)
                 sensed[label].append(None)
                 continue
-            seed = min(max(threshold + sign * seed_offset, 0.0), vdd)
-            model.set_defect_resistance(r)
-            seq = model.run_sequence(read_ops, init_vc=seed)
+            seq = next(runs)
             traces[label].append(seq.vc_after)
             sensed[label].append([s for s in seq.outputs])
 

@@ -30,6 +30,7 @@ from repro.core.stresses import (
     StressRange,
 )
 from repro.dram.ops import Op, Operation
+from repro.engine.model import BatchItem, batch_run
 
 #: Metric changes smaller than this count as "no impact" (volts).
 NO_IMPACT_TOL = 0.015
@@ -122,12 +123,19 @@ def analyze_write_panel(model: ColumnModel, kind: StressKind,
     The *stressful* extreme leaves the cell less-written: for a ``w0``
     fault a **higher** residual; for ``w1`` a **lower** one (in stored-
     level terms — complementary cells are handled by ``stored_level``).
+
+    The probed values form one engine batch (the per-value rails track
+    each probed stress, exactly as the sequential sweep saw them).
     """
-    metrics = []
+    op = Op(Operation.W0 if fault_value == 0 else Operation.W1)
+    items = []
     for v in values:
-        model.set_stress(base.with_value(kind, v))
-        metrics.append(write_residual(model, fault_value))
-    model.set_stress(base)
+        sc = base.with_value(kind, v)
+        items.append(BatchItem(ops=str(op),
+                               init_vc=stored_level(model, 1 - fault_value,
+                                                    sc),
+                               stress=sc))
+    metrics = [seq.vc_after[0] for seq in batch_run(model, items)]
 
     # In physical terms a weaker write leaves the cell *closer to the
     # opposite stored rail*.

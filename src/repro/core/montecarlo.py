@@ -29,6 +29,8 @@ from repro.core.stresses import (
 )
 from repro.defects.catalog import Defect
 from repro.dram.tech import TechnologyParams, default_tech
+from repro.engine import BatchExecutor, ResultCache, default_engine, \
+    parallel_map, set_default_engine
 
 
 @dataclass(frozen=True)
@@ -113,6 +115,44 @@ class MonteCarloReport:
         return "\n".join(lines)
 
 
+def _border_winner(model_factory, defect: Defect,
+                   base: StressConditions, tech: TechnologyParams,
+                   kind: StressKind, rel_tol: float) -> float | None:
+    """Border-winning ST value on one technology (None = tie)."""
+    model = model_factory(defect, base, tech)
+    rng_range = STRESS_RANGES[kind]
+    borders = {}
+    for value in rng_range.extremes:
+        sc = base.with_value(kind, value)
+        borders[value] = find_border_resistance(model, defect, stress=sc,
+                                                rel_tol=rel_tol)
+    lo, hi = rng_range.extremes
+    if more_effective(defect, borders[lo], borders[hi]):
+        return lo
+    if more_effective(defect, borders[hi], borders[lo]):
+        return hi
+    return None
+
+
+def _mc_sample_task(args):
+    """One Monte-Carlo sample (module-level: picklable for the pool)."""
+    tech, model_factory, defect, base, kinds, rel_tol = args
+    previous = default_engine()
+    engine = BatchExecutor(cache=ResultCache(), workers=1)
+    set_default_engine(engine)
+    try:
+        model = model_factory(defect, base, tech)
+        border = find_border_resistance(model, defect, stress=base,
+                                        rel_tol=rel_tol)
+        winners = {kind: _border_winner(model_factory, defect, base,
+                                        tech, kind, rel_tol)
+                   for kind in kinds}
+    finally:
+        set_default_engine(previous)
+    return (border.resistance if border.found else None, winners,
+            engine.stats)
+
+
 def direction_robustness(
         model_factory: Callable[[Defect, StressConditions,
                                  TechnologyParams], ColumnModel],
@@ -121,57 +161,66 @@ def direction_robustness(
         samples: int = 12, seed: int = 2003,
         variation: VariationSpec | None = None,
         base: StressConditions = NOMINAL_STRESS,
-        rel_tol: float = 0.08) -> MonteCarloReport:
+        rel_tol: float = 0.08,
+        workers: int = 1) -> MonteCarloReport:
     """Check how often the typical-corner directions survive variation.
 
     ``model_factory(defect, stress, tech)`` must build a column model on
     a *specific* technology instance.  The reference direction per ST is
     the border comparison on the unperturbed technology; each sample
     re-runs the comparison on a perturbed one.
+
+    All technologies are drawn from the rng *before* any analysis runs,
+    so the sampled population is byte-identical regardless of
+    ``workers``; with ``workers > 1`` the per-sample comparisons fan out
+    over a process pool (``model_factory`` must then be picklable).
     """
     variation = variation or VariationSpec()
     rng = np.random.default_rng(seed)
     base_tech = default_tech()
 
-    def compare(tech: TechnologyParams,
-                kind: StressKind) -> float | None:
-        """Border-winning ST value on one technology (None = tie)."""
-        model = model_factory(defect, base, tech)
-        rng_range = STRESS_RANGES[kind]
-        borders = {}
-        for value in rng_range.extremes:
-            sc = base.with_value(kind, value)
-            borders[value] = find_border_resistance(model, defect,
-                                                    stress=sc,
-                                                    rel_tol=rel_tol)
-        lo, hi = rng_range.extremes
-        if more_effective(defect, borders[lo], borders[hi]):
-            return lo
-        if more_effective(defect, borders[hi], borders[lo]):
-            return hi
-        return None
-
     report = MonteCarloReport(defect, seed, samples)
-    reference = {kind: compare(base_tech, kind) for kind in kinds}
+    reference = {kind: _border_winner(model_factory, defect, base,
+                                      base_tech, kind, rel_tol)
+                 for kind in kinds}
     for kind in kinds:
         report.robustness[kind] = DirectionRobustness(
             kind, reference[kind] if reference[kind] is not None
             else float("nan"))
 
-    for _ in range(samples):
-        tech = variation.sample(base_tech, rng)
-        model = model_factory(defect, base, tech)
-        border = find_border_resistance(model, defect, stress=base,
-                                        rel_tol=rel_tol)
-        if border.found:
-            report.border_samples.append(border.resistance)
+    techs = [variation.sample(base_tech, rng) for _ in range(samples)]
+    if workers <= 1:
+        for tech in techs:
+            model = model_factory(defect, base, tech)
+            border = find_border_resistance(model, defect, stress=base,
+                                            rel_tol=rel_tol)
+            if border.found:
+                report.border_samples.append(border.resistance)
+            for kind in kinds:
+                winner = _border_winner(model_factory, defect, base,
+                                        tech, kind, rel_tol)
+                _tally(report.robustness[kind], winner, reference[kind])
+        return report
+
+    tasks = [(tech, model_factory, defect, base, tuple(kinds), rel_tol)
+             for tech in techs]
+    stats = default_engine().stats
+    for border_r, winners, worker_stats in parallel_map(
+            _mc_sample_task, tasks, workers=workers):
+        if border_r is not None:
+            report.border_samples.append(border_r)
         for kind in kinds:
-            winner = compare(tech, kind)
-            rob = report.robustness[kind]
-            if winner is None or reference[kind] is None:
-                rob.undecided += 1
-            elif winner == reference[kind]:
-                rob.agree += 1
-            else:
-                rob.disagree += 1
+            _tally(report.robustness[kind], winners[kind],
+                   reference[kind])
+        stats.merge(worker_stats)
     return report
+
+
+def _tally(rob: DirectionRobustness, winner: float | None,
+           reference: float | None) -> None:
+    if winner is None or reference is None:
+        rob.undecided += 1
+    elif winner == reference:
+        rob.agree += 1
+    else:
+        rob.disagree += 1

@@ -34,6 +34,8 @@ from repro.core.stresses import (
     StressKind,
 )
 from repro.defects.catalog import ALL_DEFECTS, Defect, DefectKind, Placement
+from repro.engine import BatchExecutor, ResultCache, default_engine, \
+    parallel_map, set_default_engine
 
 #: Default ST axes optimized, in the paper's Table-1 column order.
 DEFAULT_ST_KINDS = (StressKind.VDD, StressKind.TCYC, StressKind.DUTY,
@@ -207,14 +209,53 @@ class OptimizationTable:
         return render_optimization_table(self)
 
 
+def _optimize_task(args) -> tuple[OptimizationRow, object]:
+    """Worker body of the per-defect fan-out (module-level: picklable).
+
+    Each worker gets a fresh serial default engine — the parent may be
+    running a pool already, and nested pools would oversubscribe.  The
+    per-worker engine stats are returned so the parent can merge them.
+    """
+    defect, model_factory, base_stress, st_kinds, br_rel_tol = args
+    previous = default_engine()
+    engine = BatchExecutor(cache=ResultCache(), workers=1)
+    set_default_engine(engine)
+    try:
+        row = optimize_defect(defect, model_factory=model_factory,
+                              base_stress=base_stress, st_kinds=st_kinds,
+                              br_rel_tol=br_rel_tol)
+    finally:
+        set_default_engine(previous)
+    return row, engine.stats
+
+
 def optimize_all_defects(*, model_factory=None,
                          base_stress: StressConditions = NOMINAL_STRESS,
                          st_kinds=DEFAULT_ST_KINDS,
                          br_rel_tol: float = 0.05,
-                         defects=ALL_DEFECTS) -> OptimizationTable:
-    """Run the optimization flow over the Fig. 7 catalog (Table 1)."""
-    rows = [optimize_defect(d, model_factory=model_factory,
-                            base_stress=base_stress, st_kinds=st_kinds,
-                            br_rel_tol=br_rel_tol)
-            for d in defects]
+                         defects=ALL_DEFECTS,
+                         workers: int = 1) -> OptimizationTable:
+    """Run the optimization flow over the Fig. 7 catalog (Table 1).
+
+    Every defect's flow is independent, so ``workers > 1`` fans the
+    per-defect × per-ST work out over a process pool (``model_factory``
+    must then be picklable — a module-level function or
+    ``functools.partial``; closures fall back to the serial loop).  Row
+    order, and therefore the rendered table, is identical either way.
+    """
+    if workers <= 1:
+        rows = [optimize_defect(d, model_factory=model_factory,
+                                base_stress=base_stress,
+                                st_kinds=st_kinds,
+                                br_rel_tol=br_rel_tol)
+                for d in defects]
+        return OptimizationTable(rows)
+    tasks = [(d, model_factory, base_stress, st_kinds, br_rel_tol)
+             for d in defects]
+    outcomes = parallel_map(_optimize_task, tasks, workers=workers)
+    stats = default_engine().stats
+    rows = []
+    for row, worker_stats in outcomes:
+        rows.append(row)
+        stats.merge(worker_stats)
     return OptimizationTable(rows)

@@ -17,7 +17,8 @@ from typing import Sequence
 
 from repro.analysis.interface import ColumnModel, opposite_rail_init
 from repro.core.stresses import StressConditions, StressKind
-from repro.dram.ops import parse_ops
+from repro.dram.ops import format_ops, parse_ops
+from repro.engine.model import BatchItem, batch_run
 
 
 @dataclass
@@ -78,21 +79,26 @@ def shmoo(model: ColumnModel, test: str, *,
     ``test`` is an operation-sequence string (e.g. ``"w1^2 w0 r0"``); a
     point *fails* when any expecting read observes the wrong value —
     which for a defective device is what the test designer wants.
+
+    The whole grid executes as one engine batch — every point is an
+    independent simulation, so the Shmoo parallelises perfectly on an
+    engine-backed model.
     """
     if x_kind is y_kind:
         raise ValueError("x and y must be different stresses")
     base = base or model.stress
     ops = parse_ops(test)
-    grid: list[list[bool]] = []
+    canonical = format_ops(ops)
+    items = []
     for y in y_values:
-        row = []
         for x in x_values:
             sc = base.with_value(x_kind, x).with_value(y_kind, y)
-            model.set_stress(sc)
-            init = opposite_rail_init(model, ops)
-            seq = model.run_sequence(ops, init_vc=init)
-            row.append(not seq.any_fault)
-        grid.append(row)
-    model.set_stress(base)
+            items.append(BatchItem(ops=canonical,
+                                   init_vc=opposite_rail_init(model, ops,
+                                                              sc),
+                                   stress=sc))
+    outcomes = iter(batch_run(model, items))
+    grid = [[not next(outcomes).any_fault for _ in x_values]
+            for _ in y_values]
     return ShmooPlot(x_kind, y_kind, list(x_values), list(y_values),
                      grid, test)

@@ -39,6 +39,8 @@ from repro.core.stresses import (
 )
 from repro.defects.catalog import ALL_DEFECTS, Defect
 from repro.dram.ops import parse_ops
+from repro.engine import BatchExecutor, ResultCache, default_engine, \
+    parallel_map, set_default_engine
 
 #: Probe battery used to score SCs.  Besides the border-search family it
 #: includes delay (nop) variants that sensitise retention-flavoured
@@ -163,25 +165,65 @@ class StatisticalResult:
         return "\n".join(lines)
 
 
+def _detect_row_task(args) -> tuple[list[bool], object]:
+    """Score one population point over every candidate SC.
+
+    Module-level so :func:`repro.engine.parallel_map` can ship it to a
+    process pool; installs a fresh serial engine in the worker so a
+    pooled parent cannot recurse into nested pools.
+    """
+    defect, candidates, model_factory = args
+    previous = default_engine()
+    engine = BatchExecutor(cache=ResultCache(), workers=1)
+    set_default_engine(engine)
+    try:
+        row = [_detects(model_factory(defect, sc)) for sc in candidates]
+    finally:
+        set_default_engine(previous)
+    return row, engine.stats
+
+
 def statistical_optimization(
         model_factory: Callable[[Defect, StressConditions], ColumnModel],
         *, defects: Sequence[Defect] = ALL_DEFECTS,
         kinds: Sequence[StressKind] = (StressKind.VDD, StressKind.TCYC,
                                        StressKind.TEMP),
         points_per_defect: int = 5,
-        base: StressConditions = NOMINAL_STRESS) -> StatisticalResult:
-    """Run the prior-art aggregate optimization."""
+        base: StressConditions = NOMINAL_STRESS,
+        workers: int = 1) -> StatisticalResult:
+    """Run the prior-art aggregate optimization.
+
+    Every (population point × candidate SC) probe is independent, so
+    ``workers > 1`` fans the per-point scoring out over a process pool;
+    scores are tallied in population order either way, so the result is
+    identical to the serial run.
+    """
     candidates = corner_combinations(kinds, base)
     population = sample_population(defects, points_per_defect,
                                    model_factory=model_factory)
     scores = [0] * len(candidates)
     per_defect: dict[str, list[int]] = {}
-    for point in population:
+
+    if workers <= 1:
+        rows = []
+        for point in population:
+            rows.append([_detects(model_factory(point.defect, sc))
+                         for sc in candidates])
+    else:
+        tasks = [(point.defect, candidates, model_factory)
+                 for point in population]
+        stats = default_engine().stats
+        rows = []
+        for row, worker_stats in parallel_map(_detect_row_task, tasks,
+                                              workers=workers):
+            rows.append(row)
+            stats.merge(worker_stats)
+
+    for point, row in zip(population, rows):
         name = point.defect.name
         counts = per_defect.setdefault(name, [0] * len(candidates))
-        for i, sc in enumerate(candidates):
-            model = model_factory(point.defect, sc)
-            if _detects(model):
+        for i, detected in enumerate(row):
+            if detected:
                 scores[i] += 1
                 counts[i] += 1
     return StatisticalResult(candidates, scores, len(population),

@@ -1,0 +1,47 @@
+"""Simulation execution engine: content-addressed cache + batch executor.
+
+Every evaluation in the paper is a fan-out of independent
+operation-sequence simulations over resistance and stress grids.  This
+package gives all of them one execution funnel:
+
+* :mod:`repro.engine.request` — :class:`SequenceRequest`, a frozen
+  description of one simulation with a deterministic content hash;
+* :mod:`repro.engine.cache` — :class:`ResultCache`, an in-memory LRU
+  plus optional on-disk store with hit/miss/cycles-saved accounting;
+* :mod:`repro.engine.executor` — :class:`BatchExecutor`, ``run``/``map``
+  over a process pool (serial at ``workers=1``), plus the generic
+  :func:`parallel_map` fan-out helper and the process-wide default
+  engine;
+* :mod:`repro.engine.model` — :class:`EngineModel`, an engine-backed
+  implementation of the ``ColumnModel`` protocol, and
+  :func:`batch_run`, the batched sweep primitive with a serial fallback
+  for plain models.
+"""
+
+from repro.engine.cache import EngineStats, ResultCache
+from repro.engine.executor import (
+    BatchExecutor,
+    configure_default_engine,
+    default_engine,
+    execute_request,
+    parallel_map,
+    set_default_engine,
+)
+from repro.engine.model import BatchItem, EngineModel, batch_run
+from repro.engine.request import SequenceRequest, tech_fingerprint
+
+__all__ = [
+    "BatchExecutor",
+    "BatchItem",
+    "EngineModel",
+    "EngineStats",
+    "ResultCache",
+    "SequenceRequest",
+    "batch_run",
+    "configure_default_engine",
+    "default_engine",
+    "execute_request",
+    "parallel_map",
+    "set_default_engine",
+    "tech_fingerprint",
+]

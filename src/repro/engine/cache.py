@@ -1,0 +1,201 @@
+"""Content-addressed result cache for sequence simulations.
+
+:class:`ResultCache` memoises :class:`~repro.dram.ops.SequenceResult`
+objects under the :class:`~repro.engine.request.SequenceRequest` content
+hash.  Two tiers:
+
+* an in-memory LRU (bounded by ``max_entries``) — the working set of a
+  sweep session;
+* an optional on-disk store (one pickle per hash under ``disk_dir``) —
+  survives the process, so repeated CLI invocations and separate
+  analysis passes share simulation work.
+
+Invalidation is structural: the request hash covers the backend, the
+full technology fingerprint and the stress combination, so changing any
+of them simply addresses a different entry.  The schema version baked
+into the hash retires every stale entry when simulation semantics
+change.
+
+Cached results are shared objects — callers must treat a returned
+:class:`SequenceResult` as immutable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dram.ops import SequenceResult
+from repro.engine.request import SequenceRequest
+
+
+@dataclass
+class EngineStats:
+    """Hit/miss and cycle accounting of one cache (or engine) lifetime.
+
+    ``cycles_simulated`` counts the operation cycles actually executed;
+    ``cycles_saved`` the cycles that cache hits avoided — together they
+    quantify the memoization win (the paper's cost metric is operation
+    cycles, see :class:`repro.analysis.interface.CycleCountingModel`).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    cycles_saved: int = 0
+    cycles_simulated: int = 0
+    disk_hits: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> "EngineStats":
+        """A frozen copy (for before/after deltas)."""
+        return EngineStats(self.hits, self.misses, self.cycles_saved,
+                           self.cycles_simulated, self.disk_hits)
+
+    def delta_since(self, before: "EngineStats") -> "EngineStats":
+        """Stats accumulated since ``before`` was snapshotted."""
+        return EngineStats(
+            self.hits - before.hits,
+            self.misses - before.misses,
+            self.cycles_saved - before.cycles_saved,
+            self.cycles_simulated - before.cycles_simulated,
+            self.disk_hits - before.disk_hits,
+        )
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another stats object (e.g. from a worker) into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.cycles_saved += other.cycles_saved
+        self.cycles_simulated += other.cycles_simulated
+        self.disk_hits += other.disk_hits
+
+    def describe(self) -> str:
+        """One-line rendering for ``--verbose`` output."""
+        return (f"engine: {self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.0%} hit rate), "
+                f"{self.cycles_simulated} cycles simulated, "
+                f"{self.cycles_saved} cycles saved")
+
+
+class ResultCache:
+    """LRU + optional disk store keyed by the request content hash.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound of the in-memory tier; the least-recently-used entry is
+        evicted beyond it.
+    disk_dir:
+        Optional directory for the persistent tier.  Created on first
+        write; entries are written atomically (temp file + rename) so a
+        crashed run never leaves a truncated pickle behind.
+    """
+
+    def __init__(self, max_entries: int = 100_000,
+                 disk_dir: str | os.PathLike | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = EngineStats()
+        self._entries: OrderedDict[str, SequenceResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(self, request: SequenceRequest) -> SequenceResult | None:
+        """The cached result for ``request``, or ``None`` on a miss.
+
+        A miss is *not* counted here — the executor records it when it
+        actually simulates, so probing and simulating stay in sync.
+        """
+        key = request.content_hash
+        result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.cycles_saved += request.cycles
+            return result
+        result = self._disk_get(key)
+        if result is not None:
+            self._remember(key, result)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self.stats.cycles_saved += request.cycles
+            return result
+        return None
+
+    def put(self, request: SequenceRequest, result: SequenceResult,
+            *, simulated: bool = True) -> None:
+        """Store ``result`` under ``request``'s hash.
+
+        ``simulated`` distinguishes fresh simulation work (counted as a
+        miss plus its cycles) from merely re-homing a result computed
+        elsewhere.
+        """
+        key = request.content_hash
+        if simulated:
+            self.stats.misses += 1
+            self.stats.cycles_simulated += request.cycles
+        self._remember(key, result)
+        self._disk_put(key, result)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (the disk tier is left alone)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, result: SequenceResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / key[:2] / f"{key}.pkl"
+
+    def _disk_get(self, key: str) -> SequenceResult | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+
+    def _disk_put(self, key: str, result: SequenceResult) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

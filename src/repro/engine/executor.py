@@ -1,0 +1,221 @@
+"""Batch execution of sequence requests: memoized, optionally parallel.
+
+:class:`BatchExecutor` is the single funnel every sweep layer drives its
+simulations through:
+
+* :meth:`BatchExecutor.run` — execute (or recall) one request;
+* :meth:`BatchExecutor.map` — execute a whole fan-out, deduplicated
+  against itself and the cache, with the misses spread over a
+  ``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1``.
+
+Worker processes receive only the picklable :class:`SequenceRequest`
+value objects and *reconstruct* the column model locally — netlists
+never cross a process boundary.  Each process keeps a small model cache
+keyed by (backend, technology, defect kind, cell), so a sweep that
+varies only the resistance or the stress reuses one built netlist, just
+like the hand-rolled sweeps did.
+
+:func:`parallel_map` is the generic fan-out helper for coarser units of
+work (whole per-defect optimizations, Monte-Carlo samples, march runs);
+it degrades to a serial loop when the workload cannot be pickled, so
+closures keep working.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.dram.ops import SequenceResult, parse_ops
+from repro.engine.cache import EngineStats, ResultCache
+from repro.engine.request import SequenceRequest
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Per-process cache of built column models, keyed by everything that
+#: requires a rebuild (resistance and stress are mutable in place).
+_PROCESS_MODELS: dict = {}
+
+
+def _model_for(request: SequenceRequest):
+    """Build (or reuse) the column model that serves ``request``."""
+    key = (request.backend, request.tech, request.defect_kind,
+           request.cell)
+    model = _PROCESS_MODELS.get(key)
+    if model is None:
+        site = request.site()
+        if request.backend == "electrical":
+            from repro.dram.runner import ColumnRunner
+            model = ColumnRunner(tech=request.tech, stress=request.stress,
+                                 defect=site, target_cell=request.cell)
+        elif request.backend == "behavioral":
+            from repro.behav.model import BehavioralColumn
+            model = BehavioralColumn(tech=request.tech,
+                                     stress=request.stress,
+                                     defect=site,
+                                     target_cell=request.cell)
+        else:
+            raise ValueError(f"unknown backend {request.backend!r}")
+        _PROCESS_MODELS[key] = model
+    model.set_stress(request.stress)
+    if request.resistance is not None:
+        model.set_defect_resistance(request.resistance)
+    return model
+
+
+def execute_request(request: SequenceRequest) -> SequenceResult:
+    """Simulate one request from scratch (no cache involved).
+
+    Module-level so process pools can ship it to workers by reference.
+    """
+    model = _model_for(request)
+    return model.run_sequence(parse_ops(request.ops),
+                              init_vc=request.init_vc,
+                              background=request.background)
+
+
+class BatchExecutor:
+    """Run sequence requests through a shared cache, serially or fanned
+    out over worker processes.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`ResultCache` to consult/feed.  ``None`` disables
+        memoization entirely (every request simulates).
+    workers:
+        Default process count for :meth:`map`; ``1`` (or less) keeps
+        everything in-process, which is also the fallback when a batch
+        has at most one miss to execute.
+    """
+
+    def __init__(self, cache: ResultCache | None = None,
+                 workers: int = 1):
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        # Cycle accounting lives on the cache when there is one, so
+        # stats survive executor turnover; otherwise track locally.
+        self._stats = cache.stats if cache is not None else EngineStats()
+
+    @property
+    def stats(self) -> EngineStats:
+        """Hit/miss/cycle counters of this engine."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, request: SequenceRequest) -> SequenceResult:
+        """Execute one request, consulting the cache first."""
+        if self.cache is not None:
+            cached = self.cache.get(request)
+            if cached is not None:
+                return cached
+        result = execute_request(request)
+        if self.cache is not None:
+            self.cache.put(request, result)
+        else:
+            self._stats.misses += 1
+            self._stats.cycles_simulated += request.cycles
+        return result
+
+    def map(self, requests: Sequence[SequenceRequest],
+            workers: int | None = None) -> list[SequenceResult]:
+        """Execute a batch, returning results aligned with ``requests``.
+
+        Duplicate requests (same content hash) are simulated once.
+        Cache misses run in a process pool when more than one remains
+        and ``workers > 1``; results always come back in input order,
+        so serial and parallel execution are interchangeable.
+        """
+        requests = list(requests)
+        workers = self.workers if workers is None else max(1, int(workers))
+        results: dict[str, SequenceResult] = {}
+        pending: list[SequenceRequest] = []
+        for request in requests:
+            key = request.content_hash
+            if key in results:
+                # Duplicate within the batch: count as a saved hit.
+                self._stats.hits += 1
+                self._stats.cycles_saved += request.cycles
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(request)
+                if cached is not None:
+                    results[key] = cached
+                    continue
+            results[key] = None  # reserve input order / dedupe slot
+            pending.append(request)
+
+        if pending:
+            if workers > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(
+                        max_workers=min(workers, len(pending))) as pool:
+                    executed = list(pool.map(execute_request, pending))
+            else:
+                executed = [execute_request(r) for r in pending]
+            for request, result in zip(pending, executed):
+                results[request.content_hash] = result
+                if self.cache is not None:
+                    self.cache.put(request, result)
+                else:
+                    self._stats.misses += 1
+                    self._stats.cycles_simulated += request.cycles
+
+        return [results[r.content_hash] for r in requests]
+
+
+# ----------------------------------------------------------------------
+# default engine
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: BatchExecutor | None = None
+
+
+def default_engine() -> BatchExecutor:
+    """The process-wide engine (created on first use: cached, serial)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = BatchExecutor(cache=ResultCache())
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: BatchExecutor | None) -> None:
+    """Replace the process-wide engine (``None`` resets to lazy default)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+
+
+def configure_default_engine(*, workers: int = 1, cache: bool = True,
+                             max_entries: int = 100_000,
+                             disk_dir=None) -> BatchExecutor:
+    """Build and install the process-wide engine (CLI entry point)."""
+    store = ResultCache(max_entries=max_entries, disk_dir=disk_dir) \
+        if cache else None
+    engine = BatchExecutor(cache=store, workers=workers)
+    set_default_engine(engine)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# generic fan-out
+# ----------------------------------------------------------------------
+def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
+                 workers: int = 1) -> list[_R]:
+    """Map ``fn`` over ``items``, in worker processes when possible.
+
+    Falls back to a serial in-process loop when ``workers <= 1``, when
+    there is nothing to parallelise, or when the function/items cannot
+    be pickled (closures over models, lambdas) — so callers can expose a
+    ``workers`` knob without restricting what their users pass in.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return [fn(item) for item in items]

@@ -1,0 +1,213 @@
+"""Engine-backed column model and the batched sweep primitive.
+
+:class:`EngineModel` satisfies the :class:`~repro.analysis.interface
+.ColumnModel` protocol, so every existing analysis routine runs on it
+unchanged — but its ``run_sequence`` routes through the
+:class:`~repro.engine.executor.BatchExecutor`, which memoises identical
+simulations and can fan batches out over worker processes.  Sweep code
+that knows its whole fan-out up front expresses it as a list of
+:class:`BatchItem` overrides and calls :func:`batch_run`, which executes
+the batch through the engine when the model supports it and falls back
+to the classic mutate-and-run loop for plain models (including wrappers
+like :class:`~repro.analysis.interface.CycleCountingModel`).
+
+State-chained work (march tests, coupling analysis) keeps using
+``idle_state``/``run_op``; those delegate to a lazily-built inner model,
+bypassing the cache — per-sequence memoization has no meaning for a
+voltage state threaded across hundreds of cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.defects.catalog import Defect
+from repro.dram.ops import Op, SequenceResult, format_ops, parse_ops
+from repro.dram.tech import TechnologyParams, default_tech
+from repro.engine.executor import BatchExecutor, default_engine
+from repro.engine.request import SequenceRequest
+from repro.stress import NOMINAL_STRESS, StressConditions
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One element of a sweep fan-out: a sequence plus optional overrides.
+
+    ``resistance``/``stress`` override the model's current defect
+    resistance and stress combination for this item only — exactly what
+    the resistance grids, ST panels and Shmoo grids vary per point.
+    """
+
+    ops: str
+    init_vc: float
+    background: int = 0
+    resistance: float | None = None
+    stress: StressConditions | None = None
+
+    @classmethod
+    def of(cls, ops, init_vc: float, *, background: int = 0,
+           resistance: float | None = None,
+           stress: StressConditions | None = None) -> "BatchItem":
+        """Build an item, canonicalising ``ops`` (string or Op list)."""
+        if not isinstance(ops, str):
+            ops = format_ops([Op.parse(o) if isinstance(o, str) else o
+                              for o in ops])
+        return cls(ops=ops, init_vc=float(init_vc),
+                   background=int(background), resistance=resistance,
+                   stress=stress)
+
+
+class EngineModel:
+    """A column model whose sequence runs are content-addressed.
+
+    Drop-in for :class:`~repro.dram.runner.ColumnRunner` /
+    :class:`~repro.behav.model.BehavioralColumn` wherever the
+    ``ColumnModel`` protocol is expected.  Construction is cheap: the
+    underlying netlist is only built (inside the executing process) when
+    a simulation actually runs.
+
+    Parameters
+    ----------
+    defect:
+        High-level catalog defect (or ``None`` for a clean column).
+    stress:
+        Initial stress combination.
+    backend:
+        ``"electrical"`` or ``"behavioral"``.
+    tech:
+        Technology parameters (default: the shared synthetic tech).
+    engine:
+        Executor to run through; ``None`` binds to the process-wide
+        default engine at call time.
+    """
+
+    def __init__(self, defect: Defect | None = None,
+                 stress: StressConditions = NOMINAL_STRESS,
+                 backend: str = "behavioral", *,
+                 tech: TechnologyParams | None = None,
+                 engine: BatchExecutor | None = None):
+        if backend not in ("electrical", "behavioral"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.tech = tech or default_tech()
+        self.stress = stress
+        self.defect = defect
+        self.backend = backend
+        self._engine = engine
+        self._inner = None
+
+    # ------------------------------------------------------------------
+    # engine plumbing
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> BatchExecutor:
+        """The executor serving this model."""
+        return self._engine if self._engine is not None \
+            else default_engine()
+
+    def request(self, ops, init_vc: float, *, background: int = 0,
+                resistance: float | None = None,
+                stress: StressConditions | None = None
+                ) -> SequenceRequest:
+        """The content-addressed request one ``run_sequence`` maps to."""
+        defect = self.defect
+        if resistance is not None:
+            if defect is None:
+                raise ValueError("this column has no injected defect")
+            defect = defect.with_resistance(resistance)
+        return SequenceRequest.build(
+            ops, init_vc, backend=self.backend, defect=defect,
+            stress=stress if stress is not None else self.stress,
+            tech=self.tech, background=background)
+
+    def batch(self, items) -> list[SequenceResult]:
+        """Execute a whole fan-out of :class:`BatchItem` through the
+        engine (deduplicated, cached, parallel when configured)."""
+        requests = [self.request(item.ops, item.init_vc,
+                                 background=item.background,
+                                 resistance=item.resistance,
+                                 stress=item.stress)
+                    for item in items]
+        return self.engine.map(requests)
+
+    # ------------------------------------------------------------------
+    # ColumnModel protocol
+    # ------------------------------------------------------------------
+    @property
+    def target_on_true(self) -> bool:
+        """Whether the target cell hangs on the true bit line."""
+        cell = self.defect.cell_index if self.defect is not None else 0
+        return cell % 2 == 0
+
+    def set_stress(self, stress: StressConditions) -> None:
+        """Change the stress combination for subsequent runs."""
+        self.stress = stress
+        if self._inner is not None:
+            self._inner.set_stress(stress)
+
+    def set_defect_resistance(self, resistance: float) -> None:
+        """Change the injected defect's resistance."""
+        if self.defect is None:
+            raise ValueError("this column has no injected defect")
+        self.defect = self.defect.with_resistance(resistance)
+        if self._inner is not None:
+            self._inner.set_defect_resistance(resistance)
+
+    def run_sequence(self, ops, init_vc: float, background: int = 0
+                     ) -> SequenceResult:
+        """Run one operation sequence through the engine (memoized)."""
+        return self.engine.run(
+            self.request(ops, init_vc, background=background))
+
+    def idle_state(self, vc_target: float, background: int = 0) -> dict:
+        """Quiescent node state (delegates to the inner model)."""
+        return self._inner_model().idle_state(vc_target,
+                                              background=background)
+
+    def run_op(self, op, state: dict, **kwargs) -> tuple:
+        """One chained operation cycle (delegates, uncached)."""
+        return self._inner_model().run_op(op, state, **kwargs)
+
+    def _inner_model(self):
+        """The concrete column model behind the protocol extras."""
+        if self._inner is None:
+            site = self.defect.site() if self.defect is not None else None
+            cell = self.defect.cell_index if self.defect is not None \
+                else 0
+            if self.backend == "electrical":
+                from repro.dram.runner import ColumnRunner
+                self._inner = ColumnRunner(tech=self.tech,
+                                           stress=self.stress,
+                                           defect=site, target_cell=cell)
+            else:
+                from repro.behav.model import BehavioralColumn
+                self._inner = BehavioralColumn(tech=self.tech,
+                                               stress=self.stress,
+                                               defect=site,
+                                               target_cell=cell)
+        return self._inner
+
+
+def batch_run(model, items) -> list[SequenceResult]:
+    """Run a fan-out of :class:`BatchItem` on any column model.
+
+    Engine-backed models execute the whole batch at once (dedupe, cache,
+    process pool); plain models replay the classic loop — apply the
+    overrides, run, restore the base stress — so wrapped/counting models
+    observe exactly the calls the hand-rolled sweeps made.
+    """
+    items = list(items)
+    if hasattr(model, "batch"):
+        return model.batch(items)
+    results = []
+    base_stress = model.stress
+    for item in items:
+        if item.stress is not None:
+            model.set_stress(item.stress)
+        if item.resistance is not None:
+            model.set_defect_resistance(item.resistance)
+        results.append(model.run_sequence(parse_ops(item.ops),
+                                          init_vc=item.init_vc,
+                                          background=item.background))
+        if item.stress is not None:
+            model.set_stress(base_stress)
+    return results

@@ -1,0 +1,169 @@
+"""Content-addressed description of one operation-sequence simulation.
+
+Every evaluation in the paper — result planes, border bisection, quick
+direction panels, Table-1 optimization — reduces to fan-outs of the same
+primitive: *simulate one operation sequence on one (defective) column
+under one stress combination*.  :class:`SequenceRequest` captures that
+primitive as a frozen value object with a deterministic content hash, so
+identical simulations can be recognised across callers, cached, and
+shipped to worker processes without the netlist ever leaving the process
+that needs it.
+
+The hash covers everything the simulation outcome depends on:
+
+* the simulation backend (``"electrical"`` or ``"behavioral"``),
+* the full technology parameter set (hashed recursively, so Monte-Carlo
+  technology perturbations never collide with the typical corner),
+* the defect kind, afflicted cell and resistance,
+* the stress combination (tcyc, duty, temperature, Vdd),
+* the canonical operation string, the initial cell voltage and the
+  logical background.
+
+Floats are rendered with ``repr`` (shortest round-trip form), so equal
+doubles always produce equal payloads and the hash is stable across
+processes and platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.defects.catalog import Defect
+from repro.dram.column import DefectSite
+from repro.dram.ops import format_ops, parse_ops
+from repro.dram.tech import TechnologyParams, default_tech
+from repro.stress import StressConditions
+
+#: Bumped whenever the simulation semantics change incompatibly, so stale
+#: on-disk cache entries can never be returned for new code.
+SCHEMA_VERSION = 1
+
+
+def _canonical(value):
+    """JSON-serialisable canonical form of a payload value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def tech_fingerprint(tech: TechnologyParams) -> str:
+    """Deterministic short hash of a full technology parameter set."""
+    payload = json.dumps(_canonical(tech), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SequenceRequest:
+    """One simulation, fully described and content-addressable.
+
+    Attributes
+    ----------
+    backend:
+        ``"electrical"`` (SPICE-level column) or ``"behavioral"``.
+    tech:
+        The complete technology parameter set the column is built from.
+    defect_kind:
+        Netlist-level defect kind string (``"open_sn"`` …), or ``None``
+        for a defect-free column.
+    cell:
+        Index of the afflicted/target cell.
+    resistance:
+        Defect resistance in ohms (``None`` for defect-free columns).
+    stress:
+        The stress combination applied to every cycle.
+    ops:
+        Canonical operation string (``"w1^2 w0 r0"``).
+    init_vc:
+        Initial physical storage voltage of the target cell.
+    background:
+        Logical value held by the other cells of the column.
+    """
+
+    backend: str
+    tech: TechnologyParams
+    defect_kind: str | None
+    cell: int
+    resistance: float | None
+    stress: StressConditions
+    ops: str
+    init_vc: float
+    background: int = 0
+
+    @classmethod
+    def build(cls, ops, init_vc: float, *, backend: str,
+              defect: Defect | DefectSite | None,
+              stress: StressConditions,
+              tech: TechnologyParams | None = None,
+              background: int = 0) -> "SequenceRequest":
+        """Build a request from high-level pieces.
+
+        ``ops`` may be a string or a list of :class:`~repro.dram.ops.Op`;
+        it is canonicalised through ``format_ops`` either way, so
+        ``"w1 w1"`` and ``[w1, w1]`` address the same cache entry.
+        ``defect`` may be the high-level catalog :class:`Defect` or the
+        netlist-level :class:`DefectSite`.
+        """
+        if isinstance(ops, str):
+            ops = parse_ops(ops)
+        if isinstance(defect, Defect):
+            site = defect.site()
+        else:
+            site = defect
+        return cls(
+            backend=backend,
+            tech=tech or default_tech(),
+            defect_kind=site.kind if site is not None else None,
+            cell=site.cell if site is not None else 0,
+            resistance=site.resistance if site is not None else None,
+            stress=stress,
+            ops=format_ops(ops),
+            init_vc=float(init_vc),
+            background=int(background),
+        )
+
+    @property
+    def cycles(self) -> int:
+        """Number of operation cycles this request simulates."""
+        return len(parse_ops(self.ops))
+
+    @cached_property
+    def content_hash(self) -> str:
+        """Deterministic hex digest addressing this simulation."""
+        payload = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "backend": self.backend,
+            "tech": _canonical(self.tech),
+            "defect_kind": self.defect_kind,
+            "cell": self.cell,
+            "resistance": _canonical(self.resistance)
+            if self.resistance is not None else None,
+            "stress": _canonical(self.stress),
+            "ops": self.ops,
+            "init_vc": repr(self.init_vc),
+            "background": self.background,
+        }, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def site(self) -> DefectSite | None:
+        """The netlist-level defect this request injects (or ``None``)."""
+        if self.defect_kind is None:
+            return None
+        return DefectSite(self.defect_kind, self.cell, self.resistance)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        defect = ("clean" if self.defect_kind is None else
+                  f"{self.defect_kind}@{self.cell} "
+                  f"R={self.resistance:.3g}")
+        return (f"[{self.backend}] {defect} {self.stress.describe()} "
+                f"ops='{self.ops}' Vc0={self.init_vc:.3f}")

@@ -19,14 +19,26 @@ from repro.report.ascii_plot import ascii_curves
 
 
 def make_model(defect: Defect, stress: StressConditions,
-               backend: str = "electrical"):
-    """Model factory shared by the experiment entry points."""
+               backend: str = "electrical", *, engine=None):
+    """Model factory shared by the experiment entry points.
+
+    ``engine`` selects the execution path: ``None``/``False`` builds the
+    plain column model (the seed behaviour), ``True`` wraps it in an
+    engine-backed :class:`repro.engine.EngineModel` on the process-wide
+    default engine, and a :class:`repro.engine.BatchExecutor` instance
+    binds the model to that specific engine.
+    """
+    if backend not in ("electrical", "behavioral"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if engine is not None and engine is not False:
+        from repro.engine import BatchExecutor, EngineModel
+        bound = engine if isinstance(engine, BatchExecutor) else None
+        return EngineModel(defect, stress=stress, backend=backend,
+                           engine=bound)
     if backend == "electrical":
         return electrical_model(defect, stress=stress)
-    if backend == "behavioral":
-        from repro.behav import behavioral_model
-        return behavioral_model(defect, stress=stress)
-    raise ValueError(f"unknown backend {backend!r}")
+    from repro.behav import behavioral_model
+    return behavioral_model(defect, stress=stress)
 
 
 #: The paper's reference defect: the cell open of Fig. 1 at 200 kΩ.
@@ -63,9 +75,10 @@ def fig2_result_planes(*, backend: str = "electrical",
                        r_lo: float = 30e3, r_hi: float = 2e6,
                        n_writes: int = 2,
                        stress: StressConditions = NOMINAL_STRESS,
-                       defect: Defect = REFERENCE_DEFECT) -> PlanesStudy:
+                       defect: Defect = REFERENCE_DEFECT,
+                       engine=None) -> PlanesStudy:
     """Fig. 2: the three result planes of the cell open at nominal SC."""
-    model = make_model(defect, stress, backend)
+    model = make_model(defect, stress, backend, engine=engine)
     grid = log_grid(r_lo, r_hi, points)
     planes = result_planes(model, grid, n_writes=n_writes)
     return PlanesStudy(stress, planes, planes.border_estimate())
@@ -75,11 +88,13 @@ def fig6_stressed_planes(*, backend: str = "electrical",
                          points: int = 9,
                          r_lo: float = 30e3, r_hi: float = 2e6,
                          n_writes: int = 2,
-                         defect: Defect = REFERENCE_DEFECT) -> PlanesStudy:
+                         defect: Defect = REFERENCE_DEFECT,
+                         engine=None) -> PlanesStudy:
     """Fig. 6: the same planes under the stressed SC."""
     return fig2_result_planes(backend=backend, points=points, r_lo=r_lo,
                               r_hi=r_hi, n_writes=n_writes,
-                              stress=FIG6_STRESS, defect=defect)
+                              stress=FIG6_STRESS, defect=defect,
+                              engine=engine)
 
 
 # ----------------------------------------------------------------------
@@ -110,8 +125,8 @@ class PanelStudy:
 
 def _st_panels(st_name: str, field_name: str, values, *,
                backend: str, defect: Defect,
-               base: StressConditions) -> PanelStudy:
-    model = make_model(defect, base, backend)
+               base: StressConditions, engine=None) -> PanelStudy:
+    model = make_model(defect, base, backend, engine=engine)
     model.set_defect_resistance(defect.resistance)
     w0s, vsas = [], []
     for v in values:
@@ -124,11 +139,11 @@ def _st_panels(st_name: str, field_name: str, values, *,
 def fig3_timing_panels(*, backend: str = "electrical",
                        tcycs=(60e-9, 55e-9),
                        defect: Defect = REFERENCE_DEFECT,
-                       base: StressConditions = NOMINAL_STRESS
-                       ) -> PanelStudy:
+                       base: StressConditions = NOMINAL_STRESS,
+                       engine=None) -> PanelStudy:
     """Fig. 3: tcyc 60 → 55 ns weakens ``w0``; ``Vsa`` barely moves."""
     study = _st_panels("tcyc", "tcyc", tcycs, backend=backend,
-                       defect=defect, base=base)
+                       defect=defect, base=base, engine=engine)
     study.notes.append("paper: shorter tcyc leaves Vc higher after w0; "
                        "timing has no impact on Vsa")
     return study
@@ -137,11 +152,11 @@ def fig3_timing_panels(*, backend: str = "electrical",
 def fig4_temperature_panels(*, backend: str = "electrical",
                             temps=(-33.0, 27.0, 87.0),
                             defect: Defect = REFERENCE_DEFECT,
-                            base: StressConditions = NOMINAL_STRESS
-                            ) -> PanelStudy:
+                            base: StressConditions = NOMINAL_STRESS,
+                            engine=None) -> PanelStudy:
     """Fig. 4: hot weakens ``w0``; ``Vsa`` is non-monotonic in T."""
     study = _st_panels("T", "temp_c", temps, backend=backend,
-                       defect=defect, base=base)
+                       defect=defect, base=base, engine=engine)
     study.notes.append("paper: Vc after w0 rises with T; the read detects "
                        "1 only at +27C (Vsa minimum at room temperature)")
     return study
@@ -150,12 +165,12 @@ def fig4_temperature_panels(*, backend: str = "electrical",
 def fig5_voltage_panels(*, backend: str = "electrical",
                         vdds=(2.1, 2.4, 2.7),
                         defect: Defect = REFERENCE_DEFECT,
-                        base: StressConditions = NOMINAL_STRESS
-                        ) -> PanelStudy:
+                        base: StressConditions = NOMINAL_STRESS,
+                        engine=None) -> PanelStudy:
     """Fig. 5: higher Vdd weakens ``w0`` but helps reads — conflicting
     votes that the paper resolves with a BR comparison."""
     study = _st_panels("Vdd", "vdd", vdds, backend=backend,
-                       defect=defect, base=base)
+                       defect=defect, base=base, engine=engine)
     study.notes.append("paper: conflict -> BR tie-break; Vdd=2.1 V gives "
                        "the lowest border resistance")
     return study

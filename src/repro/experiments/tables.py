@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.analysis.planes import log_grid
@@ -22,16 +23,22 @@ from repro.report.tables import render_table
 
 def table1_optimization(*, backend: str = "behavioral",
                         defects=ALL_DEFECTS,
-                        br_rel_tol: float = 0.05) -> OptimizationTable:
+                        br_rel_tol: float = 0.05,
+                        workers: int = 1,
+                        engine=None) -> OptimizationTable:
     """Table 1: per-defect directions, borders and detection conditions.
 
     The behavioral backend reproduces the whole table in seconds; pass
     ``backend="electrical"`` (and usually a subset of ``defects``) for a
-    SPICE-level run.
+    SPICE-level run.  ``workers > 1`` fans the per-defect flows out over
+    a process pool; ``engine`` routes every simulation through the
+    result cache (see :func:`repro.experiments.figures.make_model`).
+    The rendered table is identical for any worker count.
     """
-    factory = lambda d, s: make_model(d, s, backend)  # noqa: E731
+    factory = functools.partial(make_model, backend=backend,
+                                engine=engine)
     return optimize_all_defects(model_factory=factory, defects=defects,
-                                br_rel_tol=br_rel_tol)
+                                br_rel_tol=br_rel_tol, workers=workers)
 
 
 @dataclass
@@ -50,14 +57,16 @@ def shmoo_baseline(*, backend: str = "behavioral",
                    defect: Defect = REFERENCE_DEFECT,
                    resistance: float = 250e3,
                    test: str = "w1^2 w0 r0",
-                   nx: int = 9, ny: int = 7) -> ShmooStudy:
+                   nx: int = 9, ny: int = 7,
+                   engine=None) -> ShmooStudy:
     """A tcyc × Vdd Shmoo plot of a defective device (paper Sec. 2).
 
     The defect resistance defaults to just above the nominal border so
-    the pass/fail boundary lands inside the plotted window.
+    the pass/fail boundary lands inside the plotted window.  With an
+    engine-backed model the whole grid executes as one batch.
     """
     model = make_model(defect.with_resistance(resistance), NOMINAL_STRESS,
-                       backend)
+                       backend, engine=engine)
     x_values = [2.1 + i * (2.7 - 2.1) / (nx - 1) for i in range(nx)]
     y_values = [50e-9 + i * (70e-9 - 50e-9) / (ny - 1) for i in range(ny)]
     plot = shmoo(model, test,
@@ -95,23 +104,27 @@ def march_coverage_comparison(*, backend: str = "behavioral",
                               tests: tuple[MarchTest, ...] = STANDARD_TESTS,
                               r_points: int = 16,
                               r_lo: float | None = None,
-                              r_hi: float | None = None) -> CoverageStudy:
+                              r_hi: float | None = None,
+                              workers: int = 1,
+                              engine=None) -> CoverageStudy:
     """Coverage of the standard march tests, nominal vs optimized SC.
 
     The grid must be fine enough to resolve the border shift the SC
     produces; override ``r_lo``/``r_hi`` to focus on the band around the
-    nominal border.
+    nominal border.  ``workers > 1`` parallelises the per-resistance
+    march runs of each (test, SC) pair.
     """
     optimized = optimized or NOMINAL_STRESS.with_(
         vdd=2.1, tcyc=55e-9, duty=0.40, temp_c=87.0)
     lo, hi = defect.kind.search_range
     grid = log_grid(r_lo or lo * 2, r_hi or hi / 2, r_points)
-    factory = lambda d, s: make_model(d, s, backend)  # noqa: E731
+    factory = functools.partial(make_model, backend=backend,
+                                engine=engine)
     rows = []
     for test in tests:
         nom = fault_coverage(test, factory, defect, NOMINAL_STRESS,
-                             resistances=grid)
+                             resistances=grid, workers=workers)
         opt = fault_coverage(test, factory, defect, optimized,
-                             resistances=grid)
+                             resistances=grid, workers=workers)
         rows.append((test.name, nom.coverage, opt.coverage))
     return CoverageStudy(defect, NOMINAL_STRESS, optimized, rows)

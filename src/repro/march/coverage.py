@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 from repro.analysis.interface import ColumnModel
 from repro.stress import StressConditions
 from repro.defects.catalog import Defect
+from repro.engine import parallel_map
 from repro.march.notation import MarchTest
 from repro.march.runner import run_march
 
@@ -52,18 +53,38 @@ class CoverageReport:
                 f"{self.coverage:.0%}{extra}")
 
 
+def _coverage_task(args) -> bool:
+    """Detection at one resistance (module-level: picklable)."""
+    test, model_factory, defect, stress, r, n_cells, address = args
+    model = model_factory(defect.with_resistance(r), stress)
+    return run_march(test, model, n_cells=n_cells,
+                     defective_address=address).detected
+
+
 def fault_coverage(test: MarchTest,
                    model_factory: Callable[[Defect, StressConditions],
                                            ColumnModel],
                    defect: Defect, stress: StressConditions, *,
                    resistances: Sequence[float],
                    n_cells: int = 4,
-                   defective_address: int = 1) -> CoverageReport:
-    """Run ``test`` at each resistance and record detection."""
+                   defective_address: int = 1,
+                   workers: int = 1) -> CoverageReport:
+    """Run ``test`` at each resistance and record detection.
+
+    March runs are state-chained (one long operation stream per device),
+    so the engine cannot memoize inside a run; ``workers > 1`` instead
+    fans the independent per-resistance runs out over a process pool.
+    """
     report = CoverageReport(test, defect, stress, list(resistances))
-    for r in resistances:
-        model = model_factory(defect.with_resistance(r), stress)
-        outcome = run_march(test, model, n_cells=n_cells,
-                            defective_address=defective_address)
-        report.detected.append(outcome.detected)
+    if workers <= 1:
+        for r in resistances:
+            model = model_factory(defect.with_resistance(r), stress)
+            outcome = run_march(test, model, n_cells=n_cells,
+                                defective_address=defective_address)
+            report.detected.append(outcome.detected)
+        return report
+    tasks = [(test, model_factory, defect, stress, r, n_cells,
+              defective_address) for r in resistances]
+    report.detected.extend(parallel_map(_coverage_task, tasks,
+                                        workers=workers))
     return report

@@ -13,8 +13,6 @@ cycles, feeding each cycle's final state into the next.
 
 from __future__ import annotations
 
-import bisect
-
 import numpy as np
 
 from repro.spice.errors import ConvergenceError, SpiceError
@@ -60,7 +58,7 @@ class TransientResult:
             return float(wave[0])
         if t >= times[-1]:
             return float(wave[-1])
-        i = bisect.bisect_right(times.tolist(), t)
+        i = int(np.searchsorted(times, t, side="right"))
         t0, t1 = times[i - 1], times[i]
         frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
         return float(wave[i - 1] + frac * (wave[i] - wave[i - 1]))

@@ -1,0 +1,13 @@
+"""Engine-suite fixtures: keep the process-wide default engine clean."""
+
+import pytest
+
+from repro.engine import set_default_engine
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_engine():
+    """Every test starts and ends with the lazy default engine."""
+    set_default_engine(None)
+    yield
+    set_default_engine(None)

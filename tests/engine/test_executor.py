@@ -1,0 +1,111 @@
+"""Batch executor: dedupe, worker pools, the generic fan-out helper."""
+
+from repro.defects import Defect, DefectKind
+from repro.engine import (
+    BatchExecutor,
+    ResultCache,
+    SequenceRequest,
+    configure_default_engine,
+    default_engine,
+    parallel_map,
+    set_default_engine,
+)
+from repro.stress import NOMINAL_STRESS
+
+
+def _request(ops="w1 r1", init_vc=0.0, resistance=200e3):
+    return SequenceRequest.build(
+        ops, init_vc, backend="behavioral",
+        defect=Defect(DefectKind.O3, resistance=resistance),
+        stress=NOMINAL_STRESS)
+
+
+def _outcomes(results):
+    return [(r.vc_after, r.outputs) for r in results]
+
+
+class TestRun:
+    def test_second_run_is_a_hit(self):
+        engine = BatchExecutor(cache=ResultCache())
+        req = _request()
+        first = engine.run(req)
+        second = engine.run(req)
+        assert second.vc_after == first.vc_after
+        assert engine.stats.hits == 1
+        assert engine.stats.misses == 1
+
+    def test_no_cache_still_executes(self):
+        engine = BatchExecutor(cache=None)
+        req = _request(ops="w1^2 r1")
+        engine.run(req)
+        engine.run(req)
+        assert engine.stats.misses == 2
+        assert engine.stats.cycles_simulated == 2 * req.cycles
+
+
+class TestMap:
+    def test_results_align_with_requests(self):
+        engine = BatchExecutor(cache=ResultCache())
+        reqs = [_request(resistance=r) for r in (1e5, 2e5, 4e5)]
+        batch = engine.map(reqs)
+        singles = [BatchExecutor(cache=None).run(r) for r in reqs]
+        assert _outcomes(batch) == _outcomes(singles)
+
+    def test_duplicates_simulate_once(self):
+        engine = BatchExecutor(cache=ResultCache())
+        req = _request()
+        results = engine.map([req, req, req])
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 2
+        assert _outcomes(results) == _outcomes([results[0]] * 3)
+
+    def test_cache_spans_batches(self):
+        engine = BatchExecutor(cache=ResultCache())
+        reqs = [_request(resistance=r) for r in (1e5, 2e5)]
+        engine.map(reqs)
+        before = engine.stats.snapshot()
+        engine.map(reqs)
+        delta = engine.stats.delta_since(before)
+        assert delta.misses == 0
+        assert delta.hits == len(reqs)
+
+    def test_parallel_matches_serial(self):
+        reqs = [_request(resistance=r, ops="w1^2 w0 r0")
+                for r in (5e4, 1e5, 3e5, 8e5)]
+        serial = BatchExecutor(cache=ResultCache(), workers=1).map(reqs)
+        pooled = BatchExecutor(cache=ResultCache(), workers=2).map(reqs)
+        assert _outcomes(pooled) == _outcomes(serial)
+
+
+class TestDefaultEngine:
+    def test_lazy_default_is_cached_serial(self):
+        engine = default_engine()
+        assert engine.cache is not None
+        assert engine.workers == 1
+        assert default_engine() is engine
+
+    def test_configure_replaces(self):
+        engine = configure_default_engine(workers=3, cache=False)
+        assert default_engine() is engine
+        assert engine.workers == 3
+        assert engine.cache is None
+        set_default_engine(None)
+        assert default_engine() is not engine
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(_double, [1, 2, 3], workers=1) == [2, 4, 6]
+
+    def test_pooled(self):
+        assert parallel_map(_double, [1, 2, 3, 4], workers=2) \
+            == [2, 4, 6, 8]
+
+    def test_unpicklable_falls_back_to_serial(self):
+        offset = 10
+        fn = lambda x: x + offset  # noqa: E731 — deliberately a closure
+        assert parallel_map(fn, [1, 2, 3], workers=2) == [11, 12, 13]

@@ -3,6 +3,14 @@
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.engine import set_default_engine
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_engine():
+    """Commands install a process-wide engine; leave none behind."""
+    yield
+    set_default_engine(None)
 
 
 class TestParser:
@@ -19,6 +27,19 @@ class TestParser:
         args = build_parser().parse_args(["planes"])
         assert not args.stressed
         assert args.points == 8
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.workers == 1
+        assert not args.no_cache
+        assert not args.verbose
+
+    def test_engine_flags_parse(self):
+        args = build_parser().parse_args(
+            ["coverage", "--workers", "4", "--no-cache", "--verbose"])
+        assert args.workers == 4
+        assert args.no_cache
+        assert args.verbose
 
 
 class TestCommands:
@@ -48,3 +69,23 @@ class TestCommands:
         rc = main(["coverage", "--points", "6"])
         assert rc == 0
         assert "march coverage" in capsys.readouterr().out
+
+    def test_planes_verbose_reports_engine_stats(self, capsys):
+        rc = main(["planes", "--points", "4", "--verbose"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Plane of w0" in captured.out
+        assert "engine:" in captured.err
+        assert "engine:" not in captured.out     # stdout stays identical
+
+    def test_planes_no_cache(self, capsys):
+        rc = main(["planes", "--points", "4", "--no-cache", "--verbose"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "0 hits" in captured.err
+
+    def test_planes_workers_output_matches_serial(self, capsys):
+        assert main(["planes", "--points", "4"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["planes", "--points", "4", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial

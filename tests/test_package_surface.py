@@ -24,7 +24,7 @@ class TestTopLevel:
 @pytest.mark.parametrize("module", [
     "repro.spice", "repro.dram", "repro.defects", "repro.analysis",
     "repro.core", "repro.behav", "repro.march", "repro.report",
-    "repro.experiments",
+    "repro.experiments", "repro.engine",
 ])
 class TestSubpackages:
     def test_all_exports_resolve(self, module):
@@ -44,6 +44,8 @@ class TestPublicDocstrings:
         "repro.analysis.border", "repro.analysis.detection",
         "repro.core.optimizer", "repro.core.directions",
         "repro.behav.model", "repro.march.runner",
+        "repro.engine.request", "repro.engine.cache",
+        "repro.engine.executor", "repro.engine.model",
     ])
     def test_public_callables_documented(self, module):
         mod = importlib.import_module(module)
