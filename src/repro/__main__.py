@@ -18,6 +18,13 @@ The sweep-heavy commands (``table1``, ``planes``, ``coverage``) accept
 content-addressed result cache) and ``--verbose`` (engine statistics on
 stderr).  Results are identical for any worker count; only stderr and
 wall time change.
+
+Resilience flags (same commands): ``--isolate`` turns non-convergent
+points into reported holes instead of aborting the run, ``--timeout S``
+bounds each simulation's wall clock, ``--max-retries N`` bounds crash
+retries, and ``--log-level LEVEL`` controls run diagnostics on stderr.
+A per-run failure/rescue/retry summary is printed to stderr whenever
+anything eventful happened (clean runs print nothing extra).
 """
 
 from __future__ import annotations
@@ -28,24 +35,34 @@ import sys
 
 def _setup_engine(args) -> None:
     """Install the process-wide engine from the CLI flags."""
+    from repro.diagnostics import configure_logging, reset_diagnostics
     from repro.engine import configure_default_engine
-    configure_default_engine(workers=getattr(args, "workers", 1),
-                             cache=not getattr(args, "no_cache", False))
+    configure_logging(getattr(args, "log_level", "warning"))
+    reset_diagnostics()
+    configure_default_engine(
+        workers=getattr(args, "workers", 1),
+        cache=not getattr(args, "no_cache", False),
+        on_error="isolate" if getattr(args, "isolate", False) else "raise",
+        timeout=getattr(args, "timeout", None),
+        max_retries=getattr(args, "max_retries", 2))
 
 
 def _report_engine(args) -> None:
-    """Print engine statistics to stderr (``--verbose`` only)."""
+    """Engine statistics (``--verbose``) and run diagnostics to stderr."""
     if getattr(args, "verbose", False):
         from repro.engine import default_engine
         print(default_engine().stats.describe(), file=sys.stderr)
+    from repro.diagnostics import diagnostics
+    diagnostics().report(sys.stderr)
 
 
 def _cmd_table1(args) -> int:
     from repro.experiments import table1_optimization
     backend = "electrical" if args.electrical else "behavioral"
     _setup_engine(args)
-    table = table1_optimization(backend=backend, workers=args.workers,
-                                engine=True)
+    table = table1_optimization(
+        backend=backend, workers=args.workers, engine=True,
+        on_error="isolate" if args.isolate else "raise")
     print(table.render())
     _report_engine(args)
     return 0
@@ -103,12 +120,25 @@ def _cmd_coverage(args) -> int:
 
 
 def _add_engine_options(p: argparse.ArgumentParser) -> None:
+    from repro.diagnostics import LOG_LEVELS
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="worker processes for simulation fan-out")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-addressed result cache")
     p.add_argument("--verbose", action="store_true",
                    help="print engine statistics to stderr")
+    p.add_argument("--isolate", action="store_true",
+                   help="keep going past failed simulations; report "
+                        "them as holes instead of aborting")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-simulation wall-clock bound in seconds "
+                        "(parallel runs only)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="pool re-drives for items hit by a worker "
+                        "crash before running them serially")
+    p.add_argument("--log-level", choices=sorted(LOG_LEVELS),
+                   default="warning",
+                   help="diagnostics verbosity on stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:

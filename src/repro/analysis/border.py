@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.interface import ColumnModel, opposite_rail_init
 from repro.dram.ops import parse_ops
+from repro.spice.errors import SpiceError
 
 #: Operation sequences probed by the default fault predicate.  The pair
 #: covers both data polarities; the saturating charge prefix follows the
@@ -75,6 +76,11 @@ class BorderResult:
         border lies below it) or fault-free (above it).
     r_lo, r_hi:
         The searched range.
+    n_failed_probes:
+        Probes lost to simulation failures during the search (only
+        nonzero under ``on_error="isolate"``); the result may then be
+        coarser than ``rel_tol``, or undetermined when an endpoint was
+        unprobeable.
     """
 
     resistance: float | None
@@ -83,10 +89,16 @@ class BorderResult:
     never_faulty: bool
     r_lo: float
     r_hi: float
+    n_failed_probes: int = 0
 
     @property
     def found(self) -> bool:
         return self.resistance is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True when failed probes may have reduced accuracy."""
+        return self.n_failed_probes > 0
 
     def failing_range(self) -> tuple[float, float] | None:
         """The resistance interval producing faults (within the search)."""
@@ -99,34 +111,77 @@ class BorderResult:
         return (self.r_lo, self.resistance)
 
     def describe(self) -> str:
+        note = (f" ({self.n_failed_probes} failed probes)"
+                if self.n_failed_probes else "")
         if self.always_faulty:
-            return f"faulty everywhere in [{self.r_lo:.3g}, {self.r_hi:.3g}]"
+            return (f"faulty everywhere in [{self.r_lo:.3g}, "
+                    f"{self.r_hi:.3g}]{note}")
         if not self.found:
-            return f"no fault in [{self.r_lo:.3g}, {self.r_hi:.3g}]"
+            if self.n_failed_probes and not self.never_faulty:
+                return (f"border undetermined in [{self.r_lo:.3g}, "
+                        f"{self.r_hi:.3g}]{note}")
+            return f"no fault in [{self.r_lo:.3g}, {self.r_hi:.3g}]{note}"
         arrow = ">" if self.fails_high else "<"
-        return f"faulty for R {arrow} {self.resistance:.3g} ohm"
+        return f"faulty for R {arrow} {self.resistance:.3g} ohm{note}"
+
+
+#: Relative nudges tried around a resistance whose probe failed before
+#: the search gives up on that probe point.
+_PROBE_NUDGES = (1.0, 1.03, 1.0 / 1.03)
 
 
 def border_resistance(model: ColumnModel, *, fails_high: bool,
                       r_lo: float, r_hi: float,
                       predicate: Callable[[float], bool] | None = None,
                       sequences: Sequence[str] | None = None,
-                      rel_tol: float = 0.05) -> BorderResult:
+                      rel_tol: float = 0.05,
+                      on_error: str = "raise") -> BorderResult:
     """Bisect the border resistance in ``[r_lo, r_hi]`` (log space).
 
     ``fails_high`` selects the polarity (True for opens).  A custom
     ``predicate`` (or sequence battery) overrides the default probe.
     The predicate is assumed monotone in R in the paper's sense; the
     endpoints are checked and degenerate outcomes reported explicitly.
+
+    ``on_error="isolate"`` makes the search survive probes whose
+    simulation fails: a failed probe point is retried at slightly nudged
+    resistances, an unprobeable midpoint stops the refinement (the
+    result brackets around it at reduced accuracy), and an unprobeable
+    endpoint yields an undetermined result — all reported through
+    ``n_failed_probes`` instead of an exception.
     """
     if r_lo <= 0 or r_hi <= r_lo:
         raise ValueError("require 0 < r_lo < r_hi")
+    if on_error not in ("raise", "isolate"):
+        raise ValueError(f"unknown on_error policy {on_error!r}")
     if predicate is None:
         predicate = default_fault_predicate(
             model, sequences or DEFAULT_PROBE_SEQUENCES)
 
-    lo_faulty = predicate(r_lo)
-    hi_faulty = predicate(r_hi)
+    n_failed = 0
+
+    def probe(resistance: float) -> bool | None:
+        """``predicate`` hardened against simulation failures."""
+        nonlocal n_failed
+        if on_error == "raise":
+            return predicate(resistance)
+        for nudge in _PROBE_NUDGES:
+            r = min(max(resistance * nudge, r_lo), r_hi)
+            try:
+                return predicate(r)
+            except SpiceError as exc:
+                n_failed += 1
+                _log_failed_probe(r, exc)
+        return None
+
+    lo_faulty = probe(r_lo)
+    hi_faulty = probe(r_hi)
+    if lo_faulty is None or hi_faulty is None:
+        # An endpoint cannot be classified: the polarity of the whole
+        # range is unknown, so the search is undetermined.
+        return BorderResult(None, fails_high, always_faulty=False,
+                            never_faulty=False, r_lo=r_lo, r_hi=r_hi,
+                            n_failed_probes=n_failed)
     faulty_end = r_hi if fails_high else r_lo
     clean_end = r_lo if fails_high else r_hi
     faulty_at_faulty_end = hi_faulty if fails_high else lo_faulty
@@ -134,10 +189,12 @@ def border_resistance(model: ColumnModel, *, fails_high: bool,
 
     if faulty_at_clean_end:
         return BorderResult(None, fails_high, always_faulty=True,
-                            never_faulty=False, r_lo=r_lo, r_hi=r_hi)
+                            never_faulty=False, r_lo=r_lo, r_hi=r_hi,
+                            n_failed_probes=n_failed)
     if not faulty_at_faulty_end:
         return BorderResult(None, fails_high, always_faulty=False,
-                            never_faulty=True, r_lo=r_lo, r_hi=r_hi)
+                            never_faulty=True, r_lo=r_lo, r_hi=r_hi,
+                            n_failed_probes=n_failed)
 
     lo, hi = (clean_end, faulty_end) if fails_high else (faulty_end,
                                                          clean_end)
@@ -145,7 +202,12 @@ def border_resistance(model: ColumnModel, *, fails_high: bool,
     # for shorts lo is faulty / hi clean.
     while hi / lo > 1.0 + rel_tol:
         mid = math.sqrt(lo * hi)
-        mid_faulty = predicate(mid)
+        mid_faulty = probe(mid)
+        if mid_faulty is None:
+            # The midpoint is unprobeable even after nudging: stop
+            # refining and bracket around it — a coarser border beats
+            # an aborted search.
+            break
         if fails_high:
             if mid_faulty:
                 hi = mid
@@ -158,4 +220,11 @@ def border_resistance(model: ColumnModel, *, fails_high: bool,
                 hi = mid
     return BorderResult(math.sqrt(lo * hi), fails_high,
                         always_faulty=False, never_faulty=False,
-                        r_lo=r_lo, r_hi=r_hi)
+                        r_lo=r_lo, r_hi=r_hi, n_failed_probes=n_failed)
+
+
+def _log_failed_probe(resistance: float, exc: SpiceError) -> None:
+    from repro.diagnostics import get_logger
+    get_logger("analysis").warning(
+        "border probe failed at R=%.3g ohm (%s: %s)", resistance,
+        type(exc).__name__, exc)

@@ -28,6 +28,7 @@ from typing import Sequence
 
 from repro.analysis.interface import ColumnModel, stored_level
 from repro.dram.ops import Op, Operation, format_ops
+from repro.engine.failures import is_failed
 from repro.engine.model import BatchItem, batch_run
 
 
@@ -66,10 +67,23 @@ def sense_threshold(model: ColumnModel, *, lo: float = 0.0,
 
 @dataclass
 class VsaCurve:
-    """``Vsa`` sampled over a resistance grid (``None`` = always reads 1)."""
+    """``Vsa`` sampled over a resistance grid (``None`` = always reads 1).
+
+    Under fault isolation a grid point whose probes failed is a *hole*:
+    its threshold is ``None`` **and** its index appears in ``failed`` —
+    distinguishing "no threshold exists" (strong open) from "could not
+    be measured".  ``n_failed`` counts every failed probe, including
+    mid-bisection failures that merely degraded accuracy.
+    """
 
     resistances: list[float]
     thresholds: list[float | None]
+    failed: tuple[int, ...] = ()
+    n_failed: int = 0
+
+    def is_hole(self, i: int) -> bool:
+        """True when grid point ``i`` could not be measured."""
+        return i in self.failed
 
     def at(self, resistance: float) -> float | None:
         """Log-linear interpolation of the threshold (None near gaps)."""
@@ -90,7 +104,7 @@ class VsaCurve:
 
 
 def vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
-              tol: float = 0.01) -> VsaCurve:
+              tol: float = 0.01, on_error: str | None = None) -> VsaCurve:
     """Sample ``Vsa`` over ``resistances`` (paper Fig. 2c bold curve).
 
     All resistances bisect in lock-step: each iteration issues one batch
@@ -98,25 +112,45 @@ def vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
     parallelises even though each bisection is sequential in itself.
     The probe schedule per resistance is identical to calling
     :func:`sense_threshold` point by point.
+
+    Under fault isolation (``on_error="isolate"``, or an engine default
+    of the same) failed probes degrade instead of crashing the sweep: a
+    failed *endpoint* probe turns the grid point into a hole (recorded
+    in ``failed``), a failed *mid-bisection* probe freezes that point's
+    bracket and reports its midpoint at reduced accuracy.
     """
     resistances = list(resistances)
     on_true = getattr(model, "target_on_true", True)
     vdd = model.stress.vdd
+    n_failed = 0
 
-    def read_bits(points: list[tuple[float, float]]) -> list[int]:
-        """Sensed physical bits for a batch of (resistance, Vc) probes."""
+    def read_bits(points: list[tuple[float, float]]
+                  ) -> list[int | None]:
+        """Sensed physical bits per (resistance, Vc) probe (None=failed)."""
+        nonlocal n_failed
         items = [BatchItem(ops="r", init_vc=vc, resistance=r)
                  for r, vc in points]
-        results = batch_run(model, items)
-        return [seq.outputs[0] if on_true else 1 - seq.outputs[0]
-                for seq in results]
+        results = batch_run(model, items, on_error=on_error)
+        bits: list[int | None] = []
+        for seq in results:
+            if is_failed(seq):
+                n_failed += 1
+                bits.append(None)
+            else:
+                bits.append(seq.outputs[0] if on_true
+                            else 1 - seq.outputs[0])
+        return bits
 
     bits_lo = read_bits([(r, 0.0) for r in resistances])
     bits_hi = read_bits([(r, vdd) for r in resistances])
 
     thresholds: list[float | None] = [None] * len(resistances)
+    holes: set[int] = set()
     bounds = {}
     for i, (blo, bhi) in enumerate(zip(bits_lo, bits_hi)):
+        if blo is None or bhi is None:
+            holes.add(i)
+            continue
         if blo == bhi:
             continue
         if vdd - 0.0 > tol:
@@ -130,6 +164,12 @@ def vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
         bits = read_bits([(resistances[i], mids[i]) for i in active])
         for i, bit in zip(active, bits):
             lo, hi = bounds[i]
+            if bit is None:
+                # Failed probe: keep the bracket we have and report its
+                # midpoint — degraded accuracy beats a dead sweep.
+                del bounds[i]
+                thresholds[i] = 0.5 * (lo + hi)
+                continue
             if bit == 1:
                 hi = mids[i]
             else:
@@ -139,7 +179,8 @@ def vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
             else:
                 del bounds[i]
                 thresholds[i] = 0.5 * (lo + hi)
-    return VsaCurve(resistances, thresholds)
+    return VsaCurve(resistances, thresholds,
+                    failed=tuple(sorted(holes)), n_failed=n_failed)
 
 
 @dataclass
@@ -147,27 +188,39 @@ class SettleCurve:
     """Cell voltage after each of ``n`` successive writes, per resistance.
 
     ``levels[i][k]`` is the voltage after the ``k+1``-th write at
-    ``resistances[i]``.
+    ``resistances[i]``.  Under fault isolation a failed grid point's row
+    is ``None`` (a hole); ``n_failed`` counts them.
     """
 
     value: int                       # the written logical value
     resistances: list[float]
-    levels: list[list[float]]
+    levels: list[list[float] | None]
 
-    def after(self, n_writes: int) -> list[float]:
-        """The ``(n) w`` curve: voltage after the n-th write, over R."""
-        return [row[n_writes - 1] for row in self.levels]
+    @property
+    def n_failed(self) -> int:
+        """Grid points that produced no result (holes)."""
+        return sum(1 for row in self.levels if row is None)
+
+    def after(self, n_writes: int) -> list[float | None]:
+        """The ``(n) w`` curve: voltage after the n-th write, over R.
+
+        Holes propagate as ``None`` entries.
+        """
+        return [None if row is None else row[n_writes - 1]
+                for row in self.levels]
 
 
 def settle_curve(model: ColumnModel, value: int,
                  resistances: Sequence[float], *, n_ops: int = 2,
-                 from_full: bool = True) -> SettleCurve:
+                 from_full: bool = True,
+                 on_error: str | None = None) -> SettleCurve:
     """Successive-write settlement (paper Fig. 2a/2b curve families).
 
     Writes ``value`` ``n_ops`` times starting from the opposite rail
     (``from_full=True``, the paper's initialisation) or from the
     written-value rail.  The whole resistance grid executes as one
-    engine batch.
+    engine batch; under fault isolation failed points come back as
+    ``None`` rows (holes) instead of aborting the sweep.
     """
     if value not in (0, 1):
         raise ValueError("value must be 0 or 1")
@@ -176,5 +229,6 @@ def settle_curve(model: ColumnModel, value: int,
     ops = format_ops([op] * n_ops)
     items = [BatchItem(ops=ops, init_vc=init, resistance=r)
              for r in resistances]
-    levels = [seq.vc_after for seq in batch_run(model, items)]
+    levels = [None if is_failed(seq) else seq.vc_after
+              for seq in batch_run(model, items, on_error=on_error)]
     return SettleCurve(value, list(resistances), levels)

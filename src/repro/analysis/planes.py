@@ -22,6 +22,7 @@ from typing import Sequence
 from repro.analysis.curves import SettleCurve, VsaCurve, settle_curve, vsa_curve
 from repro.analysis.interface import ColumnModel
 from repro.dram.ops import Op, Operation, format_ops
+from repro.engine.failures import is_failed
 from repro.engine.model import BatchItem, batch_run
 
 
@@ -44,8 +45,13 @@ class WritePlane:
     def resistances(self) -> list[float]:
         return self.settle.resistances
 
-    def curve(self, n: int) -> list[float]:
-        """The ``(n) w`` curve of the plane."""
+    @property
+    def n_failed(self) -> int:
+        """Grid points that produced no result (holes)."""
+        return self.settle.n_failed
+
+    def curve(self, n: int) -> list[float | None]:
+        """The ``(n) w`` curve of the plane (``None`` entries = holes)."""
         return self.settle.after(n)
 
 
@@ -63,6 +69,12 @@ class ReadPlane:
     n_reads: int
     traces: dict[str, list[list[float] | None]] = field(default_factory=dict)
     sensed: dict[str, list[list[int] | None]] = field(default_factory=dict)
+    n_failed_traces: int = 0
+
+    @property
+    def n_failed(self) -> int:
+        """Failed probes in this plane (Vsa probes + read traces)."""
+        return self.vsa.n_failed + self.n_failed_traces
 
 
 @dataclass
@@ -74,6 +86,11 @@ class ResultPlanes:
     w1: WritePlane
     r: ReadPlane
 
+    @property
+    def n_failed(self) -> int:
+        """Total failed probes across the three planes (sweep holes)."""
+        return self.w0.n_failed + self.w1.n_failed + self.r.n_failed
+
     def border_estimate(self) -> float | None:
         """BR estimate: first crossing of the ``(1) w0`` curve over ``Vsa``.
 
@@ -81,25 +98,31 @@ class ResultPlanes:
         a single ``w0`` (from a fully-charged cell) exceeds the sense
         threshold — i.e. where the written 0 is read back as 1.  Log
         interpolation refines between grid points.  Returns ``None`` when
-        the curves do not cross in the grid (no border in range).
+        the curves do not cross in the grid (no border in range).  Grid
+        points lost to simulation failures (holes) are bridged: the scan
+        interpolates across them from the neighbouring valid points.
         """
         w0_curve = self.w0.curve(1)
         vsa = self.r.vsa.thresholds
         rs = self.resistances
+        prev_r: float | None = None
         prev_margin = None
         for i, r in enumerate(rs):
+            # A hole (failed probe) carries no information: bridge it.
+            if w0_curve[i] is None or self.r.vsa.is_hole(i):
+                continue
             # Beyond the end of the Vsa curve every read returns 1: any
             # stored 0 is faulty there.
             margin = (None if vsa[i] is None
                       else w0_curve[i] - vsa[i])
             if vsa[i] is None:
                 return rs[i] if prev_margin is None else \
-                    _interp_crossing(rs[i - 1], prev_margin, rs[i], 1.0)
+                    _interp_crossing(prev_r, prev_margin, rs[i], 1.0)
             if margin >= 0:
-                if i == 0 or prev_margin is None:
+                if prev_margin is None:
                     return r
-                return _interp_crossing(rs[i - 1], prev_margin, r, margin)
-            prev_margin = margin
+                return _interp_crossing(prev_r, prev_margin, r, margin)
+            prev_r, prev_margin = r, margin
         return None
 
 
@@ -115,7 +138,8 @@ def _interp_crossing(r0: float, m0: float, r1: float, m1: float) -> float:
 def result_planes(model: ColumnModel, resistances: Sequence[float], *,
                   n_writes: int = 2, n_reads: int = 3,
                   seed_offset: float = 0.2,
-                  vsa_tol: float = 0.01) -> ResultPlanes:
+                  vsa_tol: float = 0.01,
+                  on_error: str | None = None) -> ResultPlanes:
     """Generate the three result planes over a resistance grid.
 
     Follows the paper's recipe: write planes start from the opposite rail;
@@ -126,17 +150,21 @@ def result_planes(model: ColumnModel, resistances: Sequence[float], *,
     one batched ``map`` over the resistance grid, ``Vsa`` bisections run
     in lock-step (see :func:`repro.analysis.curves.vsa_curve`), and the
     seeded read traces of both labels form one final batch.
+
+    Under fault isolation (``on_error="isolate"``, or an engine default
+    of the same) non-convergent grid points become holes instead of
+    aborting the study; ``ResultPlanes.n_failed`` reports how many.
     """
     resistances = list(resistances)
     vdd = model.stress.vdd
     vmp = 0.5 * vdd
 
-    w0 = WritePlane(settle_curve(model, 0, resistances, n_ops=n_writes),
-                    vmp)
-    w1 = WritePlane(settle_curve(model, 1, resistances, n_ops=n_writes),
-                    vmp)
+    w0 = WritePlane(settle_curve(model, 0, resistances, n_ops=n_writes,
+                                 on_error=on_error), vmp)
+    w1 = WritePlane(settle_curve(model, 1, resistances, n_ops=n_writes,
+                                 on_error=on_error), vmp)
 
-    vsa = vsa_curve(model, resistances, tol=vsa_tol)
+    vsa = vsa_curve(model, resistances, tol=vsa_tol, on_error=on_error)
     read_ops = format_ops([Op(Operation.R)] * n_reads)
     points: list[tuple[str, BatchItem]] = []
     for r, threshold in zip(resistances, vsa.thresholds):
@@ -146,8 +174,10 @@ def result_planes(model: ColumnModel, resistances: Sequence[float], *,
             seed = min(max(threshold + sign * seed_offset, 0.0), vdd)
             points.append((label, BatchItem(ops=read_ops, init_vc=seed,
                                             resistance=r)))
-    runs = iter(batch_run(model, [item for _, item in points]))
+    runs = iter(batch_run(model, [item for _, item in points],
+                          on_error=on_error))
 
+    n_failed_traces = 0
     traces: dict[str, list[list[float] | None]] = {"below": [], "above": []}
     sensed: dict[str, list[list[int] | None]] = {"below": [], "above": []}
     for threshold in vsa.thresholds:
@@ -157,9 +187,15 @@ def result_planes(model: ColumnModel, resistances: Sequence[float], *,
                 sensed[label].append(None)
                 continue
             seq = next(runs)
+            if is_failed(seq):
+                n_failed_traces += 1
+                traces[label].append(None)
+                sensed[label].append(None)
+                continue
             traces[label].append(seq.vc_after)
             sensed[label].append([s for s in seq.outputs])
 
     read_plane = ReadPlane(vsa=vsa, seed_offset=seed_offset,
-                           n_reads=n_reads, traces=traces, sensed=sensed)
+                           n_reads=n_reads, traces=traces, sensed=sensed,
+                           n_failed_traces=n_failed_traces)
     return ResultPlanes(resistances=resistances, w0=w0, w1=w1, r=read_plane)

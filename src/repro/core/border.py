@@ -23,14 +23,19 @@ from repro.defects.catalog import Defect
 def find_border_resistance(model: ColumnModel, defect: Defect, *,
                            stress: StressConditions | None = None,
                            sequences=None,
-                           rel_tol: float = 0.05) -> BorderResult:
-    """BR of ``defect`` under ``stress`` (or the model's current SC)."""
+                           rel_tol: float = 0.05,
+                           on_error: str = "raise") -> BorderResult:
+    """BR of ``defect`` under ``stress`` (or the model's current SC).
+
+    ``on_error="isolate"`` lets the search survive failed probes (see
+    :func:`repro.analysis.border.border_resistance`).
+    """
     if stress is not None:
         model.set_stress(stress)
     r_lo, r_hi = defect.kind.search_range
     return border_resistance(model, fails_high=defect.fails_high,
                              r_lo=r_lo, r_hi=r_hi, sequences=sequences,
-                             rel_tol=rel_tol)
+                             rel_tol=rel_tol, on_error=on_error)
 
 
 def border_improvement(defect: Defect, nominal: BorderResult,

@@ -93,7 +93,12 @@ class DirectionRobustness:
 
 @dataclass
 class MonteCarloReport:
-    """Robustness of a defect's direction calls under variation."""
+    """Robustness of a defect's direction calls under variation.
+
+    ``failed_samples`` counts perturbed technologies whose analysis
+    failed outright under ``on_error="isolate"``; those samples carry
+    no votes, so confidence is computed over the survivors.
+    """
 
     defect: Defect
     seed: int
@@ -101,6 +106,7 @@ class MonteCarloReport:
     robustness: dict[StressKind, DirectionRobustness] = \
         field(default_factory=dict)
     border_samples: list[float] = field(default_factory=list)
+    failed_samples: int = 0
 
     def render(self) -> str:
         lines = [f"Monte-Carlo ({self.samples} samples, seed "
@@ -112,12 +118,16 @@ class MonteCarloReport:
                 f"spread [{arr.min():.3g}, {arr.max():.3g}]")
         lines.extend("  " + r.describe()
                      for r in self.robustness.values())
+        if self.failed_samples:
+            lines.append(f"  {self.failed_samples} samples failed to "
+                         f"simulate and were dropped")
         return "\n".join(lines)
 
 
 def _border_winner(model_factory, defect: Defect,
                    base: StressConditions, tech: TechnologyParams,
-                   kind: StressKind, rel_tol: float) -> float | None:
+                   kind: StressKind, rel_tol: float,
+                   on_error: str = "raise") -> float | None:
     """Border-winning ST value on one technology (None = tie)."""
     model = model_factory(defect, base, tech)
     rng_range = STRESS_RANGES[kind]
@@ -125,7 +135,8 @@ def _border_winner(model_factory, defect: Defect,
     for value in rng_range.extremes:
         sc = base.with_value(kind, value)
         borders[value] = find_border_resistance(model, defect, stress=sc,
-                                                rel_tol=rel_tol)
+                                                rel_tol=rel_tol,
+                                                on_error=on_error)
     lo, hi = rng_range.extremes
     if more_effective(defect, borders[lo], borders[hi]):
         return lo
@@ -135,18 +146,28 @@ def _border_winner(model_factory, defect: Defect,
 
 
 def _mc_sample_task(args):
-    """One Monte-Carlo sample (module-level: picklable for the pool)."""
-    tech, model_factory, defect, base, kinds, rel_tol = args
+    """One Monte-Carlo sample (module-level: picklable for the pool).
+
+    Under ``on_error="isolate"`` a sample whose analysis still fails
+    returns ``winners=None`` so the parent can drop it (counted in
+    ``MonteCarloReport.failed_samples``) instead of losing the run.
+    """
+    tech, model_factory, defect, base, kinds, rel_tol, on_error = args
     previous = default_engine()
     engine = BatchExecutor(cache=ResultCache(), workers=1)
     set_default_engine(engine)
     try:
         model = model_factory(defect, base, tech)
         border = find_border_resistance(model, defect, stress=base,
-                                        rel_tol=rel_tol)
+                                        rel_tol=rel_tol,
+                                        on_error=on_error)
         winners = {kind: _border_winner(model_factory, defect, base,
-                                        tech, kind, rel_tol)
+                                        tech, kind, rel_tol, on_error)
                    for kind in kinds}
+    except Exception:
+        if on_error != "isolate":
+            raise
+        return None, None, engine.stats
     finally:
         set_default_engine(previous)
     return (border.resistance if border.found else None, winners,
@@ -162,7 +183,8 @@ def direction_robustness(
         variation: VariationSpec | None = None,
         base: StressConditions = NOMINAL_STRESS,
         rel_tol: float = 0.08,
-        workers: int = 1) -> MonteCarloReport:
+        workers: int = 1,
+        on_error: str = "raise") -> MonteCarloReport:
     """Check how often the typical-corner directions survive variation.
 
     ``model_factory(defect, stress, tech)`` must build a column model on
@@ -174,6 +196,11 @@ def direction_robustness(
     so the sampled population is byte-identical regardless of
     ``workers``; with ``workers > 1`` the per-sample comparisons fan out
     over a process pool (``model_factory`` must then be picklable).
+
+    ``on_error="isolate"`` drops samples whose analysis fails (reported
+    as ``failed_samples``) instead of aborting the study; the reference
+    comparison on the unperturbed technology still raises — without it
+    there is nothing to compare against.
     """
     variation = variation or VariationSpec()
     rng = np.random.default_rng(seed)
@@ -191,22 +218,40 @@ def direction_robustness(
     techs = [variation.sample(base_tech, rng) for _ in range(samples)]
     if workers <= 1:
         for tech in techs:
-            model = model_factory(defect, base, tech)
-            border = find_border_resistance(model, defect, stress=base,
-                                            rel_tol=rel_tol)
+            try:
+                model = model_factory(defect, base, tech)
+                border = find_border_resistance(model, defect,
+                                                stress=base,
+                                                rel_tol=rel_tol,
+                                                on_error=on_error)
+                winners = {kind: _border_winner(model_factory, defect,
+                                                base, tech, kind,
+                                                rel_tol, on_error)
+                           for kind in kinds}
+            except Exception as exc:
+                if on_error != "isolate":
+                    raise
+                _record_failed_sample(defect, exc)
+                report.failed_samples += 1
+                continue
             if border.found:
                 report.border_samples.append(border.resistance)
             for kind in kinds:
-                winner = _border_winner(model_factory, defect, base,
-                                        tech, kind, rel_tol)
-                _tally(report.robustness[kind], winner, reference[kind])
+                _tally(report.robustness[kind], winners[kind],
+                       reference[kind])
         return report
 
-    tasks = [(tech, model_factory, defect, base, tuple(kinds), rel_tol)
+    tasks = [(tech, model_factory, defect, base, tuple(kinds), rel_tol,
+              on_error)
              for tech in techs]
     stats = default_engine().stats
     for border_r, winners, worker_stats in parallel_map(
             _mc_sample_task, tasks, workers=workers):
+        if winners is None:
+            _record_failed_sample(defect, None)
+            report.failed_samples += 1
+            stats.merge(worker_stats)
+            continue
         if border_r is not None:
             report.border_samples.append(border_r)
         for kind in kinds:
@@ -214,6 +259,19 @@ def direction_robustness(
                    reference[kind])
         stats.merge(worker_stats)
     return report
+
+
+def _record_failed_sample(defect: Defect, exc: Exception | None) -> None:
+    from repro.diagnostics import diagnostics, get_logger
+    # exc is None when the failure happened inside a worker process (the
+    # exception itself stayed there; only the outcome crossed back).
+    error_type = type(exc).__name__ if exc is not None else "SampleError"
+    detail = str(exc) if exc is not None else "failed in worker"
+    diagnostics().record_failure(error_type,
+                                 f"mc sample for {defect.name}: {detail}")
+    get_logger("core").warning("monte-carlo sample for %s failed "
+                               "(%s: %s)", defect.name, error_type,
+                               detail)
 
 
 def _tally(rob: DirectionRobustness, winner: float | None,

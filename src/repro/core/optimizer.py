@@ -34,8 +34,8 @@ from repro.core.stresses import (
     StressKind,
 )
 from repro.defects.catalog import ALL_DEFECTS, Defect, DefectKind, Placement
-from repro.engine import BatchExecutor, ResultCache, default_engine, \
-    parallel_map, set_default_engine
+from repro.engine import BatchExecutor, FailedResult, ResultCache, \
+    default_engine, parallel_map, set_default_engine
 
 #: Default ST axes optimized, in the paper's Table-1 column order.
 DEFAULT_ST_KINDS = (StressKind.VDD, StressKind.TCYC, StressKind.DUTY,
@@ -78,6 +78,15 @@ class OptimizationRow:
         field(default_factory=dict)
 
     @property
+    def n_failed_probes(self) -> int:
+        """Probes lost to simulation failures across this row's searches."""
+        total = (self.nominal_border.n_failed_probes
+                 + self.stressed_border.n_failed_probes)
+        for per_value in self.tiebreak_borders.values():
+            total += sum(b.n_failed_probes for b in per_value.values())
+        return total
+
+    @property
     def improved(self) -> bool:
         """Did the SC extend the failing resistance range?"""
         nom, st = self.nominal_border, self.stressed_border
@@ -109,14 +118,16 @@ def optimize_defect(defect: Defect | DefectKind, *,
                                             ColumnModel] | None = None,
                     base_stress: StressConditions = NOMINAL_STRESS,
                     st_kinds=DEFAULT_ST_KINDS,
-                    br_rel_tol: float = 0.05) -> OptimizationRow:
+                    br_rel_tol: float = 0.05,
+                    on_error: str = "raise") -> OptimizationRow:
     """Run the full optimization flow for one defect.
 
     ``defect`` may be a bare :class:`DefectKind` (combined with
     ``placement``) or a fully-specified :class:`Defect`.
     ``model_factory`` selects the simulation backend (behavioral by
     default; pass :func:`repro.analysis.electrical_model` for the
-    SPICE-level column).
+    SPICE-level column).  ``on_error="isolate"`` makes the border
+    searches survive failed probes at reduced accuracy.
     """
     if isinstance(defect, DefectKind):
         defect = Defect(defect, placement)
@@ -126,7 +137,8 @@ def optimize_defect(defect: Defect | DefectKind, *,
     # 1. nominal border + detection condition
     nominal_border = find_border_resistance(model, defect,
                                             stress=base_stress,
-                                            rel_tol=br_rel_tol)
+                                            rel_tol=br_rel_tol,
+                                            on_error=on_error)
     r_probe = probe_resistance(defect, nominal_border)
     model.set_stress(base_stress)
     nominal_detection = derive_detection_condition(model, r_probe)
@@ -148,7 +160,8 @@ def optimize_defect(defect: Defect | DefectKind, *,
             for value in call.tiebreak_candidates:
                 sc = base_stress.with_value(kind, value)
                 border = find_border_resistance(model, defect, stress=sc,
-                                                rel_tol=br_rel_tol)
+                                                rel_tol=br_rel_tol,
+                                                on_error=on_error)
                 per_value[value] = border
                 if best_border is None or more_effective(defect, border,
                                                          best_border):
@@ -164,7 +177,8 @@ def optimize_defect(defect: Defect | DefectKind, *,
         stressed = stressed.with_value(kind, call.chosen_value)
     stressed_border = find_border_resistance(model, defect,
                                              stress=stressed,
-                                             rel_tol=br_rel_tol)
+                                             rel_tol=br_rel_tol,
+                                             on_error=on_error)
 
     # 5. stressed detection condition, derived inside the newly-failing
     #    range (between the stressed and nominal borders when possible)
@@ -191,9 +205,25 @@ def optimize_defect(defect: Defect | DefectKind, *,
 
 @dataclass
 class OptimizationTable:
-    """The full Table 1: one row per (defect kind, placement)."""
+    """The full Table 1: one row per (defect kind, placement).
+
+    ``failures`` holds a :class:`~repro.engine.failures.FailedResult`
+    per defect whose whole flow failed under ``on_error="isolate"``
+    (those defects have no row); clean runs leave it empty.
+    """
 
     rows: list[OptimizationRow]
+    failures: list[FailedResult] = field(default_factory=list)
+
+    @property
+    def n_failed(self) -> int:
+        """Defects dropped from the table by simulation failures."""
+        return len(self.failures)
+
+    @property
+    def n_failed_probes(self) -> int:
+        """Failed probes absorbed by the surviving rows' searches."""
+        return sum(row.n_failed_probes for row in self.rows)
 
     def row(self, kind: DefectKind, placement: Placement
             ) -> OptimizationRow:
@@ -209,21 +239,34 @@ class OptimizationTable:
         return render_optimization_table(self)
 
 
-def _optimize_task(args) -> tuple[OptimizationRow, object]:
+def _defect_failure(defect: Defect, exc: Exception) -> FailedResult:
+    """A structured record for a defect whose whole flow failed."""
+    return FailedResult(
+        error_type=type(exc).__name__, message=str(exc),
+        rescue_trail=tuple(getattr(exc, "rescue_trail", None) or ()),
+        request_summary=f"optimize {defect.name}")
+
+
+def _optimize_task(args) -> tuple[OptimizationRow | FailedResult, object]:
     """Worker body of the per-defect fan-out (module-level: picklable).
 
     Each worker gets a fresh serial default engine — the parent may be
     running a pool already, and nested pools would oversubscribe.  The
     per-worker engine stats are returned so the parent can merge them.
     """
-    defect, model_factory, base_stress, st_kinds, br_rel_tol = args
+    defect, model_factory, base_stress, st_kinds, br_rel_tol, \
+        on_error = args
     previous = default_engine()
     engine = BatchExecutor(cache=ResultCache(), workers=1)
     set_default_engine(engine)
     try:
         row = optimize_defect(defect, model_factory=model_factory,
                               base_stress=base_stress, st_kinds=st_kinds,
-                              br_rel_tol=br_rel_tol)
+                              br_rel_tol=br_rel_tol, on_error=on_error)
+    except Exception as exc:
+        if on_error != "isolate":
+            raise
+        return _defect_failure(defect, exc), engine.stats
     finally:
         set_default_engine(previous)
     return row, engine.stats
@@ -234,7 +277,8 @@ def optimize_all_defects(*, model_factory=None,
                          st_kinds=DEFAULT_ST_KINDS,
                          br_rel_tol: float = 0.05,
                          defects=ALL_DEFECTS,
-                         workers: int = 1) -> OptimizationTable:
+                         workers: int = 1,
+                         on_error: str = "raise") -> OptimizationTable:
     """Run the optimization flow over the Fig. 7 catalog (Table 1).
 
     Every defect's flow is independent, so ``workers > 1`` fans the
@@ -242,20 +286,48 @@ def optimize_all_defects(*, model_factory=None,
     must then be picklable — a module-level function or
     ``functools.partial``; closures fall back to the serial loop).  Row
     order, and therefore the rendered table, is identical either way.
+
+    ``on_error="isolate"`` contains failures at two levels: probe
+    failures degrade the affected border search, and a defect whose
+    flow still fails is dropped into ``OptimizationTable.failures``
+    instead of aborting the whole table.
     """
     if workers <= 1:
-        rows = [optimize_defect(d, model_factory=model_factory,
-                                base_stress=base_stress,
-                                st_kinds=st_kinds,
-                                br_rel_tol=br_rel_tol)
-                for d in defects]
-        return OptimizationTable(rows)
-    tasks = [(d, model_factory, base_stress, st_kinds, br_rel_tol)
+        rows: list[OptimizationRow] = []
+        failures: list[FailedResult] = []
+        for d in defects:
+            try:
+                rows.append(optimize_defect(d, model_factory=model_factory,
+                                            base_stress=base_stress,
+                                            st_kinds=st_kinds,
+                                            br_rel_tol=br_rel_tol,
+                                            on_error=on_error))
+            except Exception as exc:
+                if on_error != "isolate":
+                    raise
+                failures.append(_defect_failure(
+                    d if isinstance(d, Defect) else Defect(d), exc))
+        _record_failures(failures)
+        return OptimizationTable(rows, failures=failures)
+    tasks = [(d, model_factory, base_stress, st_kinds, br_rel_tol,
+              on_error)
              for d in defects]
     outcomes = parallel_map(_optimize_task, tasks, workers=workers)
     stats = default_engine().stats
     rows = []
-    for row, worker_stats in outcomes:
-        rows.append(row)
+    failures = []
+    for outcome, worker_stats in outcomes:
+        if isinstance(outcome, FailedResult):
+            failures.append(outcome)
+        else:
+            rows.append(outcome)
         stats.merge(worker_stats)
-    return OptimizationTable(rows)
+    _record_failures(failures)
+    return OptimizationTable(rows, failures=failures)
+
+
+def _record_failures(failures: list[FailedResult]) -> None:
+    from repro.diagnostics import diagnostics
+    for failure in failures:
+        diagnostics().record_failure(failure.error_type,
+                                     failure.describe())

@@ -18,6 +18,7 @@ from typing import Sequence
 from repro.analysis.interface import ColumnModel, opposite_rail_init
 from repro.core.stresses import StressConditions, StressKind
 from repro.dram.ops import format_ops, parse_ops
+from repro.engine.failures import is_failed
 from repro.engine.model import BatchItem, batch_run
 
 
@@ -26,34 +27,43 @@ class ShmooPlot:
     """Pass/fail grid over two stress axes.
 
     ``grid[iy][ix]`` is True when the test PASSED at
-    ``(x_values[ix], y_values[iy])``.
+    ``(x_values[ix], y_values[iy])``, False when it failed, and ``None``
+    when the simulation of that point itself failed (a hole, only
+    produced under ``on_error="isolate"``).
     """
 
     x_kind: StressKind
     y_kind: StressKind
     x_values: list[float]
     y_values: list[float]
-    grid: list[list[bool]]
+    grid: list[list[bool | None]]
     test: str
 
     @property
     def fail_count(self) -> int:
-        return sum(1 for row in self.grid for ok in row if not ok)
+        return sum(1 for row in self.grid for ok in row if ok is False)
 
     @property
     def pass_count(self) -> int:
-        return sum(1 for row in self.grid for ok in row if ok)
+        return sum(1 for row in self.grid for ok in row if ok is True)
 
-    def passed(self, ix: int, iy: int) -> bool:
+    @property
+    def n_failed(self) -> int:
+        """Grid points whose simulation produced no result (holes)."""
+        return sum(1 for row in self.grid for ok in row if ok is None)
+
+    def passed(self, ix: int, iy: int) -> bool | None:
         return self.grid[iy][ix]
 
-    def render(self, pass_char: str = ".", fail_char: str = "X") -> str:
+    def render(self, pass_char: str = ".", fail_char: str = "X",
+               hole_char: str = "?") -> str:
         """ASCII Shmoo rendering, y decreasing downward like a tester."""
         lines = [f"Shmoo: {self.test}   "
                  f"(x: {self.x_kind.value}, y: {self.y_kind.value})"]
         width = max(len(_fmt(v)) for v in self.y_values)
         for iy in reversed(range(len(self.y_values))):
-            cells = "".join(pass_char if ok else fail_char
+            cells = "".join(hole_char if ok is None
+                            else pass_char if ok else fail_char
                             for ok in self.grid[iy])
             lines.append(f"{_fmt(self.y_values[iy]):>{width}} |{cells}|")
         axis = " " * (width + 2) + "".join("-" for _ in self.x_values)
@@ -61,6 +71,9 @@ class ShmooPlot:
         lines.append(" " * (width + 2)
                      + f"{_fmt(self.x_values[0])} .. "
                        f"{_fmt(self.x_values[-1])}")
+        if self.n_failed:
+            lines.append(f"({self.n_failed} grid points did not "
+                         f"simulate: '{hole_char}')")
         return "\n".join(lines)
 
 
@@ -73,7 +86,8 @@ def _fmt(v: float) -> str:
 def shmoo(model: ColumnModel, test: str, *,
           x_kind: StressKind, x_values: Sequence[float],
           y_kind: StressKind, y_values: Sequence[float],
-          base: StressConditions | None = None) -> ShmooPlot:
+          base: StressConditions | None = None,
+          on_error: str | None = None) -> ShmooPlot:
     """Run ``test`` at every grid point and record pass/fail.
 
     ``test`` is an operation-sequence string (e.g. ``"w1^2 w0 r0"``); a
@@ -82,7 +96,10 @@ def shmoo(model: ColumnModel, test: str, *,
 
     The whole grid executes as one engine batch — every point is an
     independent simulation, so the Shmoo parallelises perfectly on an
-    engine-backed model.
+    engine-backed model.  Under fault isolation
+    (``on_error="isolate"``, or an engine default of the same) a grid
+    point whose simulation fails becomes a ``None`` hole instead of
+    aborting the plot.
     """
     if x_kind is y_kind:
         raise ValueError("x and y must be different stresses")
@@ -97,8 +114,13 @@ def shmoo(model: ColumnModel, test: str, *,
                                    init_vc=opposite_rail_init(model, ops,
                                                               sc),
                                    stress=sc))
-    outcomes = iter(batch_run(model, items))
-    grid = [[not next(outcomes).any_fault for _ in x_values]
-            for _ in y_values]
+    outcomes = iter(batch_run(model, items, on_error=on_error))
+    grid: list[list[bool | None]] = []
+    for _ in y_values:
+        row: list[bool | None] = []
+        for _ in x_values:
+            seq = next(outcomes)
+            row.append(None if is_failed(seq) else not seq.any_fault)
+        grid.append(row)
     return ShmooPlot(x_kind, y_kind, list(x_values), list(y_values),
                      grid, test)

@@ -9,9 +9,13 @@ package gives all of them one execution funnel:
 * :mod:`repro.engine.cache` — :class:`ResultCache`, an in-memory LRU
   plus optional on-disk store with hit/miss/cycles-saved accounting;
 * :mod:`repro.engine.executor` — :class:`BatchExecutor`, ``run``/``map``
-  over a process pool (serial at ``workers=1``), plus the generic
-  :func:`parallel_map` fan-out helper and the process-wide default
-  engine;
+  over a process pool (serial at ``workers=1``), with per-item fault
+  isolation (timeouts, crash retries, ``on_error="isolate"``), plus the
+  generic :func:`parallel_map` fan-out helper and the process-wide
+  default engine;
+* :mod:`repro.engine.failures` — :class:`FailedResult`, the structured
+  record a fault-isolated batch returns for items that produced no
+  result, and the :func:`is_failed` hole test;
 * :mod:`repro.engine.model` — :class:`EngineModel`, an engine-backed
   implementation of the ``ColumnModel`` protocol, and
   :func:`batch_run`, the batched sweep primitive with a serial fallback
@@ -27,6 +31,7 @@ from repro.engine.executor import (
     parallel_map,
     set_default_engine,
 )
+from repro.engine.failures import FailedResult, is_failed
 from repro.engine.model import BatchItem, EngineModel, batch_run
 from repro.engine.request import SequenceRequest, tech_fingerprint
 
@@ -35,12 +40,14 @@ __all__ = [
     "BatchItem",
     "EngineModel",
     "EngineStats",
+    "FailedResult",
     "ResultCache",
     "SequenceRequest",
     "batch_run",
     "configure_default_engine",
     "default_engine",
     "execute_request",
+    "is_failed",
     "parallel_map",
     "set_default_engine",
     "tech_fingerprint",

@@ -48,6 +48,8 @@ class EngineStats:
     cycles_saved: int = 0
     cycles_simulated: int = 0
     disk_hits: int = 0
+    failures: int = 0
+    retries: int = 0
 
     @property
     def requests(self) -> int:
@@ -62,7 +64,8 @@ class EngineStats:
     def snapshot(self) -> "EngineStats":
         """A frozen copy (for before/after deltas)."""
         return EngineStats(self.hits, self.misses, self.cycles_saved,
-                           self.cycles_simulated, self.disk_hits)
+                           self.cycles_simulated, self.disk_hits,
+                           self.failures, self.retries)
 
     def delta_since(self, before: "EngineStats") -> "EngineStats":
         """Stats accumulated since ``before`` was snapshotted."""
@@ -72,6 +75,8 @@ class EngineStats:
             self.cycles_saved - before.cycles_saved,
             self.cycles_simulated - before.cycles_simulated,
             self.disk_hits - before.disk_hits,
+            self.failures - before.failures,
+            self.retries - before.retries,
         )
 
     def merge(self, other: "EngineStats") -> None:
@@ -81,13 +86,23 @@ class EngineStats:
         self.cycles_saved += other.cycles_saved
         self.cycles_simulated += other.cycles_simulated
         self.disk_hits += other.disk_hits
+        self.failures += getattr(other, "failures", 0)
+        self.retries += getattr(other, "retries", 0)
 
     def describe(self) -> str:
-        """One-line rendering for ``--verbose`` output."""
-        return (f"engine: {self.hits} hits / {self.misses} misses "
+        """One-line rendering for ``--verbose`` output.
+
+        Failure/retry counters only appear when nonzero, so a clean run
+        renders exactly as it always did.
+        """
+        line = (f"engine: {self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate:.0%} hit rate), "
                 f"{self.cycles_simulated} cycles simulated, "
                 f"{self.cycles_saved} cycles saved")
+        if self.failures or self.retries:
+            line += (f", {self.failures} failed, "
+                     f"{self.retries} retried")
+        return line
 
 
 class ResultCache:
@@ -181,8 +196,24 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                IndexError, ValueError):
+            # Corrupted (or stale-schema) entry: evict it so it is
+            # rebuilt instead of failing every future lookup.  Writes
+            # are atomic (temp file + rename), so this only happens
+            # after external damage — report it.
+            self._evict_corrupt(path)
             return None
+        except OSError:
+            return None
+
+    def _evict_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        from repro.diagnostics import diagnostics
+        diagnostics().record_cache_eviction(str(path))
 
     def _disk_put(self, key: str, result: SequenceResult) -> None:
         path = self._disk_path(key)

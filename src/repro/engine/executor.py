@@ -1,4 +1,4 @@
-"""Batch execution of sequence requests: memoized, optionally parallel.
+"""Batch execution of sequence requests: memoized, parallel, fault-isolated.
 
 :class:`BatchExecutor` is the single funnel every sweep layer drives its
 simulations through:
@@ -15,20 +15,41 @@ keyed by (backend, technology, defect kind, cell), so a sweep that
 varies only the resistance or the stress reuses one built netlist, just
 like the hand-rolled sweeps did.
 
+Fault isolation (the resilience layer):
+
+* every batch item is its own future, so one bad request cannot poison
+  the pool-wide ``map``;
+* ``timeout`` bounds the wall-clock wait per request — a wedged solve
+  comes back as a structured failure, never a hang;
+* a crashed worker (``BrokenProcessPool``) triggers a pool respawn and a
+  bounded, backed-off re-drive of the unfinished items; repeat offenders
+  fall back to in-process serial execution;
+* ``on_error="isolate"`` converts item failures into
+  :class:`~repro.engine.failures.FailedResult` records holding the
+  exception type, message, rescue trail and attempt count, aligned with
+  the input order; ``on_error="raise"`` (the default) propagates the
+  first failure exactly like the classic code path.
+
 :func:`parallel_map` is the generic fan-out helper for coarser units of
 work (whole per-defect optimizations, Monte-Carlo samples, march runs);
-it degrades to a serial loop when the workload cannot be pickled, so
-closures keep working.
+when the workload cannot be pickled (closures, lambdas) it logs a
+warning and re-runs *only the unfinished items* serially, so completed
+worker results are never thrown away.
 """
 
 from __future__ import annotations
 
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.diagnostics import diagnostics, get_logger
 from repro.dram.ops import SequenceResult, parse_ops
 from repro.engine.cache import EngineStats, ResultCache
+from repro.engine.failures import FailedResult, is_failed
 from repro.engine.request import SequenceRequest
 
 _T = TypeVar("_T")
@@ -37,6 +58,12 @@ _R = TypeVar("_R")
 #: Per-process cache of built column models, keyed by everything that
 #: requires a rebuild (resistance and stress are mutable in place).
 _PROCESS_MODELS: dict = {}
+
+#: Base delay (seconds) of the exponential backoff between retry rounds.
+RETRY_BACKOFF = 0.1
+
+#: Sentinel marking a batch slot that has not produced an outcome yet.
+_UNSET = object()
 
 
 def _model_for(request: SequenceRequest):
@@ -76,6 +103,17 @@ def execute_request(request: SequenceRequest) -> SequenceResult:
                               background=request.background)
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on wedged or dead workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
 class BatchExecutor:
     """Run sequence requests through a shared cache, serially or fanned
     out over worker processes.
@@ -89,12 +127,37 @@ class BatchExecutor:
         Default process count for :meth:`map`; ``1`` (or less) keeps
         everything in-process, which is also the fallback when a batch
         has at most one miss to execute.
+    on_error:
+        Default failure policy for :meth:`map`: ``"raise"`` propagates
+        the first item failure (classic behaviour), ``"isolate"``
+        returns a :class:`FailedResult` in the failing slots instead.
+    timeout:
+        Per-request wall-clock bound (seconds) in the parallel path;
+        ``None`` waits forever.  Expiry produces a failure (record or
+        exception per ``on_error``) and a pool respawn, never a hang.
+    max_retries:
+        How many times an item interrupted by a worker crash is
+        re-driven in a fresh pool before falling back to in-process
+        serial execution.
+    work_fn:
+        The unit of work mapped over requests (default
+        :func:`execute_request`); must be a picklable module-level
+        callable.  Exposed for alternative backends and fault-injection
+        tests.
     """
 
     def __init__(self, cache: ResultCache | None = None,
-                 workers: int = 1):
+                 workers: int = 1, *, on_error: str = "raise",
+                 timeout: float | None = None, max_retries: int = 2,
+                 work_fn: Callable = execute_request):
+        if on_error not in ("raise", "isolate"):
+            raise ValueError(f"unknown on_error policy {on_error!r}")
         self.cache = cache
         self.workers = max(1, int(workers))
+        self.on_error = on_error
+        self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self._work = work_fn
         # Cycle accounting lives on the cache when there is one, so
         # stats survive executor turnover; otherwise track locally.
         self._stats = cache.stats if cache is not None else EngineStats()
@@ -113,7 +176,7 @@ class BatchExecutor:
             cached = self.cache.get(request)
             if cached is not None:
                 return cached
-        result = execute_request(request)
+        result = self._work(request)
         if self.cache is not None:
             self.cache.put(request, result)
         else:
@@ -122,17 +185,29 @@ class BatchExecutor:
         return result
 
     def map(self, requests: Sequence[SequenceRequest],
-            workers: int | None = None) -> list[SequenceResult]:
+            workers: int | None = None, *, on_error: str | None = None,
+            timeout: float | None = None,
+            max_retries: int | None = None) -> list:
         """Execute a batch, returning results aligned with ``requests``.
 
         Duplicate requests (same content hash) are simulated once.
         Cache misses run in a process pool when more than one remains
         and ``workers > 1``; results always come back in input order,
-        so serial and parallel execution are interchangeable.
+        so serial and parallel execution are interchangeable.  Under
+        ``on_error="isolate"`` failed slots hold
+        :class:`FailedResult` records (shared by duplicates) and are
+        never written to the cache.
         """
         requests = list(requests)
         workers = self.workers if workers is None else max(1, int(workers))
-        results: dict[str, SequenceResult] = {}
+        on_error = self.on_error if on_error is None else on_error
+        if on_error not in ("raise", "isolate"):
+            raise ValueError(f"unknown on_error policy {on_error!r}")
+        timeout = self.timeout if timeout is None else timeout
+        max_retries = self.max_retries if max_retries is None \
+            else max(0, int(max_retries))
+
+        results: dict[str, object] = {}
         pending: list[SequenceRequest] = []
         for request in requests:
             key = request.content_hash
@@ -151,13 +226,18 @@ class BatchExecutor:
 
         if pending:
             if workers > 1 and len(pending) > 1:
-                with ProcessPoolExecutor(
-                        max_workers=min(workers, len(pending))) as pool:
-                    executed = list(pool.map(execute_request, pending))
+                executed = self._execute_pool(pending, workers, on_error,
+                                              timeout, max_retries)
             else:
-                executed = [execute_request(r) for r in pending]
+                executed = [self._execute_serial(r, on_error)
+                            for r in pending]
             for request, result in zip(pending, executed):
                 results[request.content_hash] = result
+                if is_failed(result):
+                    self._stats.failures += 1
+                    diagnostics().record_failure(result.error_type,
+                                                 result.describe())
+                    continue
                 if self.cache is not None:
                     self.cache.put(request, result)
                 else:
@@ -165,6 +245,128 @@ class BatchExecutor:
                     self._stats.cycles_simulated += request.cycles
 
         return [results[r.content_hash] for r in requests]
+
+    # ------------------------------------------------------------------
+    # execution internals
+    # ------------------------------------------------------------------
+    def _execute_serial(self, request: SequenceRequest, on_error: str,
+                        *, prior_attempts: int = 0):
+        """Run one request in-process (also the repeat-offender path)."""
+        try:
+            return self._work(request)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            return FailedResult.from_exception(
+                request, exc, attempts=prior_attempts + 1)
+
+    def _execute_pool(self, pending: Sequence[SequenceRequest],
+                      workers: int, on_error: str,
+                      timeout: float | None,
+                      max_retries: int) -> list:
+        """Drive ``pending`` through per-item futures with crash/timeout
+        recovery.  Returns outcomes aligned with ``pending``."""
+        log = get_logger("engine")
+        n = len(pending)
+        outcomes: list = [_UNSET] * n
+        attempts = [0] * n
+        todo = list(range(n))
+        rounds = 0
+        while todo:
+            rounds += 1
+            if rounds > 1:
+                self._stats.retries += len(todo)
+                diagnostics().record_retry(len(todo))
+                time.sleep(min(RETRY_BACKOFF * 2 ** (rounds - 2), 2.0))
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(todo)))
+            dirty = False                  # pool needs a hard teardown
+            error: BaseException | None = None   # deferred re-raise
+            rerun: list[int] = []
+            futures = []
+            for i in todo:
+                attempts[i] += 1
+                futures.append((i, pool.submit(self._work, pending[i])))
+            for i, fut in futures:
+                if error is not None or dirty:
+                    # The pool is compromised (or we are about to
+                    # raise): salvage finished work, reschedule the
+                    # rest.
+                    if fut.done() and not fut.cancelled():
+                        exc = fut.exception()
+                        if exc is None:
+                            outcomes[i] = fut.result()
+                        elif isinstance(exc, BrokenProcessPool):
+                            rerun.append(i)
+                        elif on_error == "isolate":
+                            outcomes[i] = FailedResult.from_exception(
+                                pending[i], exc, attempts=attempts[i])
+                        elif error is None:
+                            error = exc
+                    else:
+                        fut.cancel()
+                        rerun.append(i)
+                    continue
+                try:
+                    outcomes[i] = fut.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    # The worker may be wedged: fail the item, rebuild
+                    # the pool for whatever is still outstanding.
+                    dirty = True
+                    log.warning("request timed out after %.3gs "
+                                "(attempt %d)", timeout, attempts[i])
+                    if on_error == "isolate":
+                        outcomes[i] = FailedResult(
+                            error_type="TimeoutError",
+                            message=f"no result within {timeout:.3g}s",
+                            attempts=attempts[i],
+                            request_summary=self._summarize(pending[i]))
+                    else:
+                        error = TimeoutError(
+                            f"batch request produced no result within "
+                            f"{timeout:.3g}s")
+                except BrokenProcessPool:
+                    dirty = True
+                    diagnostics().record_worker_crash()
+                    log.warning("worker crashed mid-batch (attempt %d); "
+                                "respawning pool", attempts[i])
+                    rerun.append(i)
+                except Exception as exc:
+                    if on_error == "isolate":
+                        outcomes[i] = FailedResult.from_exception(
+                            pending[i], exc, attempts=attempts[i])
+                    else:
+                        error = exc
+            if dirty or error is not None:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+            if error is not None:
+                raise error
+            todo = []
+            for i in rerun:
+                if attempts[i] > max_retries:
+                    # Repeat offender: last chance in-process, where a
+                    # crash cannot take other items with it.
+                    log.warning("request survived %d pool attempts "
+                                "without a result; running serially",
+                                attempts[i])
+                    outcomes[i] = self._execute_serial(
+                        pending[i], on_error,
+                        prior_attempts=attempts[i])
+                else:
+                    todo.append(i)
+        return outcomes
+
+    @staticmethod
+    def _summarize(request) -> str | None:
+        describe = getattr(request, "describe", None)
+        if callable(describe):
+            try:
+                return describe()
+            except Exception:
+                return repr(request)
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -189,11 +391,15 @@ def set_default_engine(engine: BatchExecutor | None) -> None:
 
 def configure_default_engine(*, workers: int = 1, cache: bool = True,
                              max_entries: int = 100_000,
-                             disk_dir=None) -> BatchExecutor:
+                             disk_dir=None, on_error: str = "raise",
+                             timeout: float | None = None,
+                             max_retries: int = 2) -> BatchExecutor:
     """Build and install the process-wide engine (CLI entry point)."""
     store = ResultCache(max_entries=max_entries, disk_dir=disk_dir) \
         if cache else None
-    engine = BatchExecutor(cache=store, workers=workers)
+    engine = BatchExecutor(cache=store, workers=workers,
+                           on_error=on_error, timeout=timeout,
+                           max_retries=max_retries)
     set_default_engine(engine)
     return engine
 
@@ -205,17 +411,32 @@ def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
                  workers: int = 1) -> list[_R]:
     """Map ``fn`` over ``items``, in worker processes when possible.
 
-    Falls back to a serial in-process loop when ``workers <= 1``, when
-    there is nothing to parallelise, or when the function/items cannot
-    be pickled (closures over models, lambdas) — so callers can expose a
-    ``workers`` knob without restricting what their users pass in.
+    Falls back to an in-process loop when ``workers <= 1``, when there
+    is nothing to parallelise, or when the function/items cannot be
+    pickled (closures over models, lambdas) — so callers can expose a
+    ``workers`` knob without restricting what their users pass in.  The
+    pickling fallback is *partial*: items that already completed in
+    workers keep their results, only the unfinished remainder re-runs
+    serially, and the degradation is logged as a warning.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    results: list = [_UNSET] * len(items)
     try:
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items))
-    except (pickle.PicklingError, AttributeError, TypeError):
-        return [fn(item) for item in items]
+            futures = [(i, pool.submit(fn, item))
+                       for i, item in enumerate(items)]
+            for i, fut in futures:
+                results[i] = fut.result()
+        return results
+    except (pickle.PicklingError, AttributeError, TypeError) as exc:
+        missing = [i for i, r in enumerate(results) if r is _UNSET]
+        get_logger("engine").warning(
+            "parallel fan-out cannot cross the process boundary (%s: "
+            "%s); running %d of %d items serially in-process",
+            type(exc).__name__, exc, len(missing), len(items))
+        for i in missing:
+            results[i] = fn(items[i])
+        return results

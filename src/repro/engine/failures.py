@@ -1,0 +1,81 @@
+"""Structured failure records for fault-isolated batch execution.
+
+Under ``on_error="isolate"`` the :class:`~repro.engine.executor
+.BatchExecutor` returns a :class:`FailedResult` in the slot of every
+request that could not be completed — instead of poisoning the whole
+batch with an exception.  The record carries everything a sweep layer
+needs to report the hole: the exception type and message, the solver's
+rescue trail (which fallbacks were attempted before giving up), the
+attempt count (1 plus the number of crash retries) and a one-line
+request summary.
+
+Sweep code distinguishes holes from results with :func:`is_failed`,
+which is duck-typed on the ``failed`` marker so records survive a trip
+through a process boundary regardless of import identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FailedResult:
+    """One batch slot that produced no result.
+
+    Attributes
+    ----------
+    error_type:
+        Exception class name (``"ConvergenceError"``, ``"TimeoutError"``,
+        ``"BrokenProcessPool"``...).
+    message:
+        The exception's message.
+    attempts:
+        How many times the executor drove the request (1 + retries).
+    rescue_trail:
+        Rescue stages the solver attempted before failing (taken from
+        the exception's ``rescue_trail`` attribute when present).
+    request_summary:
+        ``request.describe()`` when available — identifies the hole.
+    """
+
+    error_type: str
+    message: str
+    attempts: int = 1
+    rescue_trail: tuple[str, ...] = ()
+    request_summary: str | None = None
+
+    #: Marker for :func:`is_failed` (survives pickling across processes).
+    failed = True
+
+    @classmethod
+    def from_exception(cls, request, exc: BaseException, *,
+                       attempts: int = 1) -> "FailedResult":
+        """Build a record from the exception one request died with."""
+        trail = tuple(getattr(exc, "rescue_trail", ()) or ())
+        summary = None
+        describe = getattr(request, "describe", None)
+        if callable(describe):
+            try:
+                summary = describe()
+            except Exception:
+                summary = repr(request)
+        elif request is not None:
+            summary = repr(request)
+        return cls(error_type=type(exc).__name__, message=str(exc),
+                   attempts=attempts, rescue_trail=trail,
+                   request_summary=summary)
+
+    def describe(self) -> str:
+        """One-line rendering for logs and summaries."""
+        trail = f" after {'>'.join(self.rescue_trail)}" \
+            if self.rescue_trail else ""
+        target = f" [{self.request_summary}]" if self.request_summary \
+            else ""
+        return (f"FAILED {self.error_type}{trail} "
+                f"(attempt {self.attempts}): {self.message}{target}")
+
+
+def is_failed(result) -> bool:
+    """True when a batch slot holds a :class:`FailedResult` hole."""
+    return getattr(result, "failed", False) is True

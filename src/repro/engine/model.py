@@ -119,15 +119,21 @@ class EngineModel:
             stress=stress if stress is not None else self.stress,
             tech=self.tech, background=background)
 
-    def batch(self, items) -> list[SequenceResult]:
+    def batch(self, items, *, on_error: str | None = None
+              ) -> list[SequenceResult]:
         """Execute a whole fan-out of :class:`BatchItem` through the
-        engine (deduplicated, cached, parallel when configured)."""
+        engine (deduplicated, cached, parallel when configured).
+
+        ``on_error=None`` inherits the engine's failure policy;
+        ``"isolate"`` returns :class:`~repro.engine.failures
+        .FailedResult` holes instead of raising on a failed item.
+        """
         requests = [self.request(item.ops, item.init_vc,
                                  background=item.background,
                                  resistance=item.resistance,
                                  stress=item.stress)
                     for item in items]
-        return self.engine.map(requests)
+        return self.engine.map(requests, on_error=on_error)
 
     # ------------------------------------------------------------------
     # ColumnModel protocol
@@ -187,17 +193,24 @@ class EngineModel:
         return self._inner
 
 
-def batch_run(model, items) -> list[SequenceResult]:
+def batch_run(model, items, *, on_error: str | None = None
+              ) -> list[SequenceResult]:
     """Run a fan-out of :class:`BatchItem` on any column model.
 
     Engine-backed models execute the whole batch at once (dedupe, cache,
     process pool); plain models replay the classic loop — apply the
     overrides, run, restore the base stress — so wrapped/counting models
     observe exactly the calls the hand-rolled sweeps made.
+
+    ``on_error=None`` inherits the executing engine's failure policy
+    (plain models raise, the classic behaviour); ``"isolate"`` returns a
+    :class:`~repro.engine.failures.FailedResult` in the failing slots so
+    a sweep survives non-convergent points as holes.
     """
     items = list(items)
     if hasattr(model, "batch"):
-        return model.batch(items)
+        return model.batch(items, on_error=on_error)
+    from repro.engine.failures import FailedResult
     results = []
     base_stress = model.stress
     for item in items:
@@ -205,9 +218,20 @@ def batch_run(model, items) -> list[SequenceResult]:
             model.set_stress(item.stress)
         if item.resistance is not None:
             model.set_defect_resistance(item.resistance)
-        results.append(model.run_sequence(parse_ops(item.ops),
-                                          init_vc=item.init_vc,
-                                          background=item.background))
+        try:
+            results.append(model.run_sequence(parse_ops(item.ops),
+                                              init_vc=item.init_vc,
+                                              background=item.background))
+        except Exception as exc:
+            if on_error != "isolate":
+                if item.stress is not None:
+                    model.set_stress(base_stress)
+                raise
+            failure = FailedResult.from_exception(item, exc)
+            from repro.diagnostics import diagnostics
+            diagnostics().record_failure(failure.error_type,
+                                         failure.describe())
+            results.append(failure)
         if item.stress is not None:
             model.set_stress(base_stress)
     return results

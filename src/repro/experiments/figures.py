@@ -67,6 +67,10 @@ class PlanesStudy:
                  ascii_plane(self.planes, "w0"),
                  ascii_plane(self.planes, "w1"),
                  ascii_plane(self.planes, "r")]
+        if self.planes.n_failed:
+            parts.insert(
+                2, f"({self.planes.n_failed} probes failed to simulate; "
+                   f"the planes have holes)")
         return "\n\n".join(parts)
 
 
@@ -76,11 +80,18 @@ def fig2_result_planes(*, backend: str = "electrical",
                        n_writes: int = 2,
                        stress: StressConditions = NOMINAL_STRESS,
                        defect: Defect = REFERENCE_DEFECT,
-                       engine=None) -> PlanesStudy:
-    """Fig. 2: the three result planes of the cell open at nominal SC."""
+                       engine=None,
+                       on_error: str | None = None) -> PlanesStudy:
+    """Fig. 2: the three result planes of the cell open at nominal SC.
+
+    ``on_error="isolate"`` turns non-convergent grid points into holes
+    (``planes.n_failed``) instead of aborting the study; ``None``
+    inherits the executing engine's policy.
+    """
     model = make_model(defect, stress, backend, engine=engine)
     grid = log_grid(r_lo, r_hi, points)
-    planes = result_planes(model, grid, n_writes=n_writes)
+    planes = result_planes(model, grid, n_writes=n_writes,
+                           on_error=on_error)
     return PlanesStudy(stress, planes, planes.border_estimate())
 
 
@@ -89,12 +100,13 @@ def fig6_stressed_planes(*, backend: str = "electrical",
                          r_lo: float = 30e3, r_hi: float = 2e6,
                          n_writes: int = 2,
                          defect: Defect = REFERENCE_DEFECT,
-                         engine=None) -> PlanesStudy:
+                         engine=None,
+                         on_error: str | None = None) -> PlanesStudy:
     """Fig. 6: the same planes under the stressed SC."""
     return fig2_result_planes(backend=backend, points=points, r_lo=r_lo,
                               r_hi=r_hi, n_writes=n_writes,
                               stress=FIG6_STRESS, defect=defect,
-                              engine=engine)
+                              engine=engine, on_error=on_error)
 
 
 # ----------------------------------------------------------------------

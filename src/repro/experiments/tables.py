@@ -25,7 +25,8 @@ def table1_optimization(*, backend: str = "behavioral",
                         defects=ALL_DEFECTS,
                         br_rel_tol: float = 0.05,
                         workers: int = 1,
-                        engine=None) -> OptimizationTable:
+                        engine=None,
+                        on_error: str = "raise") -> OptimizationTable:
     """Table 1: per-defect directions, borders and detection conditions.
 
     The behavioral backend reproduces the whole table in seconds; pass
@@ -34,11 +35,14 @@ def table1_optimization(*, backend: str = "behavioral",
     a process pool; ``engine`` routes every simulation through the
     result cache (see :func:`repro.experiments.figures.make_model`).
     The rendered table is identical for any worker count.
+    ``on_error="isolate"`` keeps the table alive across failing defects
+    (see :func:`repro.core.optimizer.optimize_all_defects`).
     """
     factory = functools.partial(make_model, backend=backend,
                                 engine=engine)
     return optimize_all_defects(model_factory=factory, defects=defects,
-                                br_rel_tol=br_rel_tol, workers=workers)
+                                br_rel_tol=br_rel_tol, workers=workers,
+                                on_error=on_error)
 
 
 @dataclass

@@ -71,7 +71,10 @@ def ascii_plane(planes, which: str = "w0", **kwargs) -> str:
     if which in ("w0", "w1"):
         plane = planes.w0 if which == "w0" else planes.w1
         curves = {}
-        n = len(plane.settle.levels[0])
+        # Holes (failed grid points) leave None rows; size the curve
+        # family from the first row that simulated.
+        n = next((len(row) for row in plane.settle.levels
+                  if row is not None), 0)
         for k in range(1, n + 1):
             curves[f"{k}) after {which} #{k}"] = plane.curve(k)
         curves["Vmp midpoint"] = [plane.vmp] * len(rs)

@@ -64,4 +64,10 @@ def render_optimization_table(table) -> str:
             [row.defect.name, _border_cell(row.nominal_border)]
             + [row.directions[k].arrow for k in kinds]
             + [_border_cell(row.stressed_border), det])
-    return render_table(headers, rows)
+    rendered = render_table(headers, rows)
+    failures = getattr(table, "failures", None)
+    if failures:
+        lines = [rendered, f"{len(failures)} defects failed to optimize:"]
+        lines.extend(f"  {f.describe()}" for f in failures)
+        rendered = "\n".join(lines)
+    return rendered

@@ -3,7 +3,10 @@
 Capacitors are open circuits; sources are evaluated at ``t = 0``.  The
 nonlinear solve is continued from a heavily-regularised system (large gmin)
 down to the target gmin, which reliably converges circuits with regenerative
-feedback such as the sense amplifier latch.
+feedback such as the sense amplifier latch.  When even the continuation
+fails, a source-stepping rescue ramps the excitation from a fraction of its
+value up to 100 % — the last line of defence before a
+:class:`ConvergenceError` reaches the caller.
 """
 
 from __future__ import annotations
@@ -13,14 +16,19 @@ import numpy as np
 from repro.spice.errors import ConvergenceError
 from repro.spice.mna import DEFAULT_GMIN, System
 from repro.spice.netlist import AnalysisContext, Circuit
-from repro.spice.solver import newton_solve
+from repro.spice.solver import newton_solve, source_step_solve
 
 
 def dc_operating_point(circuit: Circuit, *, temp_c: float = 27.0,
                        gmin: float = DEFAULT_GMIN,
-                       initial: dict[str, float] | None = None
+                       initial: dict[str, float] | None = None,
+                       rescues: list[str] | None = None
                        ) -> dict[str, float]:
-    """Solve the DC operating point; returns ``{node_name: volts}``."""
+    """Solve the DC operating point; returns ``{node_name: volts}``.
+
+    Pass a list as ``rescues`` to learn which rescue stages (if any) the
+    solve needed — the stage names are appended in order.
+    """
     system = System(circuit, gmin=gmin)
     x = np.zeros(system.size)
     if initial:
@@ -44,6 +52,26 @@ def dc_operating_point(circuit: Circuit, *, temp_c: float = 27.0,
             last_error = exc
             # keep the current x and try the next rung anyway
     if last_error is not None:
-        raise last_error
+        # Source-stepping rescue: ramp the excitation up to the exact
+        # system.  The final step solves the true circuit, so a success
+        # here is a genuine operating point.
+        try:
+            x = source_step_solve(system, A_step, b_step, ctx, x,
+                                  max_iter=200)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"DC operating point failed after gmin and source "
+                f"stepping: {exc}", time=0.0,
+                iterations=exc.iterations, nodes=exc.nodes,
+                rescue_trail=("gmin", "source")) from exc
+        if rescues is not None:
+            rescues.append("source")
+        _record_rescue("source")
 
     return {node.name: float(x[node.index]) for node in circuit.nodes}
+
+
+def _record_rescue(stage: str) -> None:
+    """Count a successful rescue in the run diagnostics."""
+    from repro.diagnostics import diagnostics
+    diagnostics().record_rescue(stage)

@@ -12,14 +12,28 @@ class NetlistError(SpiceError):
 class ConvergenceError(SpiceError):
     """The Newton-Raphson iteration failed to converge.
 
-    Carries the analysis context (time point, iteration count) so callers
-    can report *where* the solver gave up.
+    Carries the analysis context so callers can report *where* the
+    solver gave up:
+
+    ``time``
+        Analysis time point (seconds), or ``None`` for DC.
+    ``iterations``
+        Newton iterations spent before giving up.
+    ``nodes``
+        Names of the nodes still moving more than the tolerance on the
+        last iteration — the non-converging subset of the circuit.
+    ``rescue_trail``
+        Rescue stages attempted before the failure was declared final
+        (``"gmin"``, ``"source"``, ``"bisect"``...), in order.
     """
 
-    def __init__(self, message, time=None, iterations=None):
+    def __init__(self, message, time=None, iterations=None, nodes=None,
+                 rescue_trail=None):
         super().__init__(message)
         self.time = time
         self.iterations = iterations
+        self.nodes = tuple(nodes) if nodes else ()
+        self.rescue_trail = tuple(rescue_trail) if rescue_trail else ()
 
 
 class SingularMatrixError(SpiceError):

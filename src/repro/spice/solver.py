@@ -1,4 +1,20 @@
-"""Damped Newton-Raphson solver over an assembled MNA system."""
+"""Damped Newton-Raphson solver over an assembled MNA system.
+
+:func:`newton_solve` is the primitive: one damped Newton iteration to
+convergence or :class:`ConvergenceError`.  When plain Newton fails the
+rescue ladder takes over:
+
+* :func:`gmin_step_solve` — Gmin stepping: re-solve under a decreasing
+  extra node-to-ground conductance, warm-starting each rung from the
+  previous one.  The final rung is the exact system, so a successful
+  rescue is a genuine solution.
+* :func:`source_step_solve` — source stepping: ramp the independent
+  sources from a fraction of their value up to 100 %, again finishing
+  with the exact system.
+* :func:`rescue_solve` — the full ladder (plain → gmin → source) with
+  the trail of attempted stages reported to the caller and recorded on
+  the raised error.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +29,25 @@ DEFAULT_VSTEP_MAX = 1.0
 
 #: Absolute node-voltage convergence tolerance (volts).
 DEFAULT_VTOL = 1e-6
+
+#: Gmin continuation ladder of the rescue path (ends on the exact system).
+GMIN_RESCUE_LADDER = (1e-3, 1e-5, 1e-7, 1e-9, 0.0)
+
+#: Source-stepping ramp of the rescue path (ends on the exact system).
+SOURCE_RESCUE_STEPS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def _failing_nodes(system: System, dx: np.ndarray, vtol: float,
+                   limit: int = 6) -> list[str]:
+    """Names of the nodes still moving more than ``vtol`` (worst first)."""
+    n = system.num_nodes
+    moves = np.abs(dx[:n])
+    bad = [int(i) for i in np.argsort(moves)[::-1]
+           if moves[i] > vtol][:limit]
+    names = getattr(system.circuit, "node_names", None)
+    if not names:
+        return [f"node#{i}" for i in bad]
+    return [names[i] for i in bad]
 
 
 def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
@@ -39,6 +74,7 @@ def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
             raise SingularMatrixError(str(exc)) from None
 
     x = x0.copy()
+    dx = np.zeros_like(x)
     for _ in range(max_iter):
         ctx.x = x
         A, b = system.build_iteration(A_step, b_step, ctx, extra_gmin)
@@ -53,6 +89,93 @@ def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
         x = x + dx
         if dv_max < vtol:
             return x
+    nodes = _failing_nodes(system, dx, vtol)
     raise ConvergenceError(
         f"Newton iteration did not converge within {max_iter} iterations "
-        f"(time={ctx.time!r})", time=ctx.time, iterations=max_iter)
+        f"(time={ctx.time!r}, moving nodes: {', '.join(nodes) or '-'})",
+        time=ctx.time, iterations=max_iter, nodes=nodes)
+
+
+def gmin_step_solve(system: System, A_step: np.ndarray,
+                    b_step: np.ndarray, ctx: AnalysisContext,
+                    x0: np.ndarray, *,
+                    ladder=GMIN_RESCUE_LADDER, max_iter: int = 100,
+                    vtol: float = DEFAULT_VTOL,
+                    vstep_max: float = DEFAULT_VSTEP_MAX) -> np.ndarray:
+    """Gmin stepping: continuation from a regularised system to the exact
+    one.  Each rung warm-starts from the previous solution; rungs that
+    fail keep the running iterate and move on, so only a failure of the
+    *final* (exact) rung is fatal.
+    """
+    x = x0.copy()
+    last_error: ConvergenceError | None = None
+    for extra in ladder:
+        try:
+            x = newton_solve(system, A_step, b_step, ctx, x,
+                             max_iter=max_iter, vtol=vtol,
+                             vstep_max=vstep_max, extra_gmin=extra)
+            last_error = None
+        except ConvergenceError as exc:
+            last_error = exc
+    if last_error is not None:
+        raise last_error
+    return x
+
+
+def source_step_solve(system: System, A_step: np.ndarray,
+                      b_step: np.ndarray, ctx: AnalysisContext,
+                      x0: np.ndarray, *,
+                      steps=SOURCE_RESCUE_STEPS, max_iter: int = 100,
+                      vtol: float = DEFAULT_VTOL,
+                      vstep_max: float = DEFAULT_VSTEP_MAX) -> np.ndarray:
+    """Source stepping: ramp the excitation vector up to the exact system.
+
+    Scaling ``b_step`` scales every independent source (and, in
+    transient, the companion-model history) — the intermediate solves
+    only serve as warm starts, and the final step solves the exact
+    system, so a returned solution is always genuine.
+    """
+    x = np.zeros_like(x0)
+    for alpha in steps:
+        x = newton_solve(system, A_step, alpha * b_step, ctx, x,
+                         max_iter=max_iter, vtol=vtol,
+                         vstep_max=vstep_max)
+    return x
+
+
+def rescue_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
+                 ctx: AnalysisContext, x0: np.ndarray, *,
+                 max_iter: int = 100, vtol: float = DEFAULT_VTOL,
+                 vstep_max: float = DEFAULT_VSTEP_MAX
+                 ) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Solve with the full rescue ladder: plain Newton, then Gmin
+    stepping, then source stepping.
+
+    Returns ``(solution, trail)`` where ``trail`` names the rescue stage
+    that succeeded (``()`` when plain Newton was enough).  On total
+    failure the raised :class:`ConvergenceError` carries the attempted
+    trail in ``rescue_trail``.
+    """
+    try:
+        return newton_solve(system, A_step, b_step, ctx, x0,
+                            max_iter=max_iter, vtol=vtol,
+                            vstep_max=vstep_max), ()
+    except ConvergenceError:
+        pass
+    try:
+        x = gmin_step_solve(system, A_step, b_step, ctx, x0,
+                            max_iter=max_iter, vtol=vtol,
+                            vstep_max=vstep_max)
+        return x, ("gmin",)
+    except ConvergenceError:
+        pass
+    try:
+        x = source_step_solve(system, A_step, b_step, ctx, x0,
+                              max_iter=max_iter, vtol=vtol,
+                              vstep_max=vstep_max)
+        return x, ("gmin", "source")
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            f"no convergence after rescue ladder (gmin, source): {exc}",
+            time=ctx.time, iterations=exc.iterations, nodes=exc.nodes,
+            rescue_trail=("gmin", "source")) from exc

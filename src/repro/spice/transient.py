@@ -2,8 +2,13 @@
 
 The engine steps a fixed grid (``dt`` spacing) augmented with every source
 waveform breakpoint, so ideal-ish edges land exactly on time points.  A step
-whose Newton solve fails is bisected until it converges or the step floor is
-reached.
+whose Newton solve fails is bisected (exactly like the original strategy)
+until it converges or the step floor is reached; at the floor a per-step
+Gmin ramp (:func:`repro.spice.solver.gmin_step_solve`) is the last resort.
+Every rescued step is recorded on the returned :class:`TransientResult`
+(``rescues``) so callers can see the analysis needed help; a final stall
+raises a :class:`ConvergenceError` carrying the stall time, the iteration
+budget and the non-converging node set.
 
 Initial conditions follow SPICE ``UIC`` semantics: the caller supplies node
 voltages (default 0 V) and integration starts immediately — no DC operating
@@ -18,8 +23,21 @@ import numpy as np
 from repro.spice.errors import ConvergenceError, SpiceError
 from repro.spice.mna import DEFAULT_GMIN, System
 from repro.spice.netlist import AnalysisContext, Circuit
-from repro.spice.solver import newton_solve
+from repro.spice.solver import gmin_step_solve, newton_solve
 from repro.spice.waveforms import merge_breakpoints
+
+
+class RescueEvent:
+    """One transient step that only converged through a rescue stage."""
+
+    __slots__ = ("time", "stage")
+
+    def __init__(self, time: float, stage: str):
+        self.time = time
+        self.stage = stage
+
+    def __repr__(self) -> str:
+        return f"RescueEvent(time={self.time:.4g}, stage={self.stage!r})"
 
 
 class TransientResult:
@@ -27,15 +45,19 @@ class TransientResult:
 
     Supports waveform lookup by node name, linear interpolation at arbitrary
     instants, and exporting the final state for cycle chaining.
+    ``rescues`` lists the steps that needed a convergence rescue (empty
+    for a cleanly-converged analysis).
     """
 
     def __init__(self, times: np.ndarray, data: np.ndarray,
-                 node_names: list[str], final_x: np.ndarray):
+                 node_names: list[str], final_x: np.ndarray,
+                 rescues: list[RescueEvent] | None = None):
         self.time = times
         self._data = data
         self._col = {name: i for i, name in enumerate(node_names)}
         self.node_names = list(node_names)
         self.final_x = final_x
+        self.rescues = list(rescues) if rescues else []
 
     def __len__(self) -> int:
         return len(self.time)
@@ -144,6 +166,7 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
 
     times = [0.0]
     rows = [x[:num_nodes].copy()]
+    rescues: list[RescueEvent] = []
 
     t = 0.0
     pending = list(grid[1:])
@@ -155,14 +178,27 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         A_step, b_step = system.build_step(ctx)
         try:
             x_new = newton_solve(system, A_step, b_step, ctx, x)
-        except ConvergenceError:
-            if dt_step / 2 < dt_floor:
+        except ConvergenceError as exc:
+            # Step bisection first (identical to the plain path, so runs
+            # that never needed a rescue are bit-identical), then — once
+            # the step floor blocks further bisection — a per-step Gmin
+            # ramp as the last resort before giving up.
+            if dt_step / 2 >= dt_floor:
+                pending.insert(0, t + dt_step / 2)
+                continue
+            try:
+                x_new = gmin_step_solve(system, A_step, b_step, ctx, x)
+            except ConvergenceError as gmin_exc:
+                nodes = gmin_exc.nodes or exc.nodes
                 raise ConvergenceError(
                     f"transient stalled at t={t:.4g}s: step below floor "
-                    f"{dt_floor:.3g}s still fails to converge",
-                    time=t) from None
-            pending.insert(0, t + dt_step / 2)
-            continue
+                    f"{dt_floor:.3g}s still fails to converge even with "
+                    f"a Gmin ramp (moving nodes: "
+                    f"{', '.join(nodes) or '-'})",
+                    time=t, iterations=gmin_exc.iterations, nodes=nodes,
+                    rescue_trail=("bisect", "gmin")) from None
+            rescues.append(RescueEvent(t_target, "gmin"))
+            _record_rescue("gmin")
         system.accept_step(x, x_new, dt_step, method)
         x = x_new
         t = t_target
@@ -171,4 +207,10 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         rows.append(x[:num_nodes].copy())
 
     return TransientResult(np.asarray(times), np.asarray(rows),
-                           node_names, x)
+                           node_names, x, rescues=rescues)
+
+
+def _record_rescue(stage: str) -> None:
+    """Count a successful rescue in the run diagnostics."""
+    from repro.diagnostics import diagnostics
+    diagnostics().record_rescue(stage)

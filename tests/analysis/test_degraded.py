@@ -1,0 +1,186 @@
+"""Degraded sweeps: holes in planes, curves, Shmoo grids and borders.
+
+A flaky wrapper model injects :class:`ConvergenceError` at chosen grid
+points; under ``on_error="isolate"`` every sweep must complete, report
+the holes and keep its derived quantities usable.
+"""
+
+import pytest
+
+from repro.analysis import border_resistance, result_planes
+from repro.analysis.planes import log_grid
+from repro.behav import behavioral_model
+from repro.core import StressKind, shmoo
+from repro.defects import Defect, DefectKind
+from repro.spice.errors import ConvergenceError, SpiceError
+
+
+class FlakyModel:
+    """Delegating column model that fails at injected sweep points."""
+
+    def __init__(self, inner, bad_resistances=(), bad_vdds=()):
+        self._inner = inner
+        self._bad_r = tuple(bad_resistances)
+        self._bad_vdd = tuple(bad_vdds)
+        self._r = None
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def set_defect_resistance(self, resistance):
+        self._r = resistance
+        self._inner.set_defect_resistance(resistance)
+
+    def run_sequence(self, *args, **kwargs):
+        if self._r is not None and any(
+                abs(self._r / bad - 1.0) < 1e-9 for bad in self._bad_r):
+            raise ConvergenceError(
+                f"injected failure at R={self._r:.3g}")
+        if any(abs(self._inner.stress.vdd - bad) < 1e-12
+               for bad in self._bad_vdd):
+            raise ConvergenceError(
+                f"injected failure at Vdd={self._inner.stress.vdd}")
+        return self._inner.run_sequence(*args, **kwargs)
+
+
+GRID = log_grid(40e3, 2e6, 7)
+BAD_R = GRID[3]
+
+
+def _flaky(**kwargs):
+    return FlakyModel(
+        behavioral_model(Defect(DefectKind.O3, resistance=200e3)),
+        **kwargs)
+
+
+class TestDegradedPlanes:
+    @pytest.fixture(scope="class")
+    def holed(self):
+        return result_planes(_flaky(bad_resistances=[BAD_R]), GRID,
+                             n_writes=2, on_error="isolate")
+
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return result_planes(_flaky(), GRID, n_writes=2)
+
+    def test_raise_mode_propagates(self):
+        with pytest.raises(ConvergenceError):
+            result_planes(_flaky(bad_resistances=[BAD_R]), GRID,
+                          n_writes=2)
+
+    def test_sweep_completes_and_reports_holes(self, holed):
+        assert holed.n_failed > 0
+        assert holed.w0.n_failed == 1
+        assert holed.w1.n_failed == 1
+
+    def test_holes_land_at_the_failing_grid_point(self, holed):
+        assert holed.w0.curve(1)[3] is None
+        assert holed.w1.curve(1)[3] is None
+        assert holed.r.vsa.is_hole(3)
+        assert holed.r.vsa.thresholds[3] is None
+        # Other grid points are untouched.
+        assert holed.w0.curve(1)[2] is not None
+        assert not holed.r.vsa.is_hole(2)
+
+    def test_clean_run_has_no_holes(self, clean):
+        assert clean.n_failed == 0
+
+    def test_border_estimate_bridges_the_hole(self, holed, clean):
+        bridged = holed.border_estimate()
+        reference = clean.border_estimate()
+        assert bridged is not None
+        # One lost grid point may coarsen the estimate but not move it
+        # outside the neighbouring grid interval.
+        assert 0.5 < bridged / reference < 2.0
+
+
+class TestDegradedShmoo:
+    X_VALUES = [2.1 + i * 0.15 for i in range(5)]
+    Y_VALUES = [52e-9 + i * 4e-9 for i in range(4)]
+
+    def _plot(self, model, **kwargs):
+        return shmoo(model, "w1^2 w0 r0",
+                     x_kind=StressKind.VDD, x_values=self.X_VALUES,
+                     y_kind=StressKind.TCYC, y_values=self.Y_VALUES,
+                     **kwargs)
+
+    def test_holes_along_the_failing_column(self):
+        plot = self._plot(_flaky(bad_vdds=[self.X_VALUES[2]]),
+                          on_error="isolate")
+        assert plot.n_failed == len(self.Y_VALUES)
+        for row in plot.grid:
+            assert row[2] is None
+        assert plot.pass_count + plot.fail_count + plot.n_failed == 20
+
+    def test_render_marks_holes(self):
+        plot = self._plot(_flaky(bad_vdds=[self.X_VALUES[2]]),
+                          on_error="isolate")
+        text = plot.render()
+        assert "?" in text
+        assert "4 grid points did not simulate" in text
+
+    def test_clean_render_has_no_hole_note(self):
+        text = self._plot(_flaky()).render()
+        assert "did not simulate" not in text
+
+    def test_raise_mode_propagates(self):
+        with pytest.raises(ConvergenceError):
+            self._plot(_flaky(bad_vdds=[self.X_VALUES[2]]))
+
+
+class TestDegradedBorder:
+    R_LO, R_HI = 1e4, 1e6
+
+    def _search(self, predicate, **kwargs):
+        kwargs.setdefault("rel_tol", 0.05)
+        kwargs.setdefault("on_error", "isolate")
+        return border_resistance(None, fails_high=True, r_lo=self.R_LO,
+                                 r_hi=self.R_HI, predicate=predicate,
+                                 **kwargs)
+
+    def test_nudge_recovers_a_single_flaky_probe(self):
+        calls = {"n": 0}
+
+        def predicate(r):
+            calls["n"] += 1
+            if calls["n"] == 3:   # first midpoint probe, first attempt
+                raise SpiceError("injected")
+            return r > 1e5
+
+        result = self._search(predicate)
+        assert result.found
+        assert result.resistance == pytest.approx(1e5, rel=0.1)
+        assert result.n_failed_probes == 1
+        assert result.degraded
+        assert "1 failed probes" in result.describe()
+
+    def test_persistent_midpoint_failure_brackets_around_it(self):
+        def predicate(r):
+            if 0.5e5 <= r <= 2e5:   # wider than any nudge escapes
+                raise SpiceError("injected")
+            return r > 1e5
+
+        result = self._search(predicate)
+        assert result.found
+        # Refinement stopped at the first midpoint: the bracket
+        # midpoint is returned at reduced accuracy.
+        assert result.resistance == pytest.approx(1e5, rel=0.01)
+        assert result.n_failed_probes == 3
+
+    def test_unprobeable_endpoint_is_undetermined(self):
+        def predicate(r):
+            raise SpiceError("injected")
+
+        result = self._search(predicate)
+        assert not result.found
+        assert not result.always_faulty
+        assert not result.never_faulty
+        assert result.n_failed_probes > 0
+        assert "undetermined" in result.describe()
+
+    def test_raise_mode_propagates(self):
+        def predicate(r):
+            raise SpiceError("injected")
+
+        with pytest.raises(SpiceError):
+            self._search(predicate, on_error="raise")

@@ -86,6 +86,36 @@ class TestDiskTier:
         assert len(cache) == 0
         assert cache.get(req) is not None         # re-read from disk
 
+    def test_corrupted_entry_is_evicted(self, tmp_path):
+        from repro.diagnostics import reset_diagnostics
+
+        req = _request()
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(req, _result(req))
+        path = cache._disk_path(req.content_hash)
+        path.write_bytes(b"not a pickle at all")
+
+        diag = reset_diagnostics()
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.get(req) is None             # miss, not a crash
+        assert not path.exists()                  # bad file deleted
+        assert diag.cache_evictions == 1
+
+        # The slot is usable again after the eviction.
+        fresh.put(req, _result(req))
+        assert ResultCache(disk_dir=tmp_path).get(req) is not None
+
+    def test_truncated_entry_is_evicted(self, tmp_path):
+        req = _request()
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(req, _result(req))
+        path = cache._disk_path(req.content_hash)
+        path.write_bytes(path.read_bytes()[:10])  # simulate torn write
+
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.get(req) is None
+        assert not path.exists()
+
 
 class TestEngineStats:
     def test_hit_rate(self):

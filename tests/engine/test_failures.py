@@ -1,0 +1,188 @@
+"""Fault-isolated batch execution: FailedResult records, worker
+crashes, timeouts, serial fallback.
+
+All fakes are module-level so ProcessPoolExecutor can pickle them to
+workers.  Crashing work only fires inside a worker process (guarded by
+``main_pid``), so the in-process serial fallback path genuinely
+recovers the item.
+"""
+
+import os
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.diagnostics import reset_diagnostics
+from repro.engine import BatchExecutor, FailedResult, is_failed
+
+
+@dataclass(frozen=True)
+class FakeRequest:
+    """Minimal picklable stand-in for a SequenceRequest."""
+
+    key: str
+    behavior: str = "ok"  # "ok" | "raise" | "crash" | "sleep"
+    main_pid: int = 0
+    cycles: int = 1
+
+    @property
+    def content_hash(self) -> str:
+        return self.key
+
+    def describe(self) -> str:
+        return f"fake:{self.key}"
+
+
+def fake_work(request: FakeRequest) -> str:
+    if request.behavior == "raise":
+        raise ValueError(f"boom:{request.key}")
+    if request.behavior == "crash" and os.getpid() != request.main_pid:
+        # Hard-kill the worker process, bypassing exception handling —
+        # the parent only ever sees a BrokenProcessPool.
+        os._exit(1)
+    if request.behavior == "sleep":
+        time.sleep(30)
+    return f"done:{request.key}"
+
+
+def _engine(**kwargs) -> BatchExecutor:
+    kwargs.setdefault("cache", None)
+    kwargs.setdefault("work_fn", fake_work)
+    return BatchExecutor(**kwargs)
+
+
+class TestIsolatePolicy:
+    def test_failed_slots_hold_records_in_input_order(self):
+        reset_diagnostics()
+        engine = _engine(on_error="isolate")
+        requests = [FakeRequest("a"), FakeRequest("b", "raise"),
+                    FakeRequest("c")]
+        results = engine.map(requests)
+        assert results[0] == "done:a"
+        assert results[2] == "done:c"
+        failed = results[1]
+        assert is_failed(failed)
+        assert isinstance(failed, FailedResult)
+        assert failed.error_type == "ValueError"
+        assert "boom:b" in failed.message
+        assert failed.request_summary == "fake:b"
+        assert engine.stats.failures == 1
+
+    def test_parallel_isolate_matches_serial(self):
+        requests = [FakeRequest("a"), FakeRequest("b", "raise"),
+                    FakeRequest("c"), FakeRequest("d", "raise")]
+        serial = _engine(on_error="isolate").map(requests)
+        parallel = _engine(on_error="isolate", workers=2).map(requests)
+        assert [is_failed(r) for r in serial] == \
+               [is_failed(r) for r in parallel] == \
+               [False, True, False, True]
+        assert [r for r in serial if not is_failed(r)] == \
+               [r for r in parallel if not is_failed(r)]
+
+    def test_duplicates_share_the_failure_record(self):
+        engine = _engine(on_error="isolate")
+        requests = [FakeRequest("x", "raise"), FakeRequest("x", "raise")]
+        results = engine.map(requests)
+        assert results[0] is results[1]
+        assert engine.stats.failures == 1
+        assert engine.stats.hits == 1
+
+    def test_diagnostics_count_isolated_failures(self):
+        diag = reset_diagnostics()
+        _engine(on_error="isolate").map(
+            [FakeRequest("a", "raise"), FakeRequest("b")])
+        assert diag.failures == 1
+        assert diag.failure_kinds.get("ValueError") == 1
+
+
+class TestRaisePolicy:
+    def test_serial_failure_propagates(self):
+        with pytest.raises(ValueError, match="boom:b"):
+            _engine().map([FakeRequest("a"), FakeRequest("b", "raise")])
+
+    def test_parallel_failure_propagates(self):
+        with pytest.raises(ValueError, match="boom:b"):
+            _engine(workers=2).map(
+                [FakeRequest("a"), FakeRequest("b", "raise"),
+                 FakeRequest("c")])
+
+    def test_run_always_raises(self):
+        engine = _engine(on_error="isolate")
+        with pytest.raises(ValueError, match="boom:z"):
+            engine.run(FakeRequest("z", "raise"))
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            _engine(on_error="ignore")
+        with pytest.raises(ValueError):
+            _engine().map([FakeRequest("a"), FakeRequest("b")],
+                          on_error="ignore")
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_is_retried_then_recovered_serially(self):
+        diag = reset_diagnostics()
+        engine = _engine(workers=2, max_retries=1)
+        pid = os.getpid()
+        requests = [FakeRequest("a", main_pid=pid),
+                    FakeRequest("k", "crash", main_pid=pid),
+                    FakeRequest("c", main_pid=pid)]
+        results = engine.map(requests)
+        # The crasher dies in every pool round, then succeeds on the
+        # in-process serial fallback; survivors keep their results and
+        # input order is preserved throughout.
+        assert results == ["done:a", "done:k", "done:c"]
+        assert diag.worker_crashes >= 1
+        assert diag.retries >= 1
+        assert engine.stats.retries >= 1
+
+    def test_crash_recovery_under_isolate(self):
+        reset_diagnostics()
+        engine = _engine(workers=2, max_retries=0, on_error="isolate")
+        pid = os.getpid()
+        results = engine.map([FakeRequest("k", "crash", main_pid=pid),
+                              FakeRequest("b", main_pid=pid)])
+        assert results == ["done:k", "done:b"]
+
+
+class TestTimeout:
+    def test_expiry_yields_failed_result_not_a_hang(self):
+        diag = reset_diagnostics()
+        engine = _engine(workers=2, on_error="isolate", timeout=1.0,
+                         max_retries=0)
+        t0 = time.monotonic()
+        results = engine.map([FakeRequest("s", "sleep"),
+                              FakeRequest("b")])
+        elapsed = time.monotonic() - t0
+        assert elapsed < 20, "timeout did not bound the wall clock"
+        failed = results[0]
+        assert is_failed(failed)
+        assert failed.error_type == "TimeoutError"
+        assert results[1] == "done:b"
+        assert diag.timeouts == 1
+
+    def test_expiry_raises_under_raise_policy(self):
+        engine = _engine(workers=2, timeout=1.0, max_retries=0)
+        with pytest.raises(TimeoutError):
+            engine.map([FakeRequest("s", "sleep"), FakeRequest("b")])
+
+
+class TestFailedResultShape:
+    def test_describe_mentions_type_attempts_and_summary(self):
+        failed = FailedResult.from_exception(
+            FakeRequest("q"), ValueError("went sideways"), attempts=3)
+        text = failed.describe()
+        assert "ValueError" in text
+        assert "attempt 3" in text
+        assert "went sideways" in text
+        assert "fake:q" in text
+
+    def test_marker_survives_a_pickle_round_trip(self):
+        import pickle
+
+        failed = FailedResult(error_type="X", message="m")
+        clone = pickle.loads(pickle.dumps(failed))
+        assert is_failed(clone)
+        assert not is_failed("done:a")
+        assert not is_failed(None)

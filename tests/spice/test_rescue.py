@@ -1,0 +1,230 @@
+"""Convergence-rescue ladder: Gmin stepping, source stepping, trails."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import reset_diagnostics
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Constant,
+    ConvergenceError,
+    Diode,
+    Mosfet,
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+)
+# The package re-exports functions named like their modules
+# (repro.spice.transient is the *function* there), so fetch the module
+# objects for monkeypatching via importlib.
+dc_module = importlib.import_module("repro.spice.dc")
+transient_module = importlib.import_module("repro.spice.transient")
+from repro.spice.mna import System
+from repro.spice.netlist import AnalysisContext
+from repro.spice.solver import (
+    gmin_step_solve,
+    newton_solve,
+    rescue_solve,
+    source_step_solve,
+)
+from repro.spice.transient import transient
+
+
+def _ring_oscillator(n=3, vdd=2.4):
+    """An n-stage inverter ring: regenerative feedback, DC-solvable."""
+    c = Circuit()
+    vdd_n, gnd = c.node("vdd"), c.node("0")
+    c.add(VoltageSource("V", vdd_n, gnd, Constant(vdd)))
+    nodes = [c.node(f"n{i}") for i in range(n)]
+    for i in range(n):
+        inp, out = nodes[i], nodes[(i + 1) % n]
+        c.add(Mosfet(f"MP{i}", out, inp, vdd_n, PMOS_DEFAULT))
+        c.add(Mosfet(f"MN{i}", out, inp, gnd, NMOS_DEFAULT))
+    return c, nodes
+
+
+def _diode_divider():
+    """Forward diode behind a resistor — stiff exponential from 0 V."""
+    c = Circuit()
+    c.add(VoltageSource("V", c.node("in"), c.node("0"), Constant(5.0)))
+    c.add(Resistor("R", c.node("in"), c.node("a"), 1e3))
+    c.add(Diode("D", c.node("a"), c.node("0"), isat=1e-14))
+    return c
+
+
+def _system(circuit):
+    sys_ = System(circuit)
+    ctx = AnalysisContext(x=np.zeros(sys_.size),
+                          x_prev=np.zeros(sys_.size))
+    A, b = sys_.build_step(ctx)
+    return sys_, ctx, A, b
+
+
+class TestGminStepping:
+    # Budget at which plain Newton oscillates on the ring but the
+    # regularised first rung converges and warm-starts the exact solve.
+    BUDGET = 10
+
+    def test_plain_newton_fails_on_ring(self):
+        c, nodes = _ring_oscillator()
+        sys_, ctx, A, b = _system(c)
+        x0 = np.zeros(sys_.size)
+        x0[nodes[0].index] = 2.4
+        with pytest.raises(ConvergenceError):
+            newton_solve(sys_, A, b, ctx, x0, max_iter=self.BUDGET)
+
+    def test_gmin_stepping_rescues_the_same_solve(self):
+        c, nodes = _ring_oscillator()
+        sys_, ctx, A, b = _system(c)
+        x0 = np.zeros(sys_.size)
+        x0[nodes[0].index] = 2.4
+        x = gmin_step_solve(sys_, A, b, ctx, x0, max_iter=self.BUDGET)
+        # The final rung solves the exact system: verify against an
+        # unconstrained plain solve from the rescued point.
+        x_exact = newton_solve(sys_, A, b, ctx, x.copy(), max_iter=100)
+        assert np.allclose(x, x_exact, atol=1e-5)
+
+    def test_rescue_solve_reports_gmin_trail(self):
+        c, nodes = _ring_oscillator()
+        sys_, ctx, A, b = _system(c)
+        x0 = np.zeros(sys_.size)
+        x0[nodes[0].index] = 2.4
+        _, trail = rescue_solve(sys_, A, b, ctx, x0,
+                                max_iter=self.BUDGET)
+        assert trail == ("gmin",)
+
+    def test_rescue_solve_trail_empty_when_plain_newton_suffices(self):
+        c, nodes = _ring_oscillator()
+        sys_, ctx, A, b = _system(c)
+        x0 = np.zeros(sys_.size)
+        x0[nodes[0].index] = 2.4
+        _, trail = rescue_solve(sys_, A, b, ctx, x0, max_iter=100)
+        assert trail == ()
+
+
+class TestSourceStepping:
+    def test_fine_ramp_solves_the_stiff_diode(self):
+        # At this budget plain Newton and the Gmin ladder both fail
+        # (shunt conductance does not tame a forward exponential), but
+        # a fine source ramp walks the diode up its curve.
+        c = _diode_divider()
+        sys_, ctx, A, b = _system(c)
+        z = np.zeros(sys_.size)
+        with pytest.raises(ConvergenceError):
+            newton_solve(sys_, A, b, ctx, z.copy(), max_iter=16)
+        with pytest.raises(ConvergenceError):
+            gmin_step_solve(sys_, A, b, ctx, z.copy(), max_iter=16)
+        steps = tuple(np.linspace(0.05, 1.0, 20))
+        x = source_step_solve(sys_, A, b, ctx, z.copy(), steps=steps,
+                              max_iter=16)
+        assert x[c.node("a").index] == pytest.approx(0.693, abs=0.01)
+
+    def test_total_failure_carries_rescue_trail(self):
+        c = _diode_divider()
+        sys_, ctx, A, b = _system(c)
+        with pytest.raises(ConvergenceError) as err:
+            rescue_solve(sys_, A, b, ctx, np.zeros(sys_.size),
+                         max_iter=12)
+        assert err.value.rescue_trail == ("gmin", "source")
+
+
+class TestConvergenceErrorFields:
+    def test_fields_and_failing_nodes_in_message(self):
+        c = _diode_divider()
+        sys_, ctx, A, b = _system(c)
+        with pytest.raises(ConvergenceError) as err:
+            newton_solve(sys_, A, b, ctx, np.zeros(sys_.size),
+                         max_iter=10)
+        exc = err.value
+        assert exc.time == 0.0
+        assert exc.iterations == 10
+        assert exc.nodes == ("a",)
+        assert "a" in str(exc)
+
+    def test_transient_stall_reports_time_and_nodes(self, monkeypatch):
+        # Force every solve to fail so bisection hits the floor and the
+        # Gmin last resort fails too: the terminal error must say when,
+        # where and what was tried.
+        def always_fails(*args, **kwargs):
+            raise ConvergenceError("injected", iterations=7,
+                                   nodes=("out",))
+
+        monkeypatch.setattr(transient_module, "newton_solve",
+                            always_fails)
+        monkeypatch.setattr(transient_module, "gmin_step_solve",
+                            always_fails)
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"),
+                            Constant(1.0)))
+        c.add(Resistor("R", c.node("in"), c.node("out"), 1e3))
+        c.add(Capacitor("C", c.node("out"), c.node("0"), 1e-12))
+        with pytest.raises(ConvergenceError) as err:
+            transient(c, tstop=1e-9, dt=0.5e-9, max_step_halvings=3)
+        exc = err.value
+        assert exc.time is not None
+        assert exc.iterations == 7
+        assert exc.nodes == ("out",)
+        assert exc.rescue_trail == ("bisect", "gmin")
+        assert "out" in str(exc)
+
+
+class TestTransientRescue:
+    def test_gmin_ramp_rescues_a_stalled_step(self, monkeypatch):
+        # The plain per-step solve is sabotaged; bisection then drives
+        # the step to the floor, where the (unpatched) Gmin ramp must
+        # take over and produce the correct waveform.
+        def sabotaged(*args, **kwargs):
+            raise ConvergenceError("injected step failure")
+
+        monkeypatch.setattr(transient_module, "newton_solve", sabotaged)
+        diag = reset_diagnostics()
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"),
+                            Constant(1.0)))
+        c.add(Resistor("R", c.node("in"), c.node("out"), 1e3))
+        c.add(Capacitor("C", c.node("out"), c.node("0"), 1e-15))
+        result = transient(c, tstop=2e-9, dt=1e-9, max_step_halvings=2)
+        assert result.rescues, "expected at least one rescued step"
+        assert all(ev.stage == "gmin" for ev in result.rescues)
+        # tau = 1 fs: the output has fully settled to the source value.
+        assert result.final("out") == pytest.approx(1.0, abs=1e-3)
+        assert diag.rescues == len(result.rescues)
+        assert diag.rescue_stages.get("gmin") == len(result.rescues)
+
+    def test_clean_transient_records_no_rescues(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"),
+                            Constant(1.0)))
+        c.add(Resistor("R", c.node("in"), c.node("out"), 1e3))
+        c.add(Capacitor("C", c.node("out"), c.node("0"), 1e-15))
+        result = transient(c, tstop=2e-9, dt=1e-9)
+        assert result.rescues == []
+
+
+class TestDCRescue:
+    def test_source_stepping_rescue_is_recorded(self, monkeypatch):
+        # Sabotage the DC gmin ladder only: dc's own newton_solve
+        # reference fails, while source_step_solve (solver namespace)
+        # still solves the real circuit.
+        def sabotaged(*args, **kwargs):
+            raise ConvergenceError("injected ladder failure")
+
+        monkeypatch.setattr(dc_module, "newton_solve", sabotaged)
+        diag = reset_diagnostics()
+        c = _diode_divider()
+        rescues: list[str] = []
+        op = dc_operating_point(c, rescues=rescues)
+        assert rescues == ["source"]
+        assert op["a"] == pytest.approx(0.693, abs=0.01)
+        assert diag.rescue_stages.get("source") == 1
+
+    def test_clean_dc_reports_no_rescues(self):
+        c = _diode_divider()
+        rescues: list[str] = []
+        dc_operating_point(c, rescues=rescues)
+        assert rescues == []
