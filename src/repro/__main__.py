@@ -15,9 +15,10 @@ Commands
 
 The sweep-heavy commands (``table1``, ``planes``, ``coverage``) accept
 ``--workers N`` (process-pool fan-out), ``--no-cache`` (disable the
-content-addressed result cache) and ``--verbose`` (engine statistics on
-stderr).  Results are identical for any worker count; only stderr and
-wall time change.
+content-addressed result cache), ``--verbose`` (engine statistics on
+stderr) and ``--profile`` (wall-clock timings of the solver hot paths
+plus kernel counters on stderr).  Results are identical for any worker
+count; only stderr and wall time change.
 
 Resilience flags (same commands): ``--isolate`` turns non-convergent
 points into reported holes instead of aborting the run, ``--timeout S``
@@ -37,8 +38,11 @@ def _setup_engine(args) -> None:
     """Install the process-wide engine from the CLI flags."""
     from repro.diagnostics import configure_logging, reset_diagnostics
     from repro.engine import configure_default_engine
+    from repro.profiling import profiler
     configure_logging(getattr(args, "log_level", "warning"))
     reset_diagnostics()
+    profiler.reset()
+    profiler.enabled = bool(getattr(args, "profile", False))
     configure_default_engine(
         workers=getattr(args, "workers", 1),
         cache=not getattr(args, "no_cache", False),
@@ -54,6 +58,15 @@ def _report_engine(args) -> None:
         print(default_engine().stats.describe(), file=sys.stderr)
     from repro.diagnostics import diagnostics
     diagnostics().report(sys.stderr)
+    if getattr(args, "profile", False):
+        from repro.profiling import profiler
+        print(profiler.summary(), file=sys.stderr)
+        kernels = diagnostics().solver_kernels
+        if kernels:
+            print("solver kernels: "
+                  + ", ".join(f"{k} x{n}"
+                              for k, n in sorted(kernels.items())),
+                  file=sys.stderr)
 
 
 def _cmd_table1(args) -> int:
@@ -127,6 +140,9 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
                    help="disable the content-addressed result cache")
     p.add_argument("--verbose", action="store_true",
                    help="print engine statistics to stderr")
+    p.add_argument("--profile", action="store_true",
+                   help="time the solver hot paths and print a profile "
+                        "summary to stderr after the run")
     p.add_argument("--isolate", action="store_true",
                    help="keep going past failed simulations; report "
                         "them as holes instead of aborting")

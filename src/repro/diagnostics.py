@@ -100,6 +100,7 @@ class RunDiagnostics:
     cache_evictions: int = 0
     failure_kinds: dict[str, int] = field(default_factory=dict)
     rescue_stages: dict[str, int] = field(default_factory=dict)
+    solver_kernels: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # recording
@@ -119,6 +120,14 @@ class RunDiagnostics:
         self.rescues += 1
         self.rescue_stages[stage] = self.rescue_stages.get(stage, 0) + 1
         get_logger("diagnostics").info("convergence rescue via %s", stage)
+
+    def record_kernel_counters(self, counters: dict[str, int]) -> None:
+        """Fold solver-kernel counters (stamp plans, factorization cache,
+        modified-Newton refactors) into the run totals.  Informational:
+        kernel activity never makes a run ``eventful``.
+        """
+        for name, n in counters.items():
+            self.solver_kernels[name] = self.solver_kernels.get(name, 0) + n
 
     def record_retry(self, count: int = 1) -> None:
         """Batch items re-driven after an infrastructure fault."""
@@ -165,6 +174,10 @@ class RunDiagnostics:
         if self.cache_evictions:
             lines.append(f"  corrupted cache entries evicted: "
                          f"{self.cache_evictions}")
+        if self.solver_kernels:
+            kernels = ", ".join(f"{k} x{n}" for k, n in
+                                sorted(self.solver_kernels.items()))
+            lines.append(f"  solver kernels: {kernels}")
         return "\n".join(lines)
 
     def report(self, stream=None) -> None:

@@ -13,7 +13,8 @@ from repro.dram.column import ColumnNetlist, DefectSite, build_column
 from repro.dram.ops import Op, Operation, OpResult, SequenceResult, parse_ops
 from repro.dram.tech import TechnologyParams, default_tech
 from repro.dram.timing import plan_cycle
-from repro.spice.transient import transient
+from repro.spice.mna import System
+from repro.spice.transient import kernels_enabled, transient
 
 
 class ColumnRunner:
@@ -47,6 +48,7 @@ class ColumnRunner:
         self.record = record
         self.netlist: ColumnNetlist = build_column(self.tech, defect)
         self._sn = self.netlist.storage_node(target_cell)
+        self._system: System | None = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -56,6 +58,9 @@ class ColumnRunner:
 
     def set_defect_resistance(self, resistance: float) -> None:
         self.netlist.set_defect_resistance(resistance)
+        # The device value changed in place: compiled stamp plans and the
+        # step-matrix/factorization caches are stale, so rebuild lazily.
+        self._system = None
 
     @property
     def defect(self) -> DefectSite | None:
@@ -120,8 +125,11 @@ class ColumnRunner:
         plan = plan_cycle(op, self.stress, self.tech, addressed)
         self.netlist.set_waveforms(plan.waveforms)
         dt = self.stress.tcyc * self.tech.dt_frac
+        if self._system is None and kernels_enabled():
+            self._system = System(self.netlist.circuit)
         res = transient(self.netlist.circuit, self.stress.tcyc, dt,
-                        temp_c=self.stress.temp_c, initial=state)
+                        temp_c=self.stress.temp_c, initial=state,
+                        system=self._system)
         new_state = res.final_state()
 
         sensed = None

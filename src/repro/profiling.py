@@ -1,0 +1,80 @@
+"""Lightweight opt-in wall-clock profiler for the simulation hot paths.
+
+A module-level singleton (:data:`profiler`) keeps named accumulators of
+elapsed seconds and event counts.  It is **off by default** — the hot
+loops guard every measurement on ``profiler.enabled`` so the disabled
+cost is one attribute check — and is switched on by the ``--profile``
+CLI flag, which prints :meth:`Profiler.summary` to stderr after the run.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Profiler:
+    """Named wall-clock accumulators plus event counters."""
+
+    __slots__ = ("enabled", "times", "counts")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.times: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Drop all accumulated measurements (keeps the enabled flag)."""
+        self.times.clear()
+        self.counts.clear()
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under ``name``."""
+        self.times[name] = self.times.get(name, 0.0) + seconds
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Accumulate an event count under ``name``."""
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    def section(self, name: str):
+        """Context manager timing a block (only when enabled)."""
+        return _Section(self, name)
+
+    def summary(self) -> str:
+        """Human-readable table of accumulated times and counts."""
+        lines = ["profile summary"]
+        if self.times:
+            width = max(len(k) for k in self.times)
+            for name in sorted(self.times, key=self.times.get,
+                               reverse=True):
+                lines.append(f"  {name:<{width}}  "
+                             f"{self.times[name] * 1e3:10.2f} ms")
+        if self.counts:
+            width = max(len(k) for k in self.counts)
+            for name in sorted(self.counts):
+                lines.append(f"  {name:<{width}}  "
+                             f"{self.counts[name]:>10d}")
+        if len(lines) == 1:
+            lines.append("  (no samples)")
+        return "\n".join(lines)
+
+
+class _Section:
+    __slots__ = ("_prof", "_name", "_t0")
+
+    def __init__(self, prof: Profiler, name: str):
+        self._prof = prof
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Section":
+        if self._prof.enabled:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._prof.enabled:
+            self._prof.add(self._name, time.perf_counter() - self._t0)
+
+
+#: Process-wide profiler used by the hot loops.
+profiler = Profiler()

@@ -11,6 +11,22 @@ each layer is recomputed only when needed:
 * **iteration** — Newton-iterate dependent stamps (MOSFETs, diodes), built
   every Newton iteration.
 
+Each layer is compiled at construction into a vectorized *stamp plan*
+(:mod:`repro.spice.plans`) when its devices allow it; a plan-assembled
+layer is bitwise-identical to the per-device path but runs as a handful
+of array operations instead of a Python loop over devices.  Layers with
+devices the compiler does not understand transparently fall back to the
+classic ``stamp_*`` walk.
+
+On top of the plans the system keeps two hot-loop caches:
+
+* a **step-matrix cache** keyed by ``(dt, method)`` — the matrix part of
+  the step base only depends on the step size, and transient grids are
+  overwhelmingly uniform;
+* a **factorization cache** (:class:`~repro.spice.linalg.FactorizationCache`)
+  of LU factors of those step matrices, used by the linear fast path and
+  the opt-in modified-Newton mode.
+
 A small ``gmin`` conductance from every node to ground regularises floating
 nodes (e.g. a storage node isolated behind an off transistor).
 """
@@ -20,16 +36,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.spice.devices import VoltageSource
+from repro.spice.linalg import FactorizationCache, LUFactorization
 from repro.spice.netlist import AnalysisContext, Circuit, Device, Stamper
+from repro.spice.plans import compile_plans
 
 #: Default node-to-ground regularisation conductance (siemens).
 DEFAULT_GMIN = 1e-12
+
+#: Step matrices kept per system before the cache is cleared wholesale.
+STEP_CACHE_MAX = 64
 
 
 class System:
     """Compiled MNA representation of a circuit."""
 
-    def __init__(self, circuit: Circuit, gmin: float = DEFAULT_GMIN):
+    def __init__(self, circuit: Circuit, gmin: float = DEFAULT_GMIN,
+                 use_plans: bool = True):
         circuit.finalize()
         self.circuit = circuit
         self.gmin = float(gmin)
@@ -50,52 +72,189 @@ class System:
             if cls.stamp_nonlinear is not Device.stamp_nonlinear:
                 self._nonlinear.append(dev)
 
+        self._gmin_idx = np.arange(self.num_nodes)
+        self._stamper = Stamper(None, None, self.num_nodes, None)
+        #: Solver-kernel counters, flushed into the run diagnostics by the
+        #: analyses that drive this system (see repro.diagnostics).
+        self.kernel_counters: dict[str, int] = {}
+
+        self.plans = None
+        if use_plans:
+            self.plans = compile_plans(
+                circuit.devices, self._dynamic, self._sources,
+                self._nonlinear, self.num_nodes, self.size)
+
+        # hot-loop scratch: one contiguous buffer [A | scrapA | b | scrapB]
+        # whose scrap slots absorb ground-terminal stamps the Stamper
+        # would have dropped; the nonlinear plan scatters matrix and rhs
+        # updates into it with a single add.at.
+        n2 = self.size * self.size
+        self._n2 = n2
+        self._iter_scratch = np.empty(n2 + self.size + 2)
+        self._iter_A = self._iter_scratch[:n2].reshape(self.size, self.size)
+        self._iter_b = self._iter_scratch[n2 + 1:n2 + 1 + self.size]
+        self._b_scratch = np.empty(self.size + 1)
+        self._b_buf = np.empty(self.size)
+
         self._A_static = self._build_static()
+        self._step_cache: dict = {}
+        self._fact_cache = FactorizationCache()
+        # Hot-loop shortcut: the compiled nonlinear plan, or None when the
+        # iteration layer is empty or falls back to the per-device path.
+        self._nl_plan = (self.plans.nonlinear
+                         if self.plans is not None and self._nonlinear
+                         else None)
 
     @property
     def has_nonlinear(self) -> bool:
         return bool(self._nonlinear)
 
+    def _count(self, name: str, n: int = 1) -> None:
+        self.kernel_counters[name] = self.kernel_counters.get(name, 0) + n
+
     def _build_static(self) -> np.ndarray:
-        A = np.zeros((self.size, self.size))
-        st = Stamper(A, np.zeros(self.size), self.num_nodes,
-                     AnalysisContext())
-        for dev in self.circuit.devices:
-            dev.stamp_static(st)
+        if self.plans is not None and self.plans.static is not None:
+            A = self.plans.static.assemble(self.size)
+            self._count("plan_static_assembly")
+        else:
+            A = np.zeros((self.size, self.size))
+            st = Stamper(A, np.zeros(self.size), self.num_nodes,
+                         AnalysisContext())
+            for dev in self.circuit.devices:
+                dev.stamp_static(st)
         if self.gmin > 0:
-            idx = np.arange(self.num_nodes)
-            A[idx, idx] += self.gmin
+            A[self._gmin_idx, self._gmin_idx] += self.gmin
         return A
 
+    # ------------------------------------------------------------------
+    # step layer
+    # ------------------------------------------------------------------
+    @property
+    def _step_plannable(self) -> bool:
+        return (self.plans is not None
+                and self.plans.dynamic is not None
+                and self.plans.sources is not None)
+
+    def step_matrix(self, dt, method: str) -> np.ndarray:
+        """The step base matrix (static + companion conductances).
+
+        Cached per ``(dt, method)`` — callers must treat the returned
+        array as read-only.  Requires a plannable step layer.
+        """
+        key = (dt, method)
+        A = self._step_cache.get(key)
+        if A is None:
+            A = self._A_static.copy()
+            if dt is not None and self._dynamic:
+                self.plans.dynamic.stamp_matrix(A, dt, method)
+            if len(self._step_cache) >= STEP_CACHE_MAX:
+                self._step_cache.clear()
+            self._step_cache[key] = A
+            self._count("step_matrix_build")
+        else:
+            kc = self.kernel_counters
+            kc["step_matrix_reuse"] = kc.get("step_matrix_reuse", 0) + 1
+        return A
+
+    def step_rhs(self, ctx: AnalysisContext,
+                 out: np.ndarray | None = None) -> np.ndarray:
+        """The step base right-hand side, assembled into a reused buffer."""
+        b = self._b_buf if out is None else out
+        size = self.size
+        dyn = (self.plans.dynamic
+               if (ctx.dt is not None and self._dynamic) else None)
+        if dyn is not None and dyn._use_vec:
+            b[:] = 0.0
+            pad = self._b_scratch
+            pad[:size] = b
+            pad[size] = 0.0
+            dyn.stamp_rhs(pad, ctx.dt, ctx.method, ctx.x_prev)
+            b[:] = pad[:size]
+            self.plans.sources.apply(b, ctx.time)
+            return b
+        # Small device counts: accumulate in a plain Python list (with a
+        # trailing scrap slot) — bitwise the same, minus the numpy per-op
+        # overhead that dominates at DRAM-column sizes.
+        bl = [0.0] * (size + 1)
+        if dyn is not None:
+            dyn.stamp_rhs_loop(bl, ctx.dt, ctx.method, ctx.x_prev)
+        self.plans.sources.apply_loop(bl, ctx.time)
+        b[:] = bl[:size]
+        return b
+
+    def step_factorization(self, dt, method: str) -> LUFactorization:
+        """Cached LU of the step base matrix (linear fast path)."""
+        key = (dt, method)
+        hit = key in self._fact_cache._entries
+        fact = self._fact_cache.get(key, self.step_matrix(dt, method))
+        self._count("lu_cache_hit" if hit else "lu_factor")
+        return fact
+
     def build_step(self, ctx: AnalysisContext) -> tuple[np.ndarray, np.ndarray]:
-        """Assemble the per-time-step system (static + dynamic + sources)."""
+        """Assemble the per-time-step system (static + dynamic + sources).
+
+        Returns freshly-allocated arrays the caller may mutate.
+        """
+        if self._step_plannable:
+            A = self.step_matrix(ctx.dt, ctx.method).copy()
+            b = np.zeros(self.size)
+            self.step_rhs(ctx, out=b)
+            self._count("plan_step_assembly")
+            return A, b
+        self._count("fallback_step_assembly")
         A = self._A_static.copy()
         b = np.zeros(self.size)
-        st = Stamper(A, b, self.num_nodes, ctx)
+        st = self._stamper.rebind(A, b, ctx)
         for dev in self._dynamic:
             dev.stamp_dynamic(st)
         for dev in self._sources:
             dev.stamp_source(st)
         return A, b
 
+    # ------------------------------------------------------------------
+    # iteration layer
+    # ------------------------------------------------------------------
     def build_iteration(self, A_step: np.ndarray, b_step: np.ndarray,
                         ctx: AnalysisContext,
                         extra_gmin: float = 0.0
                         ) -> tuple[np.ndarray, np.ndarray]:
-        """Assemble the per-Newton-iteration system on top of a step base."""
-        A = A_step.copy()
-        b = b_step.copy()
-        st = Stamper(A, b, self.num_nodes, ctx)
-        for dev in self._nonlinear:
-            dev.stamp_nonlinear(st)
+        """Assemble the per-Newton-iteration system on top of a step base.
+
+        With a compiled nonlinear plan the returned arrays are views into
+        internal scratch buffers that are overwritten by the next call;
+        consume them (or copy) before re-invoking.
+        """
+        nl = self._nl_plan
+        if nl is not None:
+            sc = self._iter_scratch
+            A = self._iter_A
+            b = self._iter_b
+            np.copyto(A, A_step)
+            np.copyto(b, b_step)
+            sc[self._n2] = 0.0
+            sc[-1] = 0.0
+            nl.apply(sc, ctx.x, ctx.temp_c)
+            kc = self.kernel_counters
+            kc["plan_iteration_assembly"] = \
+                kc.get("plan_iteration_assembly", 0) + 1
+        else:
+            A = A_step.copy()
+            b = b_step.copy()
+            st = self._stamper.rebind(A, b, ctx)
+            for dev in self._nonlinear:
+                dev.stamp_nonlinear(st)
+            if self._nonlinear:
+                self._count("fallback_iteration_assembly")
         if extra_gmin > 0:
-            idx = np.arange(self.num_nodes)
-            A[idx, idx] += extra_gmin
+            A[self._gmin_idx, self._gmin_idx] += extra_gmin
         return A, b
 
     def accept_step(self, x_prev: np.ndarray, x_now: np.ndarray, dt: float,
                     method: str) -> None:
         """Propagate integrator history (trapezoidal capacitors)."""
+        if self.plans is not None and self.plans.dynamic is not None:
+            self.plans.dynamic.accept_step(x_prev, x_now, dt, method)
+            return
         for dev in self._dynamic:
             accept = getattr(dev, "accept_step", None)
             if accept is not None:
@@ -105,3 +264,14 @@ class System:
         """All waveforms attached to independent sources (for breakpoints)."""
         return [dev.waveform for dev in self._sources
                 if hasattr(dev, "waveform")]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def flush_kernel_counters(self) -> None:
+        """Fold accumulated kernel counters into the run diagnostics."""
+        if not self.kernel_counters:
+            return
+        from repro.diagnostics import diagnostics
+        diagnostics().record_kernel_counters(self.kernel_counters)
+        self.kernel_counters = {}

@@ -259,6 +259,13 @@ class Stamper:
         self.num_nodes = num_nodes
         self.ctx = ctx
 
+    def rebind(self, A, b, ctx: AnalysisContext) -> "Stamper":
+        """Re-target this stamper at new system arrays (hot-loop reuse)."""
+        self.A = A
+        self.b = b
+        self.ctx = ctx
+        return self
+
     # -- reading the current iterate -----------------------------------
     def v(self, node: Node) -> float:
         """Voltage of ``node`` in the current Newton iterate."""
@@ -313,6 +320,18 @@ class Stamper:
     # -- branch (voltage-defined) stamps ----------------------------------
     def branch_row(self, branch: int) -> int:
         return self.num_nodes + branch
+
+    def incidence(self, p: Node, n: Node, branch: int) -> None:
+        """Stamp the ±1 incidence pattern of a voltage-defined branch."""
+        A = self.A
+        row = self.branch_row(branch)
+        ip, in_ = p.index, n.index
+        if ip >= 0:
+            A[ip, row] += 1.0
+            A[row, ip] += 1.0
+        if in_ >= 0:
+            A[in_, row] -= 1.0
+            A[row, in_] -= 1.0
 
     def voltage_source(self, p: Node, n: Node, branch: int, value: float) -> None:
         """Stamp an ideal voltage source ``v(p) - v(n) = value``."""

@@ -1,0 +1,735 @@
+"""Compiled stamp plans: vectorized MNA assembly kernels.
+
+The per-device stamping protocol (:mod:`repro.spice.netlist`) is flexible
+but slow: every Newton iteration walks Python device objects one by one
+and funnels scalar writes through :class:`~repro.spice.netlist.Stamper`
+methods.  A *stamp plan* compiles each assembly layer into flat numpy
+index/value arrays once per :class:`~repro.spice.mna.System`, so the hot
+loop becomes a handful of gathers, elementwise array math and one
+``np.add.at`` scatter per layer.
+
+Bitwise parity with the per-device path is a hard requirement (the
+default engine configuration must keep golden outputs byte-identical),
+and the plans are built for it:
+
+* scatters preserve the per-device stamp order, so floating-point
+  accumulation happens in exactly the legacy sequence;
+* entries that the ``Stamper`` would drop (ground terminals) are
+  redirected to a scrap slot past the end of the flattened system
+  instead of changing the slot structure;
+* the transcendental core of the device models (``exp``, ``log1p``) is
+  evaluated with the same scalar :mod:`math` calls as the per-device
+  path (numpy's SIMD transcendentals differ in the last ulp), while all
+  surrounding arithmetic is vectorized.
+
+A layer that contains a device the compiler does not understand falls
+back to the per-device path wholesale — partial compilation would break
+the accumulation-order guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.spice.devices import _EXP_CLAMP as _DIODE_EXP_CLAMP
+from repro.spice.devices import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    VoltageSource,
+    diode_iv_vec,
+    thermal_voltage,
+)
+from repro.spice.mosfet import _EXP_CLAMP as _MOS_EXP_CLAMP
+from repro.spice.mosfet import Mosfet, mosfet_curves_vec
+
+
+class UnsupportedStamp(Exception):
+    """A device stamped in a way the plan compiler cannot record."""
+
+
+class _Recorder:
+    """Duck-typed :class:`Stamper` that records stamps instead of applying
+    them.  Raw ``A``/``b``/``ctx`` access raises :class:`UnsupportedStamp`
+    so devices that bypass the stamp methods trigger a layer fallback.
+    """
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self.mat: list[tuple[int, int, float]] = []
+        self.rhs: list[tuple[int, float]] = []
+
+    @property
+    def A(self):
+        raise UnsupportedStamp("raw matrix access is not plan-compilable")
+
+    @property
+    def b(self):
+        raise UnsupportedStamp("raw rhs access is not plan-compilable")
+
+    @property
+    def ctx(self):
+        raise UnsupportedStamp("static stamps may not read analysis state")
+
+    # mirror Stamper's write methods (and their ground handling) exactly
+    def conductance(self, a, b, g):
+        ia, ib = a.index, b.index
+        if ia >= 0:
+            self.mat.append((ia, ia, g))
+        if ib >= 0:
+            self.mat.append((ib, ib, g))
+        if ia >= 0 and ib >= 0:
+            self.mat.append((ia, ib, -g))
+            self.mat.append((ib, ia, -g))
+
+    def transconductance(self, out_p, out_n, in_p, in_n, gm):
+        op, on = out_p.index, out_n.index
+        ip, in_ = in_p.index, in_n.index
+        if op >= 0:
+            if ip >= 0:
+                self.mat.append((op, ip, gm))
+            if in_ >= 0:
+                self.mat.append((op, in_, -gm))
+        if on >= 0:
+            if ip >= 0:
+                self.mat.append((on, ip, -gm))
+            if in_ >= 0:
+                self.mat.append((on, in_, gm))
+
+    def current(self, a, b, i):
+        if a.index >= 0:
+            self.rhs.append((a.index, -i))
+        if b.index >= 0:
+            self.rhs.append((b.index, i))
+
+    def branch_row(self, branch):
+        return self.num_nodes + branch
+
+    def incidence(self, p, n, branch):
+        row = self.branch_row(branch)
+        ip, in_ = p.index, n.index
+        if ip >= 0:
+            self.mat.append((ip, row, 1.0))
+            self.mat.append((row, ip, 1.0))
+        if in_ >= 0:
+            self.mat.append((in_, row, -1.0))
+            self.mat.append((row, in_, -1.0))
+
+    def voltage_source(self, p, n, branch, value):
+        self.incidence(p, n, branch)
+        self.rhs.append((self.branch_row(branch), value))
+
+    def branch_rhs(self, branch, value):
+        self.rhs.append((self.branch_row(branch), value))
+
+
+class StaticPlan:
+    """Recorded value-only stamps as flat index/value arrays."""
+
+    def __init__(self, rows, cols, vals):
+        self.rows = np.asarray(rows, dtype=np.intp)
+        self.cols = np.asarray(cols, dtype=np.intp)
+        self.vals = np.asarray(vals, dtype=float)
+
+    def assemble(self, size: int) -> np.ndarray:
+        A = np.zeros((size, size))
+        np.add.at(A, (self.rows, self.cols), self.vals)
+        return A
+
+
+def compile_static(devices, num_nodes: int) -> StaticPlan | None:
+    """Record every device's static stamps; ``None`` on fallback."""
+    rec = _Recorder(num_nodes)
+    try:
+        for dev in devices:
+            dev.stamp_static(rec)
+    except UnsupportedStamp:
+        return None
+    if rec.rhs:
+        # The engine discards the static-layer rhs (see System._build_static)
+        # and so does the plan; record nothing rather than diverge.
+        pass
+    rows = [r for r, _, _ in rec.mat]
+    cols = [c for _, c, _ in rec.mat]
+    vals = [v for _, _, v in rec.mat]
+    return StaticPlan(rows, cols, vals)
+
+
+def _scrap_flat(row, col, size):
+    """Flat index of (row, col), or the scrap slot when either is ground."""
+    if row < 0 or col < 0:
+        return size * size
+    return row * size + col
+
+
+def _scrap_row(row, size):
+    return size if row < 0 else row
+
+
+class DynamicPlan:
+    """Vectorized capacitor companion stamps (backward Euler / trap)."""
+
+    def __init__(self, caps: list[Capacitor], size: int):
+        self.caps = caps
+        n = len(caps)
+        self.size = size
+        ia = np.array([c.a.index for c in caps], dtype=np.intp)
+        ib = np.array([c.b.index for c in caps], dtype=np.intp)
+        self.ia, self.ib = ia, ib
+        self.cap = np.array([c.capacitance for c in caps])
+        # A slots per cap: (a,a)+ (b,b)+ (a,b)- (b,a)-  in Stamper order.
+        mat_idx = np.empty((n, 4), dtype=np.intp)
+        for k, c in enumerate(caps):
+            a, b = c.a.index, c.b.index
+            mat_idx[k] = (_scrap_flat(a, a, size), _scrap_flat(b, b, size),
+                          _scrap_flat(a, b, size), _scrap_flat(b, a, size))
+        self._mat_idx = mat_idx.ravel()
+        self._mat_sign = np.tile(np.array([1.0, 1.0, -1.0, -1.0]), n)
+        # b slots per cap: current(b, a, ieq) => b[b]-=ieq, b[a]+=ieq.
+        rhs_idx = np.empty((n, 2), dtype=np.intp)
+        for k, c in enumerate(caps):
+            rhs_idx[k] = (_scrap_row(c.b.index, size),
+                          _scrap_row(c.a.index, size))
+        self._rhs_idx = rhs_idx.ravel()
+        self._rhs_sign = np.tile(np.array([-1.0, 1.0]), n)
+        self._i_prev = np.array([c._i_prev for c in caps])
+        self._use_vec = n >= VEC_CROSSOVER
+        self._rhs_meta_cache: dict = {}
+
+    def _geq(self, dt: float, method: str) -> np.ndarray:
+        if method == "trap":
+            return 2.0 * self.cap / dt
+        return self.cap / dt
+
+    def _rhs_loop_meta(self, dt: float, method: str) -> tuple:
+        """Per-cap ``(slot_b, slot_a, ia, ib, geq)`` tuples for the scalar
+        rhs loop, cached per ``(dt, method)`` like the step matrix."""
+        key = (dt, method)
+        meta = self._rhs_meta_cache.get(key)
+        if meta is None:
+            geq = self._geq(dt, method)
+            ri = self._rhs_idx
+            meta = tuple(
+                (int(ri[2 * k]), int(ri[2 * k + 1]), int(self.ia[k]),
+                 int(self.ib[k]), float(geq[k]))
+                for k in range(len(self.caps)))
+            if len(self._rhs_meta_cache) >= 64:
+                self._rhs_meta_cache.clear()
+            self._rhs_meta_cache[key] = meta
+        return meta
+
+    def stamp_rhs_loop(self, bl: list, dt: float, method: str,
+                       x_prev: np.ndarray) -> None:
+        """Scalar-loop variant of :meth:`stamp_rhs` over a plain list.
+
+        ``bl`` carries a trailing scrap slot, so ground rows (slot index
+        ``size`` — the last element) are absorbed without branching; the
+        ``-1`` voltage sentinel reads ground as 0 V.  Adds/subtracts in
+        the exact :meth:`stamp_rhs` order, so the result is bitwise the
+        same (``x -= y`` is ``x += (-y)`` exactly).
+        """
+        meta = self._rhs_loop_meta(dt, method)
+        xl = x_prev.tolist()
+        xl.append(0.0)
+        if method == "trap":
+            ip = self._i_prev.tolist()
+            for k, (sb, sa, ia, ib, g) in enumerate(meta):
+                ieq = g * (xl[ia] - xl[ib]) + ip[k]
+                bl[sb] -= ieq
+                bl[sa] += ieq
+        else:
+            for sb, sa, ia, ib, g in meta:
+                ieq = g * (xl[ia] - xl[ib])
+                bl[sb] -= ieq
+                bl[sa] += ieq
+
+    def stamp_matrix(self, A: np.ndarray, dt: float, method: str) -> None:
+        """Add the companion conductances into ``A`` (dt-dependent only)."""
+        geq = self._geq(dt, method)
+        flat = np.empty(A.size + 1)
+        flat[:A.size] = A.ravel()
+        flat[A.size] = 0.0
+        np.add.at(flat, self._mat_idx,
+                  (np.repeat(geq, 4) * self._mat_sign))
+        A[:] = flat[:A.size].reshape(A.shape)
+
+    def stamp_rhs(self, b_padded: np.ndarray, dt: float, method: str,
+                  x_prev: np.ndarray) -> None:
+        """Add the companion currents into the padded rhs buffer."""
+        va = np.where(self.ia >= 0, x_prev[self.ia], 0.0)
+        vb = np.where(self.ib >= 0, x_prev[self.ib], 0.0)
+        v_prev = va - vb
+        geq = self._geq(dt, method)
+        if method == "trap":
+            ieq = geq * v_prev + self._i_prev
+        else:
+            ieq = geq * v_prev
+        np.add.at(b_padded, self._rhs_idx,
+                  np.repeat(ieq, 2) * self._rhs_sign)
+
+    def accept_step(self, x_prev: np.ndarray, x_now: np.ndarray,
+                    dt: float, method: str) -> None:
+        """Vectorized trapezoidal history update (no-op for BE)."""
+        if method != "trap":
+            return
+        va_p = np.where(self.ia >= 0, x_prev[self.ia], 0.0)
+        vb_p = np.where(self.ib >= 0, x_prev[self.ib], 0.0)
+        va_n = np.where(self.ia >= 0, x_now[self.ia], 0.0)
+        vb_n = np.where(self.ib >= 0, x_now[self.ib], 0.0)
+        self._i_prev = (2.0 * self.cap / dt * ((va_n - vb_n) - (va_p - vb_p))
+                        - self._i_prev)
+        # Keep the device objects authoritative for cross-analysis chaining.
+        for dev, val in zip(self.caps, self._i_prev):
+            dev._i_prev = float(val)
+
+
+class SourcePlan:
+    """Pre-resolved rhs targets for independent sources.
+
+    Waveforms are read through the *device* at evaluation time, so
+    reprogramming a source's waveform between analyses (the DRAM runner
+    does this every cycle) needs no recompilation.
+    """
+
+    def __init__(self, entries):
+        # entries: ("v", device, row) | ("i", device, row_p, row_n)
+        self.entries = entries
+
+    def apply(self, b: np.ndarray, t: float) -> None:
+        for entry in self.entries:
+            if entry[0] == "v":
+                b[entry[2]] += entry[1].waveform.value(t)
+            else:
+                val = entry[1].waveform.value(t)
+                _, _, rp, rn = entry
+                if rp >= 0:
+                    b[rp] -= val
+                if rn >= 0:
+                    b[rn] += val
+
+    def apply_loop(self, bl: list, t: float) -> None:
+        """List variant of :meth:`apply` for the scalar step-rhs path.
+
+        ``bl`` carries a trailing scrap slot; a ground row stored as
+        ``-1`` lands on it (the last element) instead of branching.
+        """
+        for entry in self.entries:
+            if entry[0] == "v":
+                bl[entry[2]] += entry[1].waveform.value(t)
+            else:
+                val = entry[1].waveform.value(t)
+                bl[entry[2]] -= val
+                bl[entry[3]] += val
+
+
+def compile_sources(devices, num_nodes: int) -> SourcePlan | None:
+    entries = []
+    for dev in devices:
+        if type(dev) is VoltageSource:
+            entries.append(("v", dev, num_nodes + dev._branch))
+        elif type(dev) is CurrentSource:
+            entries.append(("i", dev, dev.p.index, dev.n.index))
+        else:
+            return None
+    return SourcePlan(entries)
+
+
+#: Per-mosfet A-slot signs: 4 conductance then 4 transconductance entries.
+_MOS_SIGNS = np.array([1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0, 1.0])
+_DIODE_SIGNS = np.array([1.0, 1.0, -1.0, -1.0])
+
+
+#: Device count above which the numpy evaluation path beats the fused
+#: scalar loop (numpy's per-op overhead amortises, the Python loop does
+#: not).  Below it — every DRAM column netlist — the loop wins ~2x.
+VEC_CROSSOVER = 64
+
+
+class NonlinearPlan:
+    """One-pass MOSFET + diode linearization and scatter.
+
+    All nonlinear devices are evaluated in one pass per Newton iteration
+    and scattered with a single ``np.add.at`` per target (matrix, rhs)
+    in original device order.  MOSFET source/drain swaps are handled by
+    selecting between two precompiled slot-index variants per device.
+
+    Two bitwise-identical evaluation kernels back :meth:`apply`: an
+    array pass (:func:`~repro.spice.mosfet.mosfet_curves_vec`,
+    :func:`~repro.spice.devices.diode_iv_vec`) for large device counts,
+    and a fused scalar loop for small ones, where numpy's fixed per-op
+    overhead dominates the array math (the crossover is
+    :data:`VEC_CROSSOVER`).
+    """
+
+    def __init__(self, devices, size: int):
+        self.size = size
+        self.mosfets = [d for d in devices if type(d) is Mosfet]
+        self.diodes = [d for d in devices if type(d) is Diode]
+        n_mos, n_di = len(self.mosfets), len(self.diodes)
+
+        # --- global slot layout (device order) -------------------------
+        n_A = 8 * n_mos + 4 * n_di
+        n_b = 2 * (n_mos + n_di)
+        self._A_idx_norm = np.full(n_A, size * size, dtype=np.intp)
+        self._A_idx_swap = np.full(n_A, size * size, dtype=np.intp)
+        self._A_sign = np.empty(n_A)
+        self._A_swap_owner = np.zeros(n_A, dtype=bool)  # mosfet-owned slots
+        self._b_idx = np.full(n_b, size, dtype=np.intp)
+        mos_A_pos = np.empty((n_mos, 8), dtype=np.intp)
+        mos_b_pos = np.empty((n_mos, 2), dtype=np.intp)
+        di_A_pos = np.empty((n_di, 4), dtype=np.intp)
+        di_b_pos = np.empty((n_di, 2), dtype=np.intp)
+
+        a_cur = b_cur = 0
+        i_mos = i_di = 0
+        for dev in devices:
+            if type(dev) is Mosfet:
+                d, g, s = (dev.drain.index, dev.gate.index,
+                           dev.source.index)
+                sl = slice(a_cur, a_cur + 8)
+                pos = np.arange(a_cur, a_cur + 8)
+                mos_A_pos[i_mos] = pos
+                # conductance slots (orientation-independent positions)
+                cond = [_scrap_flat(d, d, size), _scrap_flat(s, s, size),
+                        _scrap_flat(d, s, size), _scrap_flat(s, d, size)]
+                # transconductance slots, normal (nd=d) / swapped (nd=s)
+                tc_norm = [_scrap_flat(d, g, size), _scrap_flat(d, s, size),
+                           _scrap_flat(s, g, size), _scrap_flat(s, s, size)]
+                tc_swap = [_scrap_flat(s, g, size), _scrap_flat(s, d, size),
+                           _scrap_flat(d, g, size), _scrap_flat(d, d, size)]
+                self._A_idx_norm[sl] = cond + tc_norm
+                self._A_idx_swap[sl] = cond + tc_swap
+                self._A_sign[sl] = _MOS_SIGNS
+                self._A_swap_owner[sl] = True
+                mos_b_pos[i_mos] = (b_cur, b_cur + 1)
+                self._b_idx[b_cur] = _scrap_row(d, size)
+                self._b_idx[b_cur + 1] = _scrap_row(s, size)
+                a_cur += 8
+                b_cur += 2
+                i_mos += 1
+            else:
+                a, c = dev.anode.index, dev.cathode.index
+                sl = slice(a_cur, a_cur + 4)
+                di_A_pos[i_di] = np.arange(a_cur, a_cur + 4)
+                self._A_idx_norm[sl] = [
+                    _scrap_flat(a, a, size), _scrap_flat(c, c, size),
+                    _scrap_flat(a, c, size), _scrap_flat(c, a, size)]
+                self._A_idx_swap[sl] = self._A_idx_norm[sl]
+                self._A_sign[sl] = _DIODE_SIGNS
+                di_b_pos[i_di] = (b_cur, b_cur + 1)
+                self._b_idx[b_cur] = _scrap_row(a, size)
+                self._b_idx[b_cur + 1] = _scrap_row(c, size)
+                a_cur += 4
+                b_cur += 2
+                i_di += 1
+
+        self._mos_A_pos = mos_A_pos
+        self._mos_b_pos = mos_b_pos
+        self._di_A_pos = di_A_pos
+        self._di_b_pos = di_b_pos
+
+        # --- combined scatter layout -----------------------------------
+        # The target buffer is one contiguous scratch laid out as
+        # [A (size^2) | scrapA | b (size) | scrapB], so the matrix and
+        # rhs updates land in a single np.add.at (A entries first, then
+        # b entries — the exact legacy accumulation order, into disjoint
+        # regions).
+        b_off = size * size + 1
+        self._b_off = b_off
+        self._b_idx_off = self._b_idx + b_off
+        self._AB_idx_norm = np.concatenate(
+            [self._A_idx_norm, self._b_idx_off])
+        self._AB_sign = np.concatenate([self._A_sign, np.ones(n_b)])
+        self._quant = np.empty(n_A + n_b)
+        self._mos_b_q = mos_b_pos + n_A   # b-value positions in _quant
+        self._di_b_q = di_b_pos + n_A
+
+        # --- per-device gather indices and polarity --------------------
+        self._mos_d = np.array([m.drain.index for m in self.mosfets],
+                               dtype=np.intp)
+        self._mos_g = np.array([m.gate.index for m in self.mosfets],
+                               dtype=np.intp)
+        self._mos_s = np.array([m.source.index for m in self.mosfets],
+                               dtype=np.intp)
+        self._mos_pol = np.array(
+            [1.0 if m.params.polarity == "n" else -1.0
+             for m in self.mosfets])
+        self._di_a = np.array([d.anode.index for d in self.diodes],
+                              dtype=np.intp)
+        self._di_c = np.array([d.cathode.index for d in self.diodes],
+                              dtype=np.intp)
+        self._temp_cache: dict[float, tuple] = {}
+
+        # fused-scalar-loop support (small device counts)
+        self._use_vec = (n_mos + n_di) >= VEC_CROSSOVER
+        self._n_A = n_A
+        self._n_b = n_b
+        self._loop_cache: dict[float, tuple] = {}
+        # Swap-pattern cache, keyed by an int bitmask (scalar loop) or a
+        # bool tuple (array pass) — the key spaces cannot collide.
+        self._swap_idx_cache: dict = {}
+        # Persistent value staging for the scalar loop; every slot is
+        # rewritten on every call, so reuse is safe.
+        self._qa = [0.0] * n_A
+        self._vb = [0.0] * n_b
+
+    # ------------------------------------------------------------------
+    def _temp_params(self, temp_c: float) -> tuple:
+        """Per-device temperature-dependent parameters (scalar-computed
+        with the exact device-model methods, then cached per temp)."""
+        cached = self._temp_cache.get(temp_c)
+        if cached is not None:
+            return cached
+        beta = np.array([m.params.kp_at(temp_c) * (m.w / m.l)
+                         for m in self.mosfets])
+        nvt = np.array([m.params.n_ss * thermal_voltage(temp_c)
+                        for m in self.mosfets])
+        vth = np.array([m.params.vth_at(temp_c) for m in self.mosfets])
+        lam = np.array([m.params.lam for m in self.mosfets])
+        di_isat = np.array([d.isat_at(temp_c) for d in self.diodes])
+        di_vt = np.array([d.emission * thermal_voltage(temp_c)
+                          for d in self.diodes])
+        cached = (beta, nvt, vth, lam, di_isat, di_vt)
+        if len(self._temp_cache) > 16:
+            self._temp_cache.clear()
+        self._temp_cache[temp_c] = cached
+        return cached
+
+    @staticmethod
+    def _gather(x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        return np.where(idx >= 0, x[idx], 0.0)
+
+    def _loop_meta(self, temp_c: float) -> tuple:
+        """Per-device metadata tuples for the fused scalar loop, merged
+        with the temperature-resolved parameters and cached per temp."""
+        cached = self._loop_cache.get(temp_c)
+        if cached is not None:
+            return cached
+        beta, nvt, vth, lam, di_isat, di_vt = self._temp_params(temp_c)
+        mos_meta = tuple(
+            (int(self._mos_d[i]), int(self._mos_g[i]), int(self._mos_s[i]),
+             float(self._mos_pol[i]), float(beta[i]), float(nvt[i]),
+             float(vth[i]), float(lam[i]), int(self._mos_A_pos[i, 0]),
+             int(self._mos_b_pos[i, 0]))
+            for i in range(len(self.mosfets)))
+        di_meta = tuple(
+            (int(self._di_a[i]), int(self._di_c[i]), float(di_isat[i]),
+             float(di_vt[i]), int(self._di_A_pos[i, 0]),
+             int(self._di_b_pos[i, 0]))
+            for i in range(len(self.diodes)))
+        cached = (mos_meta, di_meta)
+        if len(self._loop_cache) > 16:
+            self._loop_cache.clear()
+        self._loop_cache[temp_c] = cached
+        return cached
+
+    def _build_swap_idx(self, sw: list) -> np.ndarray:
+        swap_slots = np.zeros(self._n_A, dtype=bool)
+        swap_slots[self._mos_A_pos] = np.array(sw)[:, None]
+        A_idx = np.where(swap_slots, self._A_idx_swap, self._A_idx_norm)
+        return np.concatenate([A_idx, self._b_idx_off])
+
+    def _cache_swap_idx(self, key, idx: np.ndarray) -> None:
+        if len(self._swap_idx_cache) > 128:
+            self._swap_idx_cache.clear()
+        self._swap_idx_cache[key] = idx
+
+    def _swap_AB_idx(self, sw: list) -> np.ndarray:
+        """Combined slot index array for a given per-mosfet swap pattern."""
+        key = tuple(sw)
+        idx = self._swap_idx_cache.get(key)
+        if idx is None:
+            idx = self._build_swap_idx(sw)
+            self._cache_swap_idx(key, idx)
+        return idx
+
+    def _swap_AB_idx_mask(self, mask: int) -> np.ndarray:
+        """Like :meth:`_swap_AB_idx`, keyed by an int swap bitmask."""
+        idx = self._swap_idx_cache.get(mask)
+        if idx is None:
+            idx = self._build_swap_idx(
+                [(mask >> k) & 1 for k in range(len(self.mosfets))])
+            self._cache_swap_idx(mask, idx)
+        return idx
+
+    def apply(self, flat: np.ndarray, x: np.ndarray,
+              temp_c: float) -> None:
+        """Linearize every nonlinear device around ``x`` and scatter into
+        the combined ``[A | scrapA | b | scrapB]`` scratch buffer."""
+        if self._use_vec:
+            self._apply_vec(flat, x, temp_c)
+        else:
+            self._apply_loop(flat, x, temp_c)
+
+    def _apply_loop(self, flat: np.ndarray, x: np.ndarray,
+                    temp_c: float) -> None:
+        """Fused scalar loop over all nonlinear devices.
+
+        Every expression mirrors the per-device model code
+        (:func:`~repro.spice.mosfet.mosfet_curves`, :meth:`Diode.iv`)
+        operation for operation, so the scattered values are bitwise
+        those of the vectorized kernel and of the legacy stamp walk.
+        The slot signs are folded into the written values (negation is
+        exact), saving the sign-vector multiply of the array path.
+        """
+        mos_meta, di_meta = self._loop_meta(temp_c)
+        xl = x.tolist()
+        xl.append(0.0)  # ground sentinel: index -1 reads 0 V branch-free
+        qa = self._qa
+        vb = self._vb
+        mask = 0
+        exp = math.exp
+        log1p = math.log1p
+        for k, (di, gi, si, p, be, nv, vt, la, a0, b0) in \
+                enumerate(mos_meta):
+            vd = xl[di]
+            vg = xl[gi]
+            vs = xl[si]
+            if p * (vd - vs) < 0.0:
+                vnd = vs
+                vns = vd
+                mask |= 1 << k
+                s = 1.0
+            else:
+                vnd = vd
+                vns = vs
+                s = -1.0
+            vgs = p * (vg - vns)
+            vds = p * (vnd - vns)
+            vov = vgs - vt
+            u = vov / nv
+            if u > _MOS_EXP_CLAMP:
+                sp = u
+                sg = 1.0
+            elif u < -_MOS_EXP_CLAMP:
+                sp = 0.0
+                sg = 0.0
+            else:
+                sp = log1p(exp(u))
+                sg = 1.0 / (1.0 + exp(-u))
+            veff = nv * sp
+            clm = 1.0 + la * vds
+            if vds < veff:  # triode
+                gm = be * vds * clm * sg
+                gds = be * ((veff - vds) * clm
+                            + (veff - 0.5 * vds) * vds * la)
+                i_real = p * (be * (veff - 0.5 * vds) * vds * clm)
+            else:  # saturation
+                hb = 0.5 * be * veff * veff
+                gm = be * veff * clm * sg
+                gds = hb * la
+                i_real = p * (hb * clm)
+            residual = i_real - gds * (vnd - vns) - gm * (vg - vns)
+            qa[a0] = gds
+            qa[a0 + 1] = gds
+            qa[a0 + 2] = -gds
+            qa[a0 + 3] = -gds
+            qa[a0 + 4] = gm
+            qa[a0 + 5] = -gm
+            qa[a0 + 6] = -gm
+            qa[a0 + 7] = gm
+            vb[b0] = s * residual
+            vb[b0 + 1] = -s * residual
+        for (ai, ci, isat, dvt, a0, b0) in di_meta:
+            v = xl[ai] - xl[ci]
+            arg = v / dvt
+            if arg > _DIODE_EXP_CLAMP:
+                arg = _DIODE_EXP_CLAMP
+            e = exp(arg)
+            i = isat * (e - 1.0)
+            gd = isat * e / dvt
+            ires = i - gd * v
+            qa[a0] = gd
+            qa[a0 + 1] = gd
+            qa[a0 + 2] = -gd
+            qa[a0 + 3] = -gd
+            vb[b0] = -ires
+            vb[b0 + 1] = ires
+        quant = self._quant
+        n_A = self._n_A
+        quant[:n_A] = qa
+        quant[n_A:] = vb
+        idx = self._swap_AB_idx_mask(mask) if mask else self._AB_idx_norm
+        np.add.at(flat, idx, quant)
+
+    def _apply_vec(self, flat: np.ndarray, x: np.ndarray,
+                   temp_c: float) -> None:
+        """Array-pass evaluation (large device counts)."""
+        beta, nvt, vth, lam, di_isat, di_vt = self._temp_params(temp_c)
+        quant = self._quant
+        if self.mosfets:
+            pol = self._mos_pol
+            vd = self._gather(x, self._mos_d)
+            vg = self._gather(x, self._mos_g)
+            vs = self._gather(x, self._mos_s)
+            swap = pol * (vd - vs) < 0.0
+            vnd = np.where(swap, vs, vd)
+            vns = np.where(swap, vd, vs)
+            vgs = pol * (vg - vns)
+            vds = pol * (vnd - vns)
+            ids, gm, gds = mosfet_curves_vec(beta, nvt, vth, lam, vgs, vds)
+            i_real = pol * ids
+            residual = i_real - gds * (vnd - vns) - gm * (vg - vns)
+            quant[self._mos_A_pos[:, :4]] = gds[:, None]
+            quant[self._mos_A_pos[:, 4:]] = gm[:, None]
+            sgn = np.where(swap, 1.0, -1.0)
+            quant[self._mos_b_q[:, 0]] = sgn * residual
+            quant[self._mos_b_q[:, 1]] = (-sgn) * residual
+        if self.diodes:
+            va = self._gather(x, self._di_a)
+            vc = self._gather(x, self._di_c)
+            v = va - vc
+            i, gd = diode_iv_vec(v, di_vt, di_isat)
+            ires = i - gd * v
+            quant[self._di_A_pos] = gd[:, None]
+            quant[self._di_b_q[:, 0]] = -ires
+            quant[self._di_b_q[:, 1]] = ires
+        if self.mosfets and swap.any():
+            idx = self._swap_AB_idx(swap.tolist())
+        else:
+            idx = self._AB_idx_norm
+        np.add.at(flat, idx, quant * self._AB_sign)
+
+
+def compile_dynamic(devices, size: int) -> DynamicPlan | None:
+    if not all(type(d) is Capacitor for d in devices):
+        return None
+    return DynamicPlan(list(devices), size)
+
+
+def compile_nonlinear(devices, size: int) -> NonlinearPlan | None:
+    for dev in devices:
+        if type(dev) is Mosfet:
+            if dev.drain.index == dev.source.index:
+                # Degenerate drain-tied-source devices would reorder
+                # same-slot accumulation under a swap; keep the exact
+                # per-device path for them.
+                return None
+        elif type(dev) is not Diode:
+            return None
+    return NonlinearPlan(list(devices), size)
+
+
+class CompiledPlans:
+    """All compiled layers of one system (``None`` layers fall back)."""
+
+    __slots__ = ("static", "dynamic", "sources", "nonlinear")
+
+    def __init__(self, static, dynamic, sources, nonlinear):
+        self.static = static
+        self.dynamic = dynamic
+        self.sources = sources
+        self.nonlinear = nonlinear
+
+
+def compile_plans(devices, dynamic, sources, nonlinear, num_nodes: int,
+                  size: int) -> CompiledPlans:
+    """Compile every layer of a system; unsupported layers are ``None``."""
+    return CompiledPlans(
+        compile_static(devices, num_nodes),
+        compile_dynamic(dynamic, size),
+        compile_sources(sources, num_nodes),
+        compile_nonlinear(nonlinear, size),
+    )

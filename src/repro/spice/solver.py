@@ -21,6 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.spice.errors import ConvergenceError, SingularMatrixError
+from repro.spice.linalg import (LUFactorization, lu_factor,
+                                solve_dense_nocheck)
 from repro.spice.mna import System
 from repro.spice.netlist import AnalysisContext
 
@@ -36,25 +38,36 @@ GMIN_RESCUE_LADDER = (1e-3, 1e-5, 1e-7, 1e-9, 0.0)
 #: Source-stepping ramp of the rescue path (ends on the exact system).
 SOURCE_RESCUE_STEPS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
+#: Modified Newton refactors when the update norm stops shrinking by this.
+MODIFIED_NEWTON_SHRINK = 0.5
+
 
 def _failing_nodes(system: System, dx: np.ndarray, vtol: float,
                    limit: int = 6) -> list[str]:
-    """Names of the nodes still moving more than ``vtol`` (worst first)."""
-    n = system.num_nodes
+    """Names of the nodes still moving more than ``vtol`` (worst first).
+
+    Defensive: callers may hand a ``dx`` spanning branch rows beyond the
+    node count, and a circuit's ``node_names`` may be shorter than the
+    index set — unnamed rows fall back to ``node#i`` instead of blowing
+    up inside error reporting.
+    """
+    n = min(system.num_nodes, len(dx))
     moves = np.abs(dx[:n])
     bad = [int(i) for i in np.argsort(moves)[::-1]
            if moves[i] > vtol][:limit]
-    names = getattr(system.circuit, "node_names", None)
-    if not names:
-        return [f"node#{i}" for i in bad]
-    return [names[i] for i in bad]
+    names = getattr(system.circuit, "node_names", None) or []
+    return [names[i] if i < len(names) else f"node#{i}" for i in bad]
 
 
 def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
                  ctx: AnalysisContext, x0: np.ndarray, *,
                  max_iter: int = 100, vtol: float = DEFAULT_VTOL,
                  vstep_max: float = DEFAULT_VSTEP_MAX,
-                 extra_gmin: float = 0.0) -> np.ndarray:
+                 extra_gmin: float = 0.0,
+                 linear_fact: LUFactorization | None = None,
+                 modified: bool = False,
+                 shrink: float = MODIFIED_NEWTON_SHRINK,
+                 fast_solve: bool = False) -> np.ndarray:
     """Solve the (possibly nonlinear) system for one analysis point.
 
     ``A_step``/``b_step`` are the per-step base from
@@ -63,32 +76,75 @@ def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
     more than ``vstep_max`` per iteration, which keeps the exponential
     devices (diodes, sub-threshold MOSFETs) from overflowing.
 
+    ``linear_fact`` — a cached :class:`LUFactorization` of ``A_step``;
+    used for the linear fast path so one factorization serves every step
+    sharing the same base matrix.
+
+    ``modified`` — opt-in modified Newton: reuse the last Jacobian's LU
+    while the update norm is shrinking geometrically (by ``shrink`` per
+    pass) and refactor on slowdown.  Converges to the same tolerance but
+    the final iterate can differ from full Newton in the last ulps, so it
+    is off by default (see the parity caveat in DESIGN.md).
+
+    ``fast_solve`` — route dense solves through
+    :func:`~repro.spice.linalg.solve_dense_nocheck` (bitwise-identical
+    to ``np.linalg.solve``, minus its wrapper overhead).  The caller
+    must hold :func:`~repro.spice.linalg.dense_errstate` so singular
+    matrices raise instead of silently returning NaNs.  The kernel
+    transient loop enables it (holding the errstate around its whole
+    step loop); the legacy loop keeps the exact pre-kernel call so
+    benchmarks measure the unmodified baseline.
+
     Returns the solution vector; raises :class:`ConvergenceError` or
     :class:`SingularMatrixError` on failure.
     """
     n = system.num_nodes
     if not system.has_nonlinear and extra_gmin == 0.0:
+        if linear_fact is not None:
+            return linear_fact.solve_fast(b_step)
+        if fast_solve:
+            return solve_dense_nocheck(A_step, b_step)
         try:
             return np.linalg.solve(A_step, b_step)
         except np.linalg.LinAlgError as exc:
             raise SingularMatrixError(str(exc)) from None
 
     x = x0.copy()
-    dx = np.zeros_like(x)
+    dx = x
+    fact: LUFactorization | None = None
+    dv_prev: float | None = None
+    build_iteration = system.build_iteration
     for _ in range(max_iter):
         ctx.x = x
-        A, b = system.build_iteration(A_step, b_step, ctx, extra_gmin)
-        try:
-            x_new = np.linalg.solve(A, b)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(str(exc)) from None
-        dx = x_new - x
-        dv_max = float(np.max(np.abs(dx[:n]))) if n else 0.0
+        A, b = build_iteration(A_step, b_step, ctx, extra_gmin)
+        if modified:
+            if fact is None:
+                fact = lu_factor(A)
+                if dv_prev is not None:
+                    system._count("newton_refactor")
+            else:
+                system._count("newton_jacobian_reuse")
+            x_new = fact.solve_fast(b)
+        elif fast_solve:
+            x_new = solve_dense_nocheck(A, b)
+        else:
+            try:
+                x_new = np.linalg.solve(A, b)
+            except np.linalg.LinAlgError as exc:
+                raise SingularMatrixError(str(exc)) from None
+        # Reuse the solve output as the update buffer (x_new is fresh
+        # every pass; in-place subtraction is bitwise the same).
+        dx = np.subtract(x_new, x, out=x_new)
+        dv_max = float(np.abs(dx[:n]).max()) if n else 0.0
         if dv_max > vstep_max:
             dx = dx * (vstep_max / dv_max)
         x = x + dx
         if dv_max < vtol:
             return x
+        if modified and dv_prev is not None \
+                and dv_max >= shrink * dv_prev:
+            fact = None  # stale Jacobian: refactor next pass
+        dv_prev = dv_max
     nodes = _failing_nodes(system, dx, vtol)
     raise ConvergenceError(
         f"Newton iteration did not converge within {max_iter} iterations "

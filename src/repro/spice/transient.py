@@ -14,17 +14,56 @@ Initial conditions follow SPICE ``UIC`` semantics: the caller supplies node
 voltages (default 0 V) and integration starts immediately — no DC operating
 point is computed first.  The DRAM runner exploits this to chain operation
 cycles, feeding each cycle's final state into the next.
+
+Two step loops implement the same strategy:
+
+* the **kernel fast path** (default) — compiled stamp plans, a per-``dt``
+  step-matrix cache, a cursor walk of the grid with a bounded bisection
+  stack, preallocated result buffers, and (for linear circuits) cached LU
+  factorizations.  For circuits built from the standard device classes it
+  is bitwise-identical to the legacy loop, except that linear circuits
+  are solved through the factorization cache (same result to machine
+  precision).
+* the **legacy per-device loop** (``use_kernels=False``) — the original
+  reference implementation, kept as the parity baseline for tests and
+  benchmarks.
 """
 
 from __future__ import annotations
 
+import time as _time
+
 import numpy as np
 
+from repro.profiling import profiler
 from repro.spice.errors import ConvergenceError, SpiceError
+from repro.spice.linalg import dense_errstate
 from repro.spice.mna import DEFAULT_GMIN, System
 from repro.spice.netlist import AnalysisContext, Circuit
 from repro.spice.solver import gmin_step_solve, newton_solve
 from repro.spice.waveforms import merge_breakpoints
+
+#: Process-wide default for the kernel fast path (see set_kernels_default).
+_KERNELS_DEFAULT = True
+
+
+def set_kernels_default(enabled: bool) -> bool:
+    """Flip the process-wide default for the transient kernel fast path.
+
+    Returns the previous value.  Benchmarks use this to measure the
+    legacy per-device loop without threading a flag through every layer;
+    it is also the escape hatch if a custom device class interacts badly
+    with the compiled plans.
+    """
+    global _KERNELS_DEFAULT
+    previous = _KERNELS_DEFAULT
+    _KERNELS_DEFAULT = bool(enabled)
+    return previous
+
+
+def kernels_enabled() -> bool:
+    """Current process-wide default for the kernel fast path."""
+    return _KERNELS_DEFAULT
 
 
 class RescueEvent:
@@ -118,7 +157,10 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
               temp_c: float = 27.0, method: str = "be",
               initial: dict[str, float] | None = None,
               gmin: float = DEFAULT_GMIN,
-              max_step_halvings: int = 14) -> TransientResult:
+              max_step_halvings: int = 14,
+              use_kernels: bool | None = None,
+              newton: str = "full",
+              system: System | None = None) -> TransientResult:
     """Run a transient analysis from 0 to ``tstop``.
 
     Parameters
@@ -141,13 +183,40 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
     max_step_halvings:
         How many times a non-converging step may be bisected before the
         analysis gives up.
+    use_kernels:
+        ``True``/``False`` selects the kernel fast path or the legacy
+        per-device loop; ``None`` (default) follows the process-wide
+        default (:func:`set_kernels_default`).
+    newton:
+        ``"full"`` (default) refactors the Jacobian every iteration;
+        ``"modified"`` reuses the last LU while convergence is geometric
+        (faster for large mostly-converged steps, final iterates can
+        differ in the last ulps — see DESIGN.md).
+    system:
+        A prebuilt :class:`System` for ``circuit`` to reuse across calls
+        (the DRAM runner chains cycles over one system, keeping its
+        step-matrix and factorization caches warm).  Ignored when it does
+        not match ``circuit``/``gmin`` or when the legacy loop is chosen.
+        Callers that mutate device *values* in place must drop their
+        cached system (the compiled plans would go stale).
     """
     if tstop <= 0 or dt <= 0:
         raise SpiceError("tstop and dt must be positive")
     if method not in ("be", "trap"):
         raise SpiceError(f"unknown integration method {method!r}")
+    if newton not in ("full", "modified"):
+        raise SpiceError(f"unknown newton mode {newton!r}")
+    if use_kernels is None:
+        use_kernels = _KERNELS_DEFAULT
 
-    system = System(circuit, gmin=gmin)
+    if use_kernels:
+        if (system is None or system.circuit is not circuit
+                or system.gmin != gmin or system.plans is None
+                or not circuit._finalized):
+            system = System(circuit, gmin=gmin, use_plans=True)
+    else:
+        system = System(circuit, gmin=gmin, use_plans=False)
+
     node_names = circuit.node_names
     num_nodes = circuit.num_nodes
 
@@ -164,6 +233,138 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
     grid = _build_grid(tstop, dt, system.source_waveforms())
     dt_floor = dt / (2 ** max_step_halvings)
 
+    fast = (use_kernels and system._step_plannable)
+    if fast:
+        result = _run_kernel_loop(system, circuit, grid, x, dt_floor,
+                                  temp_c, method, node_names, num_nodes,
+                                  newton)
+    else:
+        result = _run_legacy_loop(system, grid, x, dt_floor, temp_c,
+                                  method, node_names, num_nodes)
+    system.flush_kernel_counters()
+    return result
+
+
+def _run_kernel_loop(system: System, circuit: Circuit, grid: list[float],
+                     x: np.ndarray, dt_floor: float, temp_c: float,
+                     method: str, node_names: list[str], num_nodes: int,
+                     newton: str) -> TransientResult:
+    """Kernel fast path: cursor grid walk + bounded bisection stack.
+
+    The bisection stack replaces the legacy ``pending.insert(0)/pop(0)``
+    list queue (O(n) per operation on the full grid): the grid is walked
+    with an index cursor and only bisection midpoints are pushed onto a
+    stack whose depth is bounded by ``max_step_halvings``.
+    """
+    n_grid = len(grid)
+    capacity = n_grid + 8
+    times = np.empty(capacity)
+    data = np.empty((capacity, num_nodes))
+    times[0] = 0.0
+    data[0] = x[:num_nodes]
+    count = 1
+    rescues: list[RescueEvent] = []
+
+    modified = newton == "modified"
+    linear = not system.has_nonlinear
+    ctx = AnalysisContext(time=0.0, dt=None, temp_c=temp_c, x=x,
+                          x_prev=x, method=method)
+    prof = profiler if profiler.enabled else None
+
+    # One errstate entry serves every fast dense solve of the analysis
+    # (newton_solve with fast_solve=True requires the caller to hold it;
+    # entering it per step costs microseconds that add up).  Rescue paths
+    # that go through np.linalg.solve stack their own errstate on top.
+    with dense_errstate():
+        return _step_kernel_loop(system, grid, x, dt_floor, ctx, method,
+                                 node_names, num_nodes, modified, linear,
+                                 prof, times, data, capacity, count,
+                                 rescues)
+
+
+def _step_kernel_loop(system, grid, x, dt_floor, ctx, method, node_names,
+                      num_nodes, modified, linear, prof, times, data,
+                      capacity, count, rescues):
+    """The kernel step loop proper (see :func:`_run_kernel_loop`)."""
+    n_grid = len(grid)
+    t = 0.0
+    gi = 1
+    stack: list[float] = []  # pending bisection midpoints (LIFO)
+    while True:
+        if stack:
+            t_target = stack[-1]
+        elif gi < n_grid:
+            t_target = grid[gi]
+        else:
+            break
+        dt_step = t_target - t
+        ctx.time = t_target
+        ctx.dt = dt_step
+        ctx.x = x
+        ctx.x_prev = x
+        if prof:
+            _t0 = _time.perf_counter()
+        A_step = system.step_matrix(dt_step, method)
+        b_step = system.step_rhs(ctx)
+        fact = (system.step_factorization(dt_step, method)
+                if linear else None)
+        if prof:
+            _t1 = _time.perf_counter()
+            prof.add("transient.assemble_step", _t1 - _t0)
+        try:
+            x_new = newton_solve(system, A_step, b_step, ctx, x,
+                                 linear_fact=fact, modified=modified,
+                                 fast_solve=True)
+        except ConvergenceError as exc:
+            # Step bisection first (identical to the plain path, so runs
+            # that never needed a rescue are bit-identical), then — once
+            # the step floor blocks further bisection — a per-step Gmin
+            # ramp as the last resort before giving up.
+            if dt_step / 2 >= dt_floor:
+                stack.append(t + dt_step / 2)
+                continue
+            try:
+                x_new = gmin_step_solve(system, A_step, b_step, ctx, x)
+            except ConvergenceError as gmin_exc:
+                nodes = gmin_exc.nodes or exc.nodes
+                raise ConvergenceError(
+                    f"transient stalled at t={t:.4g}s: step below floor "
+                    f"{dt_floor:.3g}s still fails to converge even with "
+                    f"a Gmin ramp (moving nodes: "
+                    f"{', '.join(nodes) or '-'})",
+                    time=t, iterations=gmin_exc.iterations, nodes=nodes,
+                    rescue_trail=("bisect", "gmin")) from None
+            rescues.append(RescueEvent(t_target, "gmin"))
+            _record_rescue("gmin")
+        if prof:
+            prof.add("transient.solve", _time.perf_counter() - _t1)
+            prof.count("transient.steps")
+        system.accept_step(x, x_new, dt_step, method)
+        x = x_new
+        t = t_target
+        if stack:
+            stack.pop()
+        else:
+            gi += 1
+        if count == capacity:
+            capacity *= 2
+            times = np.concatenate([times, np.empty(capacity - count)])
+            grown = np.empty((capacity, num_nodes))
+            grown[:count] = data[:count]
+            data = grown
+        times[count] = t
+        data[count] = x[:num_nodes]
+        count += 1
+
+    return TransientResult(times[:count].copy(), data[:count].copy(),
+                           node_names, x, rescues=rescues)
+
+
+def _run_legacy_loop(system: System, grid: list[float], x: np.ndarray,
+                     dt_floor: float, temp_c: float, method: str,
+                     node_names: list[str], num_nodes: int
+                     ) -> TransientResult:
+    """The original per-device step loop (parity baseline)."""
     times = [0.0]
     rows = [x[:num_nodes].copy()]
     rescues: list[RescueEvent] = []
@@ -179,10 +380,6 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         try:
             x_new = newton_solve(system, A_step, b_step, ctx, x)
         except ConvergenceError as exc:
-            # Step bisection first (identical to the plain path, so runs
-            # that never needed a rescue are bit-identical), then — once
-            # the step floor blocks further bisection — a per-step Gmin
-            # ramp as the last resort before giving up.
             if dt_step / 2 >= dt_floor:
                 pending.insert(0, t + dt_step / 2)
                 continue

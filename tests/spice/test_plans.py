@@ -1,0 +1,194 @@
+"""Compiled stamp plans: bitwise parity with the per-device stamp walk.
+
+The kernel layer's hard requirement is that a plan-assembled system is
+*bitwise* equal to the legacy per-device assembly — not merely close.
+These property tests draw random circuits over every plannable device
+class and compare the assembled matrices of the two paths exactly, for
+both nonlinear evaluation kernels (fused scalar loop and array pass).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Constant,
+    CurrentSource,
+    Diode,
+    Mosfet,
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.mna import System
+from repro.spice.netlist import AnalysisContext, Device
+from repro.spice.plans import compile_nonlinear, compile_sources
+
+NODE_NAMES = ("0", "a", "b", "c", "d")
+
+
+@st.composite
+def circuits(draw):
+    """A random finalizable circuit over the plannable device classes."""
+    c = Circuit()
+    nodes = [c.node(n) for n in NODE_NAMES]
+    pick = st.sampled_from(nodes)
+
+    for i in range(draw(st.integers(1, 3))):
+        c.add(Resistor(f"R{i}", draw(pick), draw(pick),
+                       draw(st.floats(10.0, 1e6))))
+    for i in range(draw(st.integers(0, 2))):
+        c.add(Capacitor(f"C{i}", draw(pick), draw(pick),
+                        draw(st.floats(1e-15, 1e-9))))
+    for i in range(draw(st.integers(0, 2))):
+        c.add(VoltageSource(f"V{i}", draw(pick), draw(pick),
+                            Constant(draw(st.floats(-3.0, 3.0)))))
+    for i in range(draw(st.integers(0, 1))):
+        c.add(CurrentSource(f"I{i}", draw(pick), draw(pick),
+                            Constant(draw(st.floats(-1e-3, 1e-3)))))
+    for i in range(draw(st.integers(0, 3))):
+        d, g, s = draw(pick), draw(pick), draw(pick)
+        if d.index == s.index:
+            continue  # degenerate: compiler falls back by design
+        params = NMOS_DEFAULT if draw(st.booleans()) else PMOS_DEFAULT
+        c.add(Mosfet(f"M{i}", d, g, s, params,
+                     w=draw(st.floats(2e-7, 5e-6))))
+    for i in range(draw(st.integers(0, 2))):
+        a, k = draw(pick), draw(pick)
+        c.add(Diode(f"D{i}", a, k, isat=draw(st.floats(1e-16, 1e-12))))
+    return c
+
+
+def _assemble_both(circuit, x_vals, dt, method, temp_c):
+    """(A, b) step and iteration layers from the plan and legacy paths."""
+    sys_p = System(circuit, use_plans=True)
+    sys_f = System(circuit, use_plans=False)
+    size = sys_p.size
+    x = np.resize(np.asarray(x_vals, dtype=float), size)
+    ctx = AnalysisContext(time=1e-9, dt=dt, temp_c=temp_c, x=x,
+                          x_prev=x, method=method)
+    out = {}
+    for tag, system in (("plan", sys_p), ("legacy", sys_f)):
+        A_step, b_step = system.build_step(ctx)
+        A_it, b_it = system.build_iteration(A_step, b_step, ctx)
+        out[tag] = (A_step.copy(), b_step.copy(), A_it.copy(), b_it.copy())
+    return sys_p, out
+
+
+class TestAssemblyParity:
+    @given(circuit=circuits(),
+           x_vals=st.lists(st.floats(-2.5, 2.5), min_size=1, max_size=12),
+           dt=st.sampled_from([1e-12, 1e-10, 2.5e-9]),
+           method=st.sampled_from(["be", "trap"]),
+           temp_c=st.sampled_from([-10.0, 27.0, 85.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_assembly_is_bitwise_equal(self, circuit, x_vals, dt,
+                                            method, temp_c):
+        sys_p, out = _assemble_both(circuit, x_vals, dt, method, temp_c)
+        for got, want in zip(out["plan"], out["legacy"]):
+            assert np.array_equal(got, want)  # bitwise, not approx
+
+    @given(circuit=circuits(),
+           x_vals=st.lists(st.floats(-2.5, 2.5), min_size=1, max_size=12),
+           temp_c=st.sampled_from([27.0, 85.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_vec_kernel_matches_scalar_loop_bitwise(self, circuit, x_vals,
+                                                    temp_c):
+        """The array pass and the fused scalar loop agree bit for bit."""
+        sys_p = System(circuit, use_plans=True)
+        nl = sys_p.plans.nonlinear
+        if nl is None or not (nl.mosfets or nl.diodes):
+            return
+        size = sys_p.size
+        x = np.resize(np.asarray(x_vals, dtype=float), size)
+        flat_loop = np.zeros(size * size + size + 2)
+        flat_vec = np.zeros_like(flat_loop)
+        nl._apply_loop(flat_loop, x, temp_c)
+        nl._apply_vec(flat_vec, x, temp_c)
+        assert np.array_equal(flat_loop, flat_vec)
+
+    @given(circuit=circuits(),
+           x_vals=st.lists(st.floats(-2.5, 2.5), min_size=1, max_size=12),
+           dt=st.sampled_from([1e-12, 1e-10]),
+           method=st.sampled_from(["be", "trap"]))
+    @settings(max_examples=30, deadline=None)
+    def test_forced_vec_paths_stay_bitwise(self, circuit, x_vals, dt,
+                                           method):
+        """Forcing ``_use_vec`` (large-count path) changes nothing."""
+        sys_p = System(circuit, use_plans=True)
+        sys_f = System(circuit, use_plans=False)
+        if sys_p.plans.nonlinear is not None:
+            sys_p.plans.nonlinear._use_vec = True
+        if sys_p.plans.dynamic is not None:
+            sys_p.plans.dynamic._use_vec = True
+        size = sys_p.size
+        x = np.resize(np.asarray(x_vals, dtype=float), size)
+        ctx = AnalysisContext(time=0.5e-9, dt=dt, temp_c=27.0, x=x,
+                              x_prev=x, method=method)
+        A_p, b_p = sys_p.build_step(ctx)
+        A_it_p, b_it_p = sys_p.build_iteration(A_p, b_p, ctx)
+        A_it_p, b_it_p = A_it_p.copy(), b_it_p.copy()
+        A_f, b_f = sys_f.build_step(ctx)
+        A_it_f, b_it_f = sys_f.build_iteration(A_f, b_f, ctx)
+        assert np.array_equal(A_it_p, A_it_f)
+        assert np.array_equal(b_it_p, b_it_f)
+
+
+class TestCompilerFallbacks:
+    def test_drain_tied_source_mosfet_falls_back(self):
+        c = Circuit()
+        n = c.node("n")
+        m = Mosfet("M", n, c.node("g"), n, NMOS_DEFAULT)
+        assert compile_nonlinear([m], 4) is None
+
+    def test_unknown_nonlinear_device_falls_back(self):
+        class Odd(Device):
+            def stamp_nonlinear(self, st):  # pragma: no cover
+                pass
+
+        c = Circuit()
+        dev = Odd("X", (c.node("a"),))
+        assert compile_nonlinear([dev], 4) is None
+
+    def test_unknown_source_device_falls_back(self):
+        class OddSource(Device):
+            def stamp_source(self, st):  # pragma: no cover
+                pass
+
+        c = Circuit()
+        dev = OddSource("X", (c.node("a"),))
+        assert compile_sources([dev], 2) is None
+
+    def test_fallback_system_still_assembles(self):
+        """A circuit with an unplannable device uses the stamp walk."""
+        class ExtraGround(Device):
+            def stamp_nonlinear(self, st):
+                st.conductance(self.node_list[0], self.node_list[1], 1e-9)
+
+        c = Circuit()
+        c.add(Resistor("R", c.node("a"), c.node("0"), 1e3))
+        c.add(ExtraGround("X", (c.node("a"), c.node("0"))))
+        system = System(c, use_plans=True)
+        assert system._nl_plan is None
+        x = np.zeros(system.size)
+        ctx = AnalysisContext(time=0.0, dt=None, temp_c=27.0, x=x,
+                              x_prev=x)
+        A_step, b_step = system.build_step(ctx)
+        A, _ = system.build_iteration(A_step, b_step, ctx)
+        assert A[0, 0] == pytest.approx(1e-3 + 1e-9, rel=1e-12)
+
+
+class TestSwapCache:
+    def test_swap_cache_is_bounded(self):
+        c = Circuit()
+        c.add(Mosfet("M", c.node("d"), c.node("g"), c.node("s"),
+                     NMOS_DEFAULT))
+        c.add(Resistor("R", c.node("d"), c.node("0"), 1e3))
+        system = System(c, use_plans=True)
+        nl = system.plans.nonlinear
+        for i in range(200):
+            nl._cache_swap_idx(("fake", i), np.empty(0, dtype=np.intp))
+        assert len(nl._swap_idx_cache) <= 129

@@ -112,3 +112,40 @@ class TestDCOperatingPoint:
         # the isat doubling beats the thermal-voltage growth: a hotter
         # diode conducts at a lower forward drop than at room temperature
         assert v_hot < v_room
+
+
+class TestFailingNodes:
+    """Defensive bounds in convergence-failure reporting."""
+
+    def _system(self):
+        c = Circuit()
+        c.add(VoltageSource("V", c.node("in"), c.node("0"), Constant(1.0)))
+        c.add(Resistor("R1", c.node("in"), c.node("out"), 1e3))
+        c.add(Resistor("R2", c.node("out"), c.node("0"), 1e3))
+        return System(c)
+
+    def test_short_dx_does_not_blow_up(self):
+        from repro.spice.solver import _failing_nodes
+        sys_ = self._system()
+        # dx shorter than the node count (e.g. a truncated vector)
+        names = _failing_nodes(sys_, np.array([1.0]), vtol=1e-6)
+        assert names == [sys_.circuit.node_names[0]]
+
+    def test_short_names_fall_back_to_index(self):
+        import types
+
+        from repro.spice.solver import _failing_nodes
+        sys_ = self._system()
+        # a circuit whose name list is shorter than the node count
+        sys_.circuit = types.SimpleNamespace(node_names=["in"])
+        dx = np.full(sys_.size, 1.0)
+        names = _failing_nodes(sys_, dx, vtol=1e-6)
+        assert "in" in names
+        assert any(n.startswith("node#") for n in names)
+
+    def test_oversized_dx_ignores_branch_rows(self):
+        from repro.spice.solver import _failing_nodes
+        sys_ = self._system()
+        dx = np.zeros(sys_.size + 3)
+        dx[sys_.num_nodes:] = 99.0  # branch rows move, nodes do not
+        assert _failing_nodes(sys_, dx, vtol=1e-6) == []

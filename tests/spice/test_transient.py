@@ -1,5 +1,6 @@
 """Transient engine: analytic RC/RL-free checks, breakpoints, chaining."""
 
+import importlib
 import math
 
 import numpy as np
@@ -20,6 +21,11 @@ from repro.spice import (
     VoltageSource,
     transient,
 )
+from repro.spice.errors import ConvergenceError
+
+# The package re-exports the transient() function under the same name as
+# its module; resolve the module itself for monkeypatching.
+transient_module = importlib.import_module("repro.spice.transient")
 
 
 def _rc(r=1e3, cap=1e-9, v=2.4, t_step=1e-9):
@@ -175,3 +181,132 @@ class TestNonlinearTransient:
                         initial={"a": 1.25, "b": 1.15, "vdd": 2.4})
         assert res.final("a") > 2.2
         assert res.final("b") < 0.2
+
+
+def _inverter():
+    """A nonlinear (MOSFET + diode-free) circuit exercising swaps."""
+    c = Circuit()
+    vdd = c.node("vdd")
+    c.add(VoltageSource("VDD", vdd, c.node("0"), Constant(2.4)))
+    c.add(VoltageSource("VIN", c.node("i"), c.node("0"),
+                        PWL([(0, 0.0), (3e-9, 0.0), (4e-9, 2.4),
+                             (8e-9, 2.4), (9e-9, 0.0)])))
+    c.add(Mosfet("MP", c.node("o"), c.node("i"), vdd, PMOS_DEFAULT,
+                 w=2e-6))
+    c.add(Mosfet("MN", c.node("o"), c.node("i"), c.node("0"),
+                 NMOS_DEFAULT, w=1e-6))
+    c.add(Capacitor("CL", c.node("o"), c.node("0"), 10e-15))
+    return c
+
+
+def _compare(res_a, res_b, *, bitwise):
+    assert len(res_a) == len(res_b)
+    if bitwise:
+        assert np.array_equal(res_a.time, res_b.time)
+        assert np.array_equal(res_a.final_x, res_b.final_x)
+    else:
+        assert res_a.time == pytest.approx(res_b.time, rel=1e-12)
+        assert res_a.final_x == pytest.approx(res_b.final_x, rel=1e-9,
+                                              abs=1e-12)
+    for name in res_a.node_names:
+        if bitwise:
+            assert np.array_equal(res_a.v(name), res_b.v(name)), name
+        else:
+            assert res_a.v(name) == pytest.approx(res_b.v(name),
+                                                  rel=1e-9, abs=1e-12)
+
+
+class TestKernelParity:
+    """Kernel fast path vs the legacy per-device loop."""
+
+    def test_nonlinear_transient_is_bitwise_identical(self):
+        kw = dict(tstop=12e-9, dt=0.1e-9,
+                  initial={"o": 2.4, "vdd": 2.4})
+        fast = transient(_inverter(), use_kernels=True, **kw)
+        legacy = transient(_inverter(), use_kernels=False, **kw)
+        _compare(fast, legacy, bitwise=True)
+
+    def test_trap_method_is_bitwise_identical(self):
+        kw = dict(tstop=6e-9, dt=0.1e-9, method="trap",
+                  initial={"o": 2.4, "vdd": 2.4})
+        fast = transient(_inverter(), use_kernels=True, **kw)
+        legacy = transient(_inverter(), use_kernels=False, **kw)
+        _compare(fast, legacy, bitwise=True)
+
+    def test_linear_transient_matches_to_machine_precision(self):
+        # Linear circuits route through the cached LU inverse on the
+        # kernel path — same result to machine precision, not bitwise.
+        kw = dict(tstop=2e-6, dt=1e-8)
+        fast = transient(_rc(), use_kernels=True, **kw)
+        legacy = transient(_rc(), use_kernels=False, **kw)
+        _compare(fast, legacy, bitwise=False)
+
+    def test_bisection_walk_is_bitwise_identical(self, monkeypatch):
+        """Regression for the O(n^2) step queue replacement.
+
+        The cursor + bisection-stack walk must visit exactly the time
+        points the legacy ``pending.insert(0)/pop(0)`` queue visited.
+        Injected failures force two levels of bisection over a window,
+        identically for both loops, so any walk-order divergence shows
+        up as a result mismatch.
+        """
+        real = transient_module.newton_solve
+
+        def flaky(system, A_step, b_step, ctx, x0, **kw):
+            if ctx.dt >= 0.26e-9 and 0.9e-9 <= ctx.time <= 2.1e-9:
+                raise ConvergenceError("injected", iterations=1)
+            return real(system, A_step, b_step, ctx, x0, **kw)
+
+        monkeypatch.setattr(transient_module, "newton_solve", flaky)
+        kw = dict(tstop=4e-9, dt=1e-9, initial={"o": 2.4, "vdd": 2.4})
+        fast = transient(_inverter(), use_kernels=True, **kw)
+        legacy = transient(_inverter(), use_kernels=False, **kw)
+        assert len(fast) > 6  # bisection actually added time points
+        _compare(fast, legacy, bitwise=True)
+
+    def test_modified_newton_converges_to_same_waveform(self):
+        kw = dict(tstop=12e-9, dt=0.1e-9,
+                  initial={"o": 2.4, "vdd": 2.4})
+        full = transient(_inverter(), use_kernels=True, **kw)
+        modified = transient(_inverter(), use_kernels=True,
+                             newton="modified", **kw)
+        # Same grid; iterates agree to the Newton voltage tolerance
+        # (modified Newton stops at the same vtol, not the same bits).
+        assert np.array_equal(full.time, modified.time)
+        for name in full.node_names:
+            assert full.v(name) == pytest.approx(modified.v(name),
+                                                 abs=1e-5), name
+
+    def test_modified_newton_reuses_jacobians(self):
+        from repro.diagnostics import reset_diagnostics
+        diag = reset_diagnostics()
+        # Cover the input transition so steps take multiple iterations.
+        transient(_inverter(), tstop=6e-9, dt=0.1e-9,
+                  use_kernels=True, newton="modified",
+                  initial={"o": 2.4, "vdd": 2.4})
+        assert diag.solver_kernels.get("newton_jacobian_reuse", 0) > 0
+
+    def test_rejects_unknown_newton_mode(self):
+        with pytest.raises(SpiceError):
+            transient(_rc(), 1e-6, 1e-9, newton="chord")
+
+    def test_kernel_default_toggle_roundtrip(self):
+        from repro.spice.transient import (kernels_enabled,
+                                           set_kernels_default)
+        prev = set_kernels_default(False)
+        try:
+            assert kernels_enabled() is False
+        finally:
+            set_kernels_default(prev)
+        assert kernels_enabled() is prev
+
+    def test_prebuilt_system_is_reused(self):
+        from repro.spice.mna import System
+        c = _inverter()
+        c.finalize()
+        system = System(c, use_plans=True)
+        r1 = transient(c, 3e-9, 0.1e-9, system=system,
+                       initial={"o": 2.4, "vdd": 2.4})
+        r2 = transient(c, 3e-9, 0.1e-9, system=system,
+                       initial={"o": 2.4, "vdd": 2.4})
+        _compare(r1, r2, bitwise=True)

@@ -89,3 +89,27 @@ class TestCommands:
         serial = capsys.readouterr().out
         assert main(["planes", "--points", "4", "--workers", "2"]) == 0
         assert capsys.readouterr().out == serial
+
+
+class TestProfileFlag:
+    def test_planes_profile_reports_to_stderr(self, capsys):
+        rc = main(["planes", "--points", "4", "--profile"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Plane of w0" in captured.out
+        assert "profile:" in captured.err or "no samples" in captured.err
+        assert "profile" not in captured.out  # stdout stays identical
+
+    def test_profile_stdout_matches_unprofiled(self, capsys):
+        assert main(["planes", "--points", "4"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["planes", "--points", "4", "--profile"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_electrical_profile_reports_kernel_counters(self, capsys):
+        rc = main(["planes", "--points", "3", "--electrical",
+                   "--profile", "--no-cache"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "solver kernels:" in captured.err
+        assert "plan_iteration_assembly" in captured.err
