@@ -27,6 +27,7 @@ Run standalone (CI runs ``--quick``)::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import platform
 import sys
@@ -169,6 +170,14 @@ def main(argv=None) -> int:
                    REPO_ROOT / "benchmarks" / "reports" / "solver.txt"):
         target.parent.mkdir(exist_ok=True)
         target.write_text(text + "\n")
+    # Machine-readable twin of the text report, so the perf trajectory
+    # is trackable across PRs.
+    payload = dict(res, benchmark="solver",
+                   parity="bitwise" if res["bitwise"] else "mismatch",
+                   python=platform.python_version(),
+                   numpy=np.__version__)
+    (REPO_ROOT / "BENCH_solver.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     if (args.check or args.check_parity) and not res["bitwise"]:
         print("FAIL: kernel path is not bitwise-identical",

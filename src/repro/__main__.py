@@ -14,11 +14,14 @@ Commands
     March-test coverage at nominal vs optimized SC (Sec. 5.2).
 
 The sweep-heavy commands (``table1``, ``planes``, ``coverage``) accept
-``--workers N`` (process-pool fan-out), ``--no-cache`` (disable the
-content-addressed result cache), ``--verbose`` (engine statistics on
-stderr) and ``--profile`` (wall-clock timings of the solver hot paths
-plus kernel counters on stderr).  Results are identical for any worker
-count; only stderr and wall time change.
+``--workers N`` (process-pool fan-out), ``--lanes N`` (stack same-
+topology sweep points into batched multi-lane transients), ``--no-cache``
+(disable the content-addressed result cache), ``--verbose`` (engine
+statistics on stderr) and ``--profile`` (wall-clock timings of the
+solver hot paths and sweep phases plus kernel/lane counters on stderr).
+Results are identical for any worker count; only stderr and wall time
+change.  Lane results match the per-lane path within the documented
+fp tolerance (see DESIGN.md section 5d).
 
 Resilience flags (same commands): ``--isolate`` turns non-convergent
 points into reported holes instead of aborting the run, ``--timeout S``
@@ -48,7 +51,8 @@ def _setup_engine(args) -> None:
         cache=not getattr(args, "no_cache", False),
         on_error="isolate" if getattr(args, "isolate", False) else "raise",
         timeout=getattr(args, "timeout", None),
-        max_retries=getattr(args, "max_retries", 2))
+        max_retries=getattr(args, "max_retries", 2),
+        lanes=getattr(args, "lanes", None))
 
 
 def _report_engine(args) -> None:
@@ -66,6 +70,12 @@ def _report_engine(args) -> None:
             print("solver kernels: "
                   + ", ".join(f"{k} x{n}"
                               for k, n in sorted(kernels.items())),
+                  file=sys.stderr)
+        lanes = diagnostics().lane_counters
+        if lanes:
+            print("lane kernel: "
+                  + ", ".join(f"{k} x{n}"
+                              for k, n in sorted(lanes.items())),
                   file=sys.stderr)
 
 
@@ -136,6 +146,10 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
     from repro.diagnostics import LOG_LEVELS
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="worker processes for simulation fan-out")
+    p.add_argument("--lanes", type=int, default=None, metavar="N",
+                   help="stack up to N same-topology sweep points into "
+                        "one batched multi-lane transient (0 disables; "
+                        "default: off)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-addressed result cache")
     p.add_argument("--verbose", action="store_true",

@@ -15,8 +15,10 @@ or behavioral):
 
 from repro.analysis.interface import ColumnModel, electrical_model
 from repro.analysis.curves import (
+    BorderScan,
     SettleCurve,
     VsaCurve,
+    border_crossing_scan,
     sense_threshold,
     settle_curve,
     vsa_curve,
@@ -42,6 +44,7 @@ from repro.analysis.coupling import (
 
 __all__ = [
     "BorderResult",
+    "BorderScan",
     "ColumnModel",
     "CouplingFault",
     "CouplingKind",
@@ -55,6 +58,7 @@ __all__ = [
     "SettleCurve",
     "VsaCurve",
     "WritePlane",
+    "border_crossing_scan",
     "border_resistance",
     "build_fault_dictionary",
     "classify_coupling",

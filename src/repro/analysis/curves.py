@@ -30,6 +30,7 @@ from repro.analysis.interface import ColumnModel, stored_level
 from repro.dram.ops import Op, Operation, format_ops
 from repro.engine.failures import is_failed
 from repro.engine.model import BatchItem, batch_run
+from repro.profiling import profiler
 
 
 def sense_threshold(model: ColumnModel, *, lo: float = 0.0,
@@ -83,19 +84,30 @@ class VsaCurve:
 
     def is_hole(self, i: int) -> bool:
         """True when grid point ``i`` could not be measured."""
-        return i in self.failed
+        return i % len(self.resistances) in self.failed
 
     def at(self, resistance: float) -> float | None:
-        """Log-linear interpolation of the threshold (None near gaps)."""
+        """Log-linear interpolation of the threshold (None near gaps).
+
+        A degraded-sweep hole carries no information: queries that would
+        clamp to a hole endpoint or interpolate against a hole neighbour
+        return ``None`` rather than extrapolate.  Exact grid hits read
+        the sample directly, so a valid point next to a hole stays
+        queryable.
+        """
         import math
         rs, vs = self.resistances, self.thresholds
+        for i, r in enumerate(rs):
+            if resistance == r:
+                return None if self.is_hole(i) else vs[i]
         if resistance <= rs[0]:
-            return vs[0]
+            return None if self.is_hole(0) else vs[0]
         if resistance >= rs[-1]:
-            return vs[-1]
+            return None if self.is_hole(len(rs) - 1) else vs[-1]
         for i in range(len(rs) - 1):
-            if rs[i] <= resistance <= rs[i + 1]:
-                if vs[i] is None or vs[i + 1] is None:
+            if rs[i] < resistance < rs[i + 1]:
+                if (self.is_hole(i) or self.is_hole(i + 1)
+                        or vs[i] is None or vs[i + 1] is None):
                     return None
                 frac = (math.log(resistance / rs[i])
                         / math.log(rs[i + 1] / rs[i]))
@@ -119,6 +131,12 @@ def vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
     in ``failed``), a failed *mid-bisection* probe freezes that point's
     bracket and reports its midpoint at reduced accuracy.
     """
+    with profiler.section("sweep.vsa"):
+        return _vsa_curve(model, resistances, tol=tol, on_error=on_error)
+
+
+def _vsa_curve(model: ColumnModel, resistances: Sequence[float], *,
+               tol: float, on_error: str | None) -> VsaCurve:
     resistances = list(resistances)
     on_true = getattr(model, "target_on_true", True)
     vdd = model.stress.vdd
@@ -204,8 +222,13 @@ class SettleCurve:
     def after(self, n_writes: int) -> list[float | None]:
         """The ``(n) w`` curve: voltage after the n-th write, over R.
 
-        Holes propagate as ``None`` entries.
+        Holes propagate as ``None`` entries.  ``n_writes`` counts from 1
+        (the paper's ``(1) w0`` curve); a non-positive count would
+        silently wrap to the *last* write through negative indexing, so
+        it is rejected instead.
         """
+        if n_writes < 1:
+            raise ValueError(f"n_writes counts from 1, got {n_writes}")
         return [None if row is None else row[n_writes - 1]
                 for row in self.levels]
 
@@ -224,11 +247,169 @@ def settle_curve(model: ColumnModel, value: int,
     """
     if value not in (0, 1):
         raise ValueError("value must be 0 or 1")
-    init = stored_level(model, 1 - value if from_full else value)
-    op = Op(Operation.W0 if value == 0 else Operation.W1)
-    ops = format_ops([op] * n_ops)
-    items = [BatchItem(ops=ops, init_vc=init, resistance=r)
-             for r in resistances]
-    levels = [None if is_failed(seq) else seq.vc_after
-              for seq in batch_run(model, items, on_error=on_error)]
-    return SettleCurve(value, list(resistances), levels)
+    with profiler.section("sweep.settle"):
+        init = stored_level(model, 1 - value if from_full else value)
+        op = Op(Operation.W0 if value == 0 else Operation.W1)
+        ops = format_ops([op] * n_ops)
+        items = [BatchItem(ops=ops, init_vc=init, resistance=r)
+                 for r in resistances]
+        levels = [None if is_failed(seq) else seq.vc_after
+                  for seq in batch_run(model, items, on_error=on_error)]
+        return SettleCurve(value, list(resistances), levels)
+
+
+# ----------------------------------------------------------------------
+# adaptive border-crossing search
+# ----------------------------------------------------------------------
+
+#: Sentinel margin of a grid point that could not be measured (hole).
+_HOLE = object()
+
+
+@dataclass
+class BorderScan:
+    """Outcome of :func:`border_crossing_scan`.
+
+    ``border`` is the first-``w0``-settle × ``Vsa`` crossing resistance
+    (``None`` when the curves do not cross in the grid); ``probed``
+    lists the grid indices whose margin was actually simulated, in
+    probe order — the dense sweep would have evaluated every index, so
+    ``len(probed)`` against ``len(resistances)`` is the saving.
+    """
+
+    resistances: list[float]
+    border: float | None
+    probed: list[int]
+
+    @property
+    def n_probed(self) -> int:
+        return len(self.probed)
+
+
+def border_crossing_scan(model: ColumnModel,
+                         resistances: Sequence[float], *,
+                         n_writes: int = 2, vsa_tol: float = 0.01,
+                         coarse: int | None = None, dense: bool = False,
+                         on_error: str | None = None) -> BorderScan:
+    """Find the ``(1) w0`` settle × ``Vsa`` crossing with sparse probes.
+
+    The BR of an open sits where the voltage a single ``w0`` leaves on
+    the cell first exceeds the sense threshold
+    (:meth:`~repro.analysis.planes.ResultPlanes.border_estimate`).  A
+    dense plane sweep measures every grid point to locate that single
+    crossing; this scan probes a coarse log-spaced lattice
+    (``coarse`` points, default ``~sqrt(n)``) to bracket the first sign
+    change of the margin ``w0_settle - Vsa``, then bisects grid
+    *indices* inside the bracket — ``O(sqrt n + log n)`` probed points
+    instead of ``n``, with the identical final interpolation between
+    the same two adjacent grid points, so the reported BR matches the
+    dense sweep wherever the margin is monotone (the paper's defects
+    are).  Each probed point runs the same settle/``Vsa`` request
+    schedule as the dense sweep, so probes share cache entries with any
+    plane run.
+
+    Points whose simulation fails under isolation are holes: the scan
+    sidesteps them to the nearest measurable index inside the current
+    bracket, mirroring the dense sweep's hole bridging.  ``dense=True``
+    probes every index in order (the reference path for parity tests).
+    """
+    with profiler.section("sweep.border_scan"):
+        return _border_crossing_scan(model, resistances,
+                                     n_writes=n_writes, vsa_tol=vsa_tol,
+                                     coarse=coarse, dense=dense,
+                                     on_error=on_error)
+
+
+def _border_crossing_scan(model, resistances, *, n_writes, vsa_tol,
+                          coarse, dense, on_error) -> BorderScan:
+    import math
+
+    from repro.analysis.planes import _interp_crossing
+
+    rs = list(resistances)
+    n = len(rs)
+    if n < 2:
+        raise ValueError("need at least 2 grid points")
+    margins: dict[int, object] = {}
+    probed: list[int] = []
+
+    def margin(i: int):
+        """Memoized margin at grid index ``i`` (``_HOLE`` = no data).
+
+        ``Vsa``-less points (strong opens: every read returns 1) count
+        as crossings with the dense sweep's sentinel margin of +1.0.
+        """
+        if i in margins:
+            return margins[i]
+        probed.append(i)
+        settle = settle_curve(model, 0, [rs[i]], n_ops=n_writes,
+                              on_error=on_error)
+        w0 = settle.after(1)[0]
+        vsa = _vsa_curve(model, [rs[i]], tol=vsa_tol, on_error=on_error)
+        if w0 is None or vsa.is_hole(0):
+            m: object = _HOLE
+        elif vsa.thresholds[0] is None:
+            m = 1.0
+        else:
+            m = w0 - vsa.thresholds[0]
+        margins[i] = m
+        return m
+
+    if dense:
+        # The reference path measures the whole grid up front, exactly
+        # like a full settle/Vsa curve sweep, then scans for the
+        # crossing — its probe count is the dense baseline the adaptive
+        # mode is judged against.
+        lattice = list(range(n))
+        for i in lattice:
+            margin(i)
+    else:
+        k = coarse if coarse is not None else max(2, math.isqrt(n - 1) + 1)
+        k = max(2, min(k, n))
+        lattice = sorted({round(j * (n - 1) / (k - 1)) for j in range(k)})
+
+    prev = None   # last measurable lattice index below the crossing
+    hit = None    # first lattice index at/above the crossing
+    for i in lattice:
+        m = margin(i)
+        if m is _HOLE:
+            continue
+        if m >= 0.0:
+            hit = i
+            break
+        prev = i
+    if hit is None:
+        return BorderScan(rs, None, probed)
+
+    if not dense:
+        # Bisect grid indices inside the bracket; holes displace the
+        # midpoint to the nearest measurable index still inside.
+        a = prev if prev is not None else -1
+        b = hit
+        while b - a > 1:
+            mid = (a + b) // 2
+            m = margin(mid)
+            if m is _HOLE:
+                m = None
+                for step in range(1, b - a):
+                    for cand in (mid + step, mid - step):
+                        if a < cand < b and margin(cand) is not _HOLE:
+                            mid, m = cand, margin(cand)
+                            break
+                    if m is not None:
+                        break
+                if m is None:
+                    break   # the whole bracket interior is holes
+            if m >= 0.0:
+                b = mid
+            else:
+                a = mid
+                prev = mid
+        hit = b
+
+    m_hit = margins[hit]
+    if prev is None:
+        return BorderScan(rs, rs[hit], probed)
+    return BorderScan(
+        rs, _interp_crossing(rs[prev], margins[prev], rs[hit], m_hit),
+        probed)

@@ -24,6 +24,7 @@ from repro.analysis.interface import ColumnModel
 from repro.dram.ops import Op, Operation, format_ops
 from repro.engine.failures import is_failed
 from repro.engine.model import BatchItem, batch_run
+from repro.profiling import profiler
 
 
 def log_grid(lo: float, hi: float, points: int) -> list[float]:
@@ -174,8 +175,9 @@ def result_planes(model: ColumnModel, resistances: Sequence[float], *,
             seed = min(max(threshold + sign * seed_offset, 0.0), vdd)
             points.append((label, BatchItem(ops=read_ops, init_vc=seed,
                                             resistance=r)))
-    runs = iter(batch_run(model, [item for _, item in points],
-                          on_error=on_error))
+    with profiler.section("sweep.traces"):
+        runs = iter(batch_run(model, [item for _, item in points],
+                              on_error=on_error))
 
     n_failed_traces = 0
     traces: dict[str, list[list[float] | None]] = {"below": [], "above": []}

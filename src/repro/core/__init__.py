@@ -34,6 +34,7 @@ from repro.core.directions import (
 from repro.core.border import (
     border_improvement,
     failing_range_score,
+    find_border_adaptive,
     find_border_resistance,
     more_effective,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "analyze_write_panel",
     "border_improvement",
     "failing_range_score",
+    "find_border_adaptive",
     "find_border_resistance",
     "more_effective",
     "nominal_stress",

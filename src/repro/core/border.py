@@ -15,7 +15,9 @@ is below BR).
 from __future__ import annotations
 
 from repro.analysis.border import BorderResult, border_resistance
+from repro.analysis.curves import BorderScan, border_crossing_scan
 from repro.analysis.interface import ColumnModel
+from repro.analysis.planes import log_grid
 from repro.core.stresses import StressConditions
 from repro.defects.catalog import Defect
 
@@ -36,6 +38,33 @@ def find_border_resistance(model: ColumnModel, defect: Defect, *,
     return border_resistance(model, fails_high=defect.fails_high,
                              r_lo=r_lo, r_hi=r_hi, sequences=sequences,
                              rel_tol=rel_tol, on_error=on_error)
+
+
+def find_border_adaptive(model: ColumnModel, defect: Defect, *,
+                         stress: StressConditions | None = None,
+                         points: int = 24,
+                         resistances=None,
+                         n_writes: int = 2, vsa_tol: float = 0.01,
+                         on_error: str | None = None) -> BorderScan:
+    """Adaptive BR via the ``(1) w0`` settle × ``Vsa`` crossing.
+
+    The curve-crossing counterpart of a dense
+    :func:`~repro.analysis.planes.result_planes` +
+    ``border_estimate()`` run: the same ``points``-point log grid over
+    the defect's search range, but only a coarse lattice plus an index
+    bisection is simulated (see
+    :func:`~repro.analysis.curves.border_crossing_scan`), so the BR
+    comes back at dense-grid resolution for a fraction of the transient
+    solves.  ``resistances`` overrides the grid entirely (``points`` is
+    then ignored).
+    """
+    if stress is not None:
+        model.set_stress(stress)
+    if resistances is None:
+        r_lo, r_hi = defect.kind.search_range
+        resistances = log_grid(r_lo, r_hi, points)
+    return border_crossing_scan(model, resistances, n_writes=n_writes,
+                                vsa_tol=vsa_tol, on_error=on_error)
 
 
 def border_improvement(defect: Defect, nominal: BorderResult,

@@ -101,6 +101,7 @@ class RunDiagnostics:
     failure_kinds: dict[str, int] = field(default_factory=dict)
     rescue_stages: dict[str, int] = field(default_factory=dict)
     solver_kernels: dict[str, int] = field(default_factory=dict)
+    lane_counters: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # recording
@@ -128,6 +129,15 @@ class RunDiagnostics:
         """
         for name, n in counters.items():
             self.solver_kernels[name] = self.solver_kernels.get(name, 0) + n
+
+    def record_lane_counters(self, counters: dict[str, int]) -> None:
+        """Fold batched-lane kernel counters (lanes launched, converged,
+        isolated, continuation warm-start hits) into the run totals.
+        Informational, like the solver-kernel counters — lane activity
+        never makes a run ``eventful``.
+        """
+        for name, n in counters.items():
+            self.lane_counters[name] = self.lane_counters.get(name, 0) + n
 
     def record_retry(self, count: int = 1) -> None:
         """Batch items re-driven after an infrastructure fault."""
@@ -178,6 +188,10 @@ class RunDiagnostics:
             kernels = ", ".join(f"{k} x{n}" for k, n in
                                 sorted(self.solver_kernels.items()))
             lines.append(f"  solver kernels: {kernels}")
+        if self.lane_counters:
+            lanes = ", ".join(f"{k} x{n}" for k, n in
+                              sorted(self.lane_counters.items()))
+            lines.append(f"  lane kernel: {lanes}")
         return "\n".join(lines)
 
     def report(self, stream=None) -> None:

@@ -8,13 +8,51 @@ the paper.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.stress import NOMINAL_STRESS, StressConditions
-from repro.dram.column import ColumnNetlist, DefectSite, build_column
+from repro.dram.column import (DEFECT_DEVICE, ColumnNetlist, DefectSite,
+                               build_column)
 from repro.dram.ops import Op, Operation, OpResult, SequenceResult, parse_ops
 from repro.dram.tech import TechnologyParams, default_tech
 from repro.dram.timing import plan_cycle
+from repro.spice.lanes import LaneSystem, lane_transient
 from repro.spice.mna import System
 from repro.spice.transient import kernels_enabled, transient
+
+
+def column_idle_state(netlist: ColumnNetlist, tech: TechnologyParams,
+                      stress: StressConditions, target_cell: int,
+                      vc_target: float,
+                      background: int = 0) -> dict[str, float]:
+    """Node voltages of a quiescent column before the first cycle.
+
+    ``vc_target`` is the *physical* storage-node voltage of the target
+    cell (the paper's ``Vc``); the other cells hold the logical
+    ``background`` value through the differential write convention.
+    Shared by :class:`ColumnRunner` and :class:`LaneRunner` so both
+    paths start every sequence from the identical state.
+    """
+    vdd = stress.vdd
+    vpre = tech.vbl_pre(vdd)
+    state = {
+        "blt": vpre, "blc": vpre,
+        "san": vpre, "sap": vpre,
+        "snd_t": tech.v_ref(vdd, stress.temp_c),
+        "snd_c": tech.v_ref(vdd, stress.temp_c),
+        "dx": 0.0, "doutb": vdd, "dout": 0.0,
+        "vdd": vdd, "vref": tech.v_ref(vdd, stress.temp_c),
+        "vpre": vpre,
+    }
+    for i in range(tech.num_wordlines):
+        on_true = i % 2 == 0
+        physical = background if on_true else 1 - background
+        state[f"sn{i}"] = float(physical) * vdd
+    state[netlist.storage_node(target_cell)] = float(vc_target)
+    # Internal defect nodes start at their neighbour's level.
+    if netlist.circuit.has_node(f"s_int{target_cell}"):
+        state[f"s_int{target_cell}"] = float(vc_target)
+    return state
 
 
 class ColumnRunner:
@@ -81,27 +119,9 @@ class ColumnRunner:
         cell (the paper's ``Vc``); the other cells hold the logical
         ``background`` value through the differential write convention.
         """
-        tech, vdd = self.tech, self.stress.vdd
-        vpre = tech.vbl_pre(vdd)
-        state = {
-            "blt": vpre, "blc": vpre,
-            "san": vpre, "sap": vpre,
-            "snd_t": tech.v_ref(vdd, self.stress.temp_c),
-            "snd_c": tech.v_ref(vdd, self.stress.temp_c),
-            "dx": 0.0, "doutb": vdd, "dout": 0.0,
-            "vdd": vdd, "vref": tech.v_ref(vdd, self.stress.temp_c),
-            "vpre": vpre,
-        }
-        for i in range(tech.num_wordlines):
-            on_true = i % 2 == 0
-            physical = background if on_true else 1 - background
-            state[f"sn{i}"] = float(physical) * vdd
-        state[self._sn] = float(vc_target)
-        # Internal defect nodes start at their neighbour's level.
-        circ = self.netlist.circuit
-        if circ.has_node(f"s_int{self.target_cell}"):
-            state[f"s_int{self.target_cell}"] = float(vc_target)
-        return state
+        return column_idle_state(self.netlist, self.tech, self.stress,
+                                 self.target_cell, vc_target,
+                                 background=background)
 
     # ------------------------------------------------------------------
     # execution
@@ -161,3 +181,126 @@ class ColumnRunner:
             result, state = self.run_op(op, state)
             results.append(result)
         return SequenceResult(ops=ops, results=results)
+
+
+class LaneRunner:
+    """Run one operation sequence over many ``Rop`` lanes at once.
+
+    The multi-lane counterpart of :class:`ColumnRunner`: one column
+    netlist, one compiled :class:`System` template, and a
+    :class:`~repro.spice.lanes.LaneSystem` whose per-lane static
+    matrices carry the swept defect resistances.  Lanes that fail the
+    batched Newton loop (after the continuation retry) come back as
+    ``None`` for the caller — typically the batch executor — to re-run
+    on the legacy per-lane path with its full rescue ladder.
+    """
+
+    def __init__(self, *, tech: TechnologyParams | None = None,
+                 stress: StressConditions = NOMINAL_STRESS,
+                 defect_kind: str = "open_sn",
+                 target_cell: int = 0):
+        self.tech = tech or default_tech()
+        self.stress = stress
+        self.target_cell = target_cell
+        # Placeholder resistance: the lanes re-value the device span.
+        defect = DefectSite(kind=defect_kind, cell=target_cell,
+                            resistance=1.0)
+        self.netlist: ColumnNetlist = build_column(self.tech, defect)
+        self._sn = self.netlist.storage_node(target_cell)
+        self._system = System(self.netlist.circuit)
+        self._lanes: LaneSystem | None = None
+
+    def set_stress(self, stress: StressConditions) -> None:
+        self.stress = stress
+
+    def _lane_system(self, resistances) -> LaneSystem:
+        lanes = self._lanes
+        if lanes is None:
+            lanes = LaneSystem(self._system, resistances, DEFECT_DEVICE)
+            self._lanes = lanes
+        elif lanes.resistances != tuple(float(r) for r in resistances):
+            lanes.set_resistances(resistances)
+        return lanes
+
+    def _stack_states(self, states) -> np.ndarray:
+        """Initial solution vectors from per-lane node-voltage dicts."""
+        circ = self.netlist.circuit
+        x2 = np.zeros((len(states), self._system.size))
+        for k, state in enumerate(states):
+            for name, volts in state.items():
+                x2[k, circ.node(name).index] = float(volts)
+        return x2
+
+    def run_sequences(self, ops, lanes_in, background: int = 0
+                      ) -> tuple[list, dict[str, int]]:
+        """Apply one operation sequence to every ``(resistance, init_vc)``
+        lane.
+
+        Returns ``(results, counters)`` where ``results[k]`` is the
+        lane's :class:`SequenceResult`, or ``None`` when that lane was
+        isolated mid-batch, and ``counters`` is the lane bookkeeping for
+        :mod:`repro.diagnostics`.
+        """
+        if isinstance(ops, str):
+            ops = parse_ops(ops)
+        ops = [Op.parse(o) if isinstance(o, str) else o for o in ops]
+        n = len(lanes_in)
+        counters = {"lanes_launched": n, "lanes_isolated": 0,
+                    "lanes_converged": 0, "lane_continuation_hits": 0}
+        # Active lanes, compressed as lanes get isolated: positions into
+        # the caller's lane list.
+        active = list(range(n))
+        states = [
+            column_idle_state(self.netlist, self.tech, self.stress,
+                              self.target_cell, init_vc,
+                              background=background)
+            for _, init_vc in lanes_in]
+        x2 = self._stack_states(states)
+        per_lane_ops: list[list[OpResult]] = [[] for _ in range(n)]
+
+        dt = self.stress.tcyc * self.tech.dt_frac
+        num_nodes = self._system.num_nodes
+        for op in ops:
+            if not active:
+                break
+            lanes = self._lane_system([lanes_in[k][0] for k in active])
+            plan = plan_cycle(op, self.stress, self.tech, self.target_cell)
+            self.netlist.set_waveforms(plan.waveforms)
+            batch = lane_transient(lanes, self.stress.tcyc, dt,
+                                   temp_c=self.stress.temp_c,
+                                   method="be", x0=x2)
+            counters["lane_continuation_hits"] += \
+                batch.counters.get("lane_continuation_hits", 0)
+            counters["lanes_isolated"] += \
+                batch.counters.get("lanes_isolated", 0)
+            survivors = []
+            x_rows = []
+            for pos, res in zip(active, batch.results):
+                if res is None:
+                    per_lane_ops[pos] = None
+                    continue
+                sensed = None
+                if op.operation is Operation.R:
+                    sensed = 1 if res.at("dout", plan.t_sample) > \
+                        0.5 * self.stress.vdd else 0
+                per_lane_ops[pos].append(
+                    OpResult(op=op, vc_end=res.final(self._sn),
+                             sensed=sensed))
+                survivors.append(pos)
+                x_rows.append(res.final_x)
+            active = survivors
+            if not active:
+                break
+            # Cycle chaining mirrors the per-lane path's final_state()
+            # round trip: node voltages carry over, branch currents
+            # restart at zero.
+            x2 = np.zeros((len(active), self._system.size))
+            for j, row in enumerate(x_rows):
+                x2[j, :num_nodes] = row[:num_nodes]
+
+        counters["lanes_converged"] = len(active)
+        results = [
+            SequenceResult(ops=ops, results=lane_ops)
+            if lane_ops is not None else None
+            for lane_ops in per_lane_ops]
+        return results, counters

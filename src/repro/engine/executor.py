@@ -50,7 +50,7 @@ from repro.diagnostics import diagnostics, get_logger
 from repro.dram.ops import SequenceResult, parse_ops
 from repro.engine.cache import EngineStats, ResultCache
 from repro.engine.failures import FailedResult, is_failed
-from repro.engine.request import SequenceRequest
+from repro.engine.request import SequenceRequest, tech_fingerprint
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -103,6 +103,66 @@ def execute_request(request: SequenceRequest) -> SequenceResult:
                               background=request.background)
 
 
+def _lane_group_key(request: SequenceRequest):
+    """Grouping key of the batched-lane path: everything that must match
+    for requests to share one stacked transient (only resistance and
+    initial cell voltage may vary across lanes)."""
+    return (request.defect_kind, request.cell, request.ops,
+            request.background, request.stress,
+            tech_fingerprint(request.tech))
+
+
+def _lane_groups(pending: Sequence[SequenceRequest], width: int
+                 ) -> tuple[list[list[SequenceRequest]],
+                            list[SequenceRequest]]:
+    """Split a batch into same-topology lane groups and a remainder.
+
+    Only electrical requests with a defect resistance are laneable
+    (the resistance is the per-lane axis).  Groups are chunked to at
+    most ``width`` lanes; chunks of a single request are not worth a
+    stacked transient and stay on the classic path.
+    """
+    by_key: dict = {}
+    for i, request in enumerate(pending):
+        if request.backend != "electrical" or request.resistance is None:
+            continue
+        by_key.setdefault(_lane_group_key(request), []).append(i)
+    groups: list[list[SequenceRequest]] = []
+    grouped: set[int] = set()
+    for idxs in by_key.values():
+        for start in range(0, len(idxs), width):
+            chunk = idxs[start:start + width]
+            if len(chunk) >= 2:
+                groups.append([pending[i] for i in chunk])
+                grouped.update(chunk)
+    rest = [r for i, r in enumerate(pending) if i not in grouped]
+    return groups, rest
+
+
+def execute_lane_group(requests: Sequence[SequenceRequest]
+                       ) -> tuple[list, dict[str, int]]:
+    """Run one same-topology group of requests as stacked lanes.
+
+    Returns per-request :class:`SequenceResult` slots (``None`` where a
+    lane was isolated and must re-run on the legacy path) plus the lane
+    counters.  Shares :data:`_PROCESS_MODELS` under a ``"lanes"`` key so
+    repeated sweeps reuse the built netlist and compiled plans.
+    """
+    first = requests[0]
+    key = ("lanes", first.tech, first.defect_kind, first.cell)
+    model = _PROCESS_MODELS.get(key)
+    if model is None:
+        from repro.dram.runner import LaneRunner
+        model = LaneRunner(tech=first.tech, stress=first.stress,
+                           defect_kind=first.defect_kind,
+                           target_cell=first.cell)
+        _PROCESS_MODELS[key] = model
+    model.set_stress(first.stress)
+    lanes_in = [(r.resistance, r.init_vc) for r in requests]
+    return model.run_sequences(parse_ops(first.ops), lanes_in,
+                               background=first.background)
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down without waiting on wedged or dead workers."""
     pool.shutdown(wait=False, cancel_futures=True)
@@ -144,12 +204,23 @@ class BatchExecutor:
         :func:`execute_request`); must be a picklable module-level
         callable.  Exposed for alternative backends and fault-injection
         tests.
+    lanes:
+        Batched-lane width for :meth:`map`: same-topology electrical
+        misses that differ only in defect resistance / initial voltage
+        are stacked into one multi-lane transient of at most this many
+        lanes (see :mod:`repro.spice.lanes`).  ``0`` or ``1`` disables
+        lane grouping; ``None`` (the default) defers to the process-wide
+        :func:`repro.spice.transient.lanes_default` at map time.  Lane
+        groups run in-process — for the small sweeps this repo runs,
+        the stacked kernel beats shipping requests to worker processes,
+        so laneable work is carved out *before* the pool sees it.
     """
 
     def __init__(self, cache: ResultCache | None = None,
                  workers: int = 1, *, on_error: str = "raise",
                  timeout: float | None = None, max_retries: int = 2,
-                 work_fn: Callable = execute_request):
+                 work_fn: Callable = execute_request,
+                 lanes: int | None = None):
         if on_error not in ("raise", "isolate"):
             raise ValueError(f"unknown on_error policy {on_error!r}")
         self.cache = cache
@@ -157,6 +228,7 @@ class BatchExecutor:
         self.on_error = on_error
         self.timeout = timeout
         self.max_retries = max(0, int(max_retries))
+        self.lanes = None if lanes is None else max(0, int(lanes))
         self._work = work_fn
         # Cycle accounting lives on the cache when there is one, so
         # stats survive executor turnover; otherwise track locally.
@@ -225,13 +297,26 @@ class BatchExecutor:
             pending.append(request)
 
         if pending:
-            if workers > 1 and len(pending) > 1:
-                executed = self._execute_pool(pending, workers, on_error,
-                                              timeout, max_retries)
-            else:
-                executed = [self._execute_serial(r, on_error)
-                            for r in pending]
-            for request, result in zip(pending, executed):
+            outcomes: dict[str, object] = {}
+            rest = pending
+            width = self._lane_width()
+            if width >= 2:
+                groups, rest = _lane_groups(pending, width)
+                for group in groups:
+                    for request, result in zip(
+                            group, self._run_lane_group(group, on_error)):
+                        outcomes[request.content_hash] = result
+            if rest:
+                if workers > 1 and len(rest) > 1:
+                    executed = self._execute_pool(rest, workers, on_error,
+                                                  timeout, max_retries)
+                else:
+                    executed = [self._execute_serial(r, on_error)
+                                for r in rest]
+                for request, result in zip(rest, executed):
+                    outcomes[request.content_hash] = result
+            for request in pending:
+                result = outcomes[request.content_hash]
                 results[request.content_hash] = result
                 if is_failed(result):
                     self._stats.failures += 1
@@ -249,6 +334,45 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # execution internals
     # ------------------------------------------------------------------
+    def _lane_width(self) -> int:
+        """Effective lane width for this map call.
+
+        Lane grouping only applies to the standard electrical work
+        unit: a custom ``work_fn`` (fault injection, alternative
+        backends) must see every request, so it disables the carve-out.
+        """
+        if self._work is not execute_request:
+            return 0
+        if self.lanes is not None:
+            return self.lanes
+        from repro.spice.transient import lanes_default
+        return lanes_default()
+
+    def _run_lane_group(self, group: Sequence[SequenceRequest],
+                        on_error: str) -> list:
+        """Execute one lane group, falling back per-lane on trouble.
+
+        Isolated lanes (``None`` slots) re-run on the legacy serial
+        path with its full rescue ladder; an exception from the stacked
+        kernel itself demotes the whole group to serial execution — the
+        lane kernel is an accelerator, never a new failure mode.
+        """
+        try:
+            lane_results, counters = execute_lane_group(group)
+        except Exception as exc:
+            get_logger("engine").warning(
+                "lane group of %d failed (%s: %s); running serially",
+                len(group), type(exc).__name__, exc)
+            return [self._execute_serial(r, on_error) for r in group]
+        diagnostics().record_lane_counters(counters)
+        out = []
+        for request, result in zip(group, lane_results):
+            if result is None:
+                out.append(self._execute_serial(request, on_error))
+            else:
+                out.append(result)
+        return out
+
     def _execute_serial(self, request: SequenceRequest, on_error: str,
                         *, prior_attempts: int = 0):
         """Run one request in-process (also the repeat-offender path)."""
@@ -393,13 +517,14 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
                              max_entries: int = 100_000,
                              disk_dir=None, on_error: str = "raise",
                              timeout: float | None = None,
-                             max_retries: int = 2) -> BatchExecutor:
+                             max_retries: int = 2,
+                             lanes: int | None = None) -> BatchExecutor:
     """Build and install the process-wide engine (CLI entry point)."""
     store = ResultCache(max_entries=max_entries, disk_dir=disk_dir) \
         if cache else None
     engine = BatchExecutor(cache=store, workers=workers,
                            on_error=on_error, timeout=timeout,
-                           max_retries=max_retries)
+                           max_retries=max_retries, lanes=lanes)
     set_default_engine(engine)
     return engine
 

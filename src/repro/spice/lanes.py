@@ -1,0 +1,359 @@
+"""Batched multi-lane transient kernel for defect-resistance sweeps.
+
+Every sweep in the paper (result planes, ``Vsa``/settle curves, BR
+identification) re-solves one column topology where only the defect
+resistor's value changes.  This module stacks N such systems — one
+*lane* per ``Rop`` value — into 3-D stamp/solution arrays built from the
+compiled plans of :mod:`repro.spice.plans` and advances all of them with
+a single masked Newton loop per timestep
+(:func:`~repro.spice.solver.newton_solve_lanes`), so the per-step cost
+is one batched LAPACK call instead of N sequential solves.
+
+Policy, mirroring the PR 3 ``use_kernels`` convention:
+
+* lanes are **opt-in** (``repro.spice.transient.set_lanes_default``);
+  the per-lane path stays the default and the parity baseline;
+* lane results carry a documented **fp tolerance** (~1e-5 V) instead of
+  the bitwise guarantee — the batched scatter sums device deltas apart
+  from the base buffer and the device math uses numpy's SIMD
+  transcendentals (see DESIGN.md section 5d);
+* there is **no in-batch bisection**: a lane whose Newton fails is
+  first retried with a *continuation warm start* (initial guess copied
+  from its nearest already-converged sweep neighbour), and if that also
+  fails it is **isolated** — dropped from the batch and left for the
+  caller to re-run on the legacy per-lane path with its full rescue
+  ladder, so one pathological ``Rop`` cannot poison the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.profiling import profiler
+from repro.spice.errors import SpiceError
+from repro.spice.linalg import dense_errstate
+from repro.spice.mna import STEP_CACHE_MAX, System
+from repro.spice.solver import DEFAULT_VSTEP_MAX, newton_solve_lanes
+from repro.spice.transient import TransientResult, _build_grid
+
+
+class LaneError(SpiceError):
+    """The circuit/plan combination cannot run as a lane batch."""
+
+
+class LaneSystem:
+    """N stacked copies of one compiled :class:`System`, one per lane.
+
+    The template system provides the compiled plans; per-lane state is
+    limited to the static matrices (defect-resistor entries re-valued
+    through the static plan's device span) and the capacitor history.
+    The template's device objects are never mutated, so a ``LaneSystem``
+    can share its :class:`System` with the per-lane legacy path.
+    """
+
+    def __init__(self, system: System, resistances,
+                 device_name: str):
+        plans = system.plans
+        if plans is None or plans.static is None \
+                or not system._step_plannable:
+            raise LaneError(
+                "lane batching needs fully plan-compiled static, dynamic "
+                "and source layers")
+        if system.has_nonlinear and system._nl_plan is None:
+            raise LaneError(
+                "lane batching needs a plan-compiled nonlinear layer")
+        span = plans.static.device_span(device_name)
+        if span is None:
+            raise LaneError(
+                f"device {device_name!r} has no static-plan span to "
+                f"re-value per lane")
+        self.system = system
+        self.device_name = device_name
+        self.size = system.size
+        self.num_nodes = system.num_nodes
+        self._span = span
+        base_vals = plans.static.vals
+        # Resistor static stamps are (g, g, -g, -g) with g = 1/R > 0, so
+        # the signs are exactly +-1 and per-lane values are exactly
+        # signs / R — each lane's static matrix is bitwise identical to
+        # a per-lane rebuild at that resistance.
+        self._signs = np.sign(base_vals[span[0]:span[1]])
+        n2 = self.size * self.size
+        self._n2 = n2
+        self._scratch_cache: dict[int, np.ndarray] = {}
+        self.set_resistances(resistances)
+
+    @property
+    def n_lanes(self) -> int:
+        return self._statics.shape[0]
+
+    @property
+    def has_nonlinear(self) -> bool:
+        return self.system.has_nonlinear
+
+    def set_resistances(self, resistances) -> None:
+        """Rebuild the per-lane static matrices for a new ``Rop`` set.
+
+        Resets the step-matrix cache and the per-lane capacitor history
+        (lanes are only retargeted between transients, never mid-run).
+        """
+        rs = [float(r) for r in resistances]
+        if not rs:
+            raise LaneError("lane batch needs at least one resistance")
+        if any(r <= 0 for r in rs):
+            raise LaneError("lane resistances must be positive")
+        self.resistances = tuple(rs)
+        plans = self.system.plans
+        s0, s1 = self._span
+        size = self.size
+        statics = np.empty((len(rs), size, size))
+        vals = plans.static.vals.copy()
+        gmin = self.system.gmin
+        gmin_idx = self.system._gmin_idx
+        for k, r in enumerate(rs):
+            vals[s0:s1] = self._signs * (1.0 / r)
+            A = plans.static.assemble_with_vals(size, vals)
+            if gmin > 0:
+                A[gmin_idx, gmin_idx] += gmin
+            statics[k] = A
+        self._statics = statics
+        self._step_cache: dict = {}
+        dyn = plans.dynamic
+        self._i_prev2 = (dyn.initial_history_lanes(len(rs))
+                         if dyn is not None else None)
+        # Per-lane cached Jacobian inverses for the quasi-Newton loop
+        # (see solver.newton_solve_lanes); all stale until first use.
+        self._M = np.zeros((len(rs), size, size))
+        self._M_valid = np.zeros(len(rs), dtype=bool)
+
+    # ------------------------------------------------------------------
+    # step layer
+    # ------------------------------------------------------------------
+    def step_matrix_lanes(self, dt: float, method: str) -> np.ndarray:
+        """Per-lane step base matrices, cached per ``(dt, method)``.
+
+        The companion-conductance delta is lane-independent, so it is
+        stamped once into a zero matrix and broadcast-added onto the
+        per-lane statics.  Callers must treat the result as read-only.
+        """
+        key = (dt, method)
+        A = self._step_cache.get(key)
+        if A is None:
+            dyn = self.system.plans.dynamic
+            if dt is not None and dyn is not None:
+                delta = np.zeros((self.size, self.size))
+                dyn.stamp_matrix(delta, dt, method)
+                A = self._statics + delta
+            else:
+                A = self._statics.copy()
+            if len(self._step_cache) >= STEP_CACHE_MAX:
+                self._step_cache.clear()
+            self._step_cache[key] = A
+        return A
+
+    def step_rhs_lanes(self, t: float, dt: float, method: str,
+                       x_prev2: np.ndarray) -> np.ndarray:
+        """Per-lane step right-hand sides at time ``t``.
+
+        Companion currents are lane-dependent (they read each lane's
+        previous solution); the independent sources are shared and
+        broadcast onto every lane.
+        """
+        size = self.size
+        n = x_prev2.shape[0]
+        plans = self.system.plans
+        b2 = np.zeros((n, size + 1))
+        dyn = plans.dynamic
+        if dt is not None and dyn is not None:
+            dyn.stamp_rhs_lanes(b2, dt, method, x_prev2, self._i_prev2)
+        b_src = np.zeros(size)
+        plans.sources.apply(b_src, t)
+        b = b2[:, :size]
+        b += b_src
+        return b
+
+    # ------------------------------------------------------------------
+    # iteration layer
+    # ------------------------------------------------------------------
+    def build_iteration_lanes(self, A_step2: np.ndarray,
+                              b_step2: np.ndarray, x2: np.ndarray,
+                              temp_c: float
+                              ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`System.build_iteration`: per-lane Jacobians and
+        right-hand sides linearised around the stacked iterates.
+
+        Returns views into a reused scratch buffer — consume them before
+        the next call with the same batch size.
+        """
+        n = x2.shape[0]
+        n2, size = self._n2, self.size
+        sc = self._scratch_cache.get(n)
+        if sc is None:
+            sc = np.empty((n, n2 + size + 2))
+            self._scratch_cache[n] = sc
+        sc[:, :n2] = A_step2.reshape(n, n2)
+        sc[:, n2] = 0.0
+        sc[:, n2 + 1:n2 + 1 + size] = b_step2
+        sc[:, -1] = 0.0
+        nl = self.system._nl_plan
+        if nl is not None:
+            nl.apply_lanes(sc, x2, temp_c)
+        A = sc[:, :n2].reshape(n, size, size)
+        b = sc[:, n2 + 1:n2 + 1 + size]
+        return A, b
+
+    def residual_currents_lanes(self, x2: np.ndarray,
+                                temp_c: float) -> np.ndarray | None:
+        """True nonlinear device currents at ``x2``, padded — the cheap
+        per-chord-iteration half of the residual
+        ``b_step + I_nl(x) - A_step x`` (see
+        :func:`~repro.spice.solver.newton_solve_lanes`).  Returns
+        ``(n_lanes, size + 1)`` (last column is the ground scrap), or
+        ``None`` for a linear system."""
+        nl = self.system._nl_plan
+        if nl is None:
+            return None
+        return nl.residual_lanes(x2, temp_c)
+
+    def accept_step_lanes(self, x_prev2: np.ndarray, x_now2: np.ndarray,
+                          dt: float, method: str) -> None:
+        """Propagate the per-lane integrator history."""
+        dyn = self.system.plans.dynamic
+        if dyn is not None:
+            self._i_prev2 = dyn.accept_step_lanes(
+                x_prev2, x_now2, dt, method, self._i_prev2)
+
+
+@dataclass
+class LaneBatchResult:
+    """Outcome of one :func:`lane_transient` run.
+
+    ``results[k]`` is the lane's :class:`TransientResult`, or ``None``
+    when the lane was isolated (``isolated[k]`` true) and must be
+    re-run on the legacy per-lane path.  ``counters`` holds the lane
+    bookkeeping that feeds :mod:`repro.diagnostics`.
+    """
+
+    results: list
+    isolated: np.ndarray
+    counters: dict = field(default_factory=dict)
+
+
+def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
+                   temp_c: float = 27.0, method: str = "be",
+                   x0: np.ndarray) -> LaneBatchResult:
+    """Run one transient over every lane of ``lanes`` simultaneously.
+
+    ``x0`` is the ``(n_lanes, size)`` stack of initial solution vectors
+    (one idle state per lane).  All lanes share the
+    breakpoint-augmented time grid of the scalar kernel path
+    (:func:`~repro.spice.transient._build_grid`); there is no in-batch
+    step bisection — see the module docstring for the failure policy.
+    """
+    if tstop <= 0 or dt <= 0:
+        raise SpiceError("tstop and dt must be positive")
+    if method not in ("be", "trap"):
+        raise SpiceError(f"unknown integration method {method!r}")
+    system = lanes.system
+    n_lanes = lanes.n_lanes
+    size = lanes.size
+    if x0.shape != (n_lanes, size):
+        raise LaneError(
+            f"x0 shape {x0.shape} does not match ({n_lanes}, {size})")
+    grid = _build_grid(tstop, dt, system.source_waveforms())
+    times = np.asarray(grid)
+    num_nodes = lanes.num_nodes
+    node_names = system.circuit.node_names
+
+    x2 = x0.astype(float, copy=True)
+    alive = np.ones(n_lanes, dtype=bool)
+    counters = {"lanes_launched": n_lanes, "lanes_isolated": 0,
+                "lane_continuation_hits": 0}
+    data = np.zeros((n_lanes, len(grid), num_nodes))
+    data[:, 0] = x2[:, :num_nodes]
+
+    if profiler.enabled:
+        profiler.count("lanes.transients")
+        profiler.count("lanes.width", n_lanes)
+    with profiler.section("transient.lanes"), dense_errstate():
+        t_prev = grid[0]
+        x2_prev: np.ndarray | None = None
+        x2_prev2: np.ndarray | None = None
+        dt_prev = 0.0
+        dt_prev2 = 0.0
+        for gi in range(1, len(grid)):
+            t_target = grid[gi]
+            dt_step = t_target - t_prev
+            A_step = lanes.step_matrix_lanes(dt_step, method)
+            b_step = lanes.step_rhs_lanes(t_target, dt_step, method, x2)
+            act = np.flatnonzero(alive)
+            if act.size == 0:
+                break
+            # Polynomial predictor: extrapolate the Newton initial
+            # guess from the last accepted solutions (quadratic through
+            # three once available, linear through two before that).
+            # Affects only the convergence path (the fixed point is
+            # unchanged), but typically saves a chord pass per step.
+            # The extrapolated delta is clamped to the solver's damping
+            # cap — around source breakpoints the history slope is
+            # stale and an unbounded prediction can strand a lane in
+            # the wrong basin.
+            if x2_prev is not None and dt_prev > 0.0:
+                d1 = (x2 - x2_prev) * (1.0 / dt_prev)
+                delta = d1 * dt_step
+                if x2_prev2 is not None and dt_prev2 > 0.0:
+                    d2 = (x2_prev - x2_prev2) * (1.0 / dt_prev2)
+                    delta += (d1 - d2) * (dt_step * (dt_step + dt_prev)
+                                          / (dt_prev + dt_prev2))
+                np.clip(delta, -DEFAULT_VSTEP_MAX, DEFAULT_VSTEP_MAX,
+                        out=delta)
+                guess = x2 + delta
+            else:
+                guess = x2
+            x_new, fail = newton_solve_lanes(
+                lanes, A_step[act], b_step[act], guess[act], act,
+                temp_c=temp_c)
+            x_cand = x2.copy()
+            x_cand[act] = x_new
+            if fail.any():
+                bad = act[fail]
+                good = act[~fail]
+                if good.size:
+                    # Continuation in Rop: warm-start each failing lane
+                    # from its nearest converged sweep neighbour.
+                    retry_x0 = np.empty((bad.size, size))
+                    for j, k in enumerate(bad):
+                        nearest = good[np.argmin(np.abs(good - k))]
+                        retry_x0[j] = x_cand[nearest]
+                    x_retry, fail2 = newton_solve_lanes(
+                        lanes, A_step[bad], b_step[bad], retry_x0, bad,
+                        temp_c=temp_c)
+                    rescued = bad[~fail2]
+                    if rescued.size:
+                        x_cand[rescued] = x_retry[~fail2]
+                        counters["lane_continuation_hits"] += \
+                            int(rescued.size)
+                    bad = bad[fail2]
+                if bad.size:
+                    alive[bad] = False
+                    counters["lanes_isolated"] += int(bad.size)
+            live = np.flatnonzero(alive)
+            x_next = x2.copy()
+            x_next[live] = x_cand[live]
+            lanes.accept_step_lanes(x2, x_next, dt_step, method)
+            x2_prev2, dt_prev2 = x2_prev, dt_prev
+            x2_prev, dt_prev = x2, dt_step
+            x2 = x_next
+            data[live, gi] = x2[live, :num_nodes]
+            t_prev = t_target
+
+    counters["lanes_converged"] = int(alive.sum())
+    results = [
+        TransientResult(times, data[k], node_names,
+                        final_x=x2[k].copy(), rescues=[])
+        if alive[k] else None
+        for k in range(n_lanes)]
+    return LaneBatchResult(results=results, isolated=~alive,
+                           counters=counters)

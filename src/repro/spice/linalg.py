@@ -68,6 +68,27 @@ def solve_dense_nocheck(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         raise SingularMatrixError(str(exc)) from None
 
 
+def solve_dense_lanes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Batched dense solve: ``a`` is ``(n_lanes, n, n)``, ``b`` is
+    ``(n_lanes, n)``; returns the stacked solutions.
+
+    Dispatches to the same ``solve1`` gufunc as
+    :func:`solve_dense_nocheck` — the gufunc broadcasts over the leading
+    batch dimension, running one LAPACK factor+solve per lane, so each
+    lane's answer is bitwise identical to a per-lane
+    ``np.linalg.solve``.  The caller must hold :func:`dense_errstate`;
+    a singular matrix in *any* lane raises
+    :class:`SingularMatrixError` (use a per-lane fallback to identify
+    the offender).
+    """
+    if _SOLVE1 is not None:
+        return _SOLVE1(a, b, signature="dd->d")
+    try:
+        return np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(str(exc)) from None
+
+
 def solve_dense(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``np.linalg.solve`` for a square float ``a`` and 1-D ``b``, minus
     the wrapper overhead.

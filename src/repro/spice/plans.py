@@ -126,25 +126,49 @@ class _Recorder:
 
 
 class StaticPlan:
-    """Recorded value-only stamps as flat index/value arrays."""
+    """Recorded value-only stamps as flat index/value arrays.
 
-    def __init__(self, rows, cols, vals):
+    ``spans`` maps a device name to the ``(start, end)`` slice of the
+    entry arrays that device recorded — the hook the multi-lane kernel
+    uses to re-value a single device (the defect resistor) per lane
+    without recompiling the plan.
+    """
+
+    def __init__(self, rows, cols, vals,
+                 spans: dict[str, tuple[int, int]] | None = None):
         self.rows = np.asarray(rows, dtype=np.intp)
         self.cols = np.asarray(cols, dtype=np.intp)
         self.vals = np.asarray(vals, dtype=float)
+        self.spans = spans or {}
 
     def assemble(self, size: int) -> np.ndarray:
         A = np.zeros((size, size))
         np.add.at(A, (self.rows, self.cols), self.vals)
         return A
 
+    def assemble_with_vals(self, size: int,
+                           vals: np.ndarray) -> np.ndarray:
+        """:meth:`assemble` with substituted entry values (same slots)."""
+        A = np.zeros((size, size))
+        np.add.at(A, (self.rows, self.cols), vals)
+        return A
+
+    def device_span(self, name: str) -> tuple[int, int] | None:
+        """Entry-array slice recorded by device ``name`` (or ``None``)."""
+        return self.spans.get(name)
+
 
 def compile_static(devices, num_nodes: int) -> StaticPlan | None:
     """Record every device's static stamps; ``None`` on fallback."""
     rec = _Recorder(num_nodes)
+    spans: dict[str, tuple[int, int]] = {}
     try:
         for dev in devices:
+            start = len(rec.mat)
             dev.stamp_static(rec)
+            name = getattr(dev, "name", None)
+            if name is not None:
+                spans[name] = (start, len(rec.mat))
     except UnsupportedStamp:
         return None
     if rec.rhs:
@@ -154,7 +178,7 @@ def compile_static(devices, num_nodes: int) -> StaticPlan | None:
     rows = [r for r, _, _ in rec.mat]
     cols = [c for _, c, _ in rec.mat]
     vals = [v for _, _, v in rec.mat]
-    return StaticPlan(rows, cols, vals)
+    return StaticPlan(rows, cols, vals, spans=spans)
 
 
 def _scrap_flat(row, col, size):
@@ -283,6 +307,70 @@ class DynamicPlan:
         # Keep the device objects authoritative for cross-analysis chaining.
         for dev, val in zip(self.caps, self._i_prev):
             dev._i_prev = float(val)
+
+    # ------------------------------------------------------------------
+    # multi-lane (batched) variants
+    # ------------------------------------------------------------------
+    def stamp_rhs_lanes(self, b2_padded: np.ndarray, dt: float,
+                        method: str, x_prev2: np.ndarray,
+                        i_prev2: np.ndarray | None = None) -> None:
+        """Batched :meth:`stamp_rhs` over ``(n_lanes, size + 1)`` buffers.
+
+        ``x_prev2`` stacks one state vector per lane; ``i_prev2`` is the
+        caller-held trapezoidal history ``(n_lanes, n_caps)`` (lanes
+        never chain history through the device objects).  Scattering
+        goes through a per-lane segment sum (``np.bincount``) rather
+        than ``np.add.at`` — same totals per slot, accumulated apart
+        from the base buffer, so lane results carry the documented fp
+        tolerance instead of bitwise parity.
+        """
+        va = np.where(self.ia >= 0, x_prev2[:, self.ia], 0.0)
+        vb = np.where(self.ib >= 0, x_prev2[:, self.ib], 0.0)
+        geq = self._geq(dt, method)
+        ieq = geq * (va - vb)
+        if method == "trap" and i_prev2 is not None:
+            ieq = ieq + i_prev2
+        vals = np.repeat(ieq, 2, axis=1) * self._rhs_sign
+        _scatter_lanes(b2_padded, self._rhs_idx, vals)
+
+    def accept_step_lanes(self, x_prev2: np.ndarray, x_now2: np.ndarray,
+                          dt: float, method: str,
+                          i_prev2: np.ndarray | None) -> np.ndarray | None:
+        """Batched trapezoidal history update; returns the new history.
+
+        Device objects are left untouched — per-lane history lives with
+        the caller (:class:`~repro.spice.lanes.LaneSystem`).
+        """
+        if method != "trap" or i_prev2 is None:
+            return i_prev2
+        va_p = np.where(self.ia >= 0, x_prev2[:, self.ia], 0.0)
+        vb_p = np.where(self.ib >= 0, x_prev2[:, self.ib], 0.0)
+        va_n = np.where(self.ia >= 0, x_now2[:, self.ia], 0.0)
+        vb_n = np.where(self.ib >= 0, x_now2[:, self.ib], 0.0)
+        return (2.0 * self.cap / dt * ((va_n - vb_n) - (va_p - vb_p))
+                - i_prev2)
+
+    def initial_history_lanes(self, n_lanes: int) -> np.ndarray:
+        """Per-lane trapezoidal history seeded from the device state."""
+        return np.tile(self._i_prev, (n_lanes, 1))
+
+
+def _scatter_lanes(target2: np.ndarray, idx, vals2: np.ndarray) -> None:
+    """Accumulate ``vals2`` into ``target2`` at per-lane slot indices.
+
+    ``idx`` is either a shared ``(n_slots,)`` index vector or a per-lane
+    ``(n_lanes, n_slots)`` array.  Implemented as one flattened
+    ``np.bincount`` segment sum — per slot the summation order matches
+    the sequential ``np.add.at`` order, but the partial sums accumulate
+    separately from the base buffer before one final add (fp-tolerance
+    rather than bitwise parity; the per-lane path keeps the latter).
+    """
+    n_lanes, stride = target2.shape
+    offsets = (np.arange(n_lanes) * stride)[:, None]
+    flat_idx = (idx + offsets).ravel()
+    acc = np.bincount(flat_idx, weights=vals2.ravel(),
+                      minlength=n_lanes * stride)
+    target2 += acc.reshape(n_lanes, stride)
 
 
 class SourcePlan:
@@ -474,6 +562,22 @@ class NonlinearPlan:
         # rewritten on every call, so reuse is safe.
         self._qa = [0.0] * n_A
         self._vb = [0.0] * n_b
+
+        # residual-form (chord) lane kernel: one fused terminal gather
+        # through a zero-padded iterate (ground -> pad column ``size``)
+        # and one bincount scatter with flat indices cached per lane
+        # count (see :meth:`residual_lanes`).
+        def _pad(idx: np.ndarray) -> np.ndarray:
+            return np.where(idx >= 0, idx, size)
+
+        self._res_gather = np.concatenate(
+            [_pad(self._mos_d), _pad(self._mos_g), _pad(self._mos_s),
+             _pad(self._di_a), _pad(self._di_c)])
+        self._res_idx = np.concatenate(
+            [self._b_idx[mos_b_pos[:, 0]], self._b_idx[mos_b_pos[:, 1]],
+             self._b_idx[di_b_pos[:, 0]], self._b_idx[di_b_pos[:, 1]]])
+        self._res_flat_cache: dict[int, np.ndarray] = {}
+        self._res_pad_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _temp_params(self, temp_c: float) -> tuple:
@@ -691,6 +795,196 @@ class NonlinearPlan:
         else:
             idx = self._AB_idx_norm
         np.add.at(flat, idx, quant * self._AB_sign)
+
+    # ------------------------------------------------------------------
+    # multi-lane (batched) evaluation
+    # ------------------------------------------------------------------
+    def apply_lanes(self, flat2: np.ndarray, x2: np.ndarray,
+                    temp_c: float) -> None:
+        """Batched :meth:`apply` over ``n_lanes`` stacked iterates.
+
+        ``flat2`` is ``(n_lanes, size^2 + size + 2)`` — one combined
+        ``[A | scrapA | b | scrapB]`` scratch row per lane — and ``x2``
+        stacks the Newton iterates.  The device math uses numpy's native
+        transcendentals (:func:`_mosfet_curves_lanes`,
+        :func:`_diode_iv_lanes`), which differ from the scalar ``math``
+        calls of the per-lane path in the last ulp; lane results
+        therefore carry a documented fp tolerance instead of the bitwise
+        guarantee (see DESIGN.md section 5d).
+        """
+        beta, nvt, vth, lam, di_isat, di_vt = self._temp_params(temp_c)
+        n_lanes = x2.shape[0]
+        n_A, n_b = self._n_A, self._n_b
+        quant = np.empty((n_lanes, n_A + n_b))
+        swap = None
+        if self.mosfets:
+            pol = self._mos_pol
+            vd = self._gather2(x2, self._mos_d)
+            vg = self._gather2(x2, self._mos_g)
+            vs = self._gather2(x2, self._mos_s)
+            swap = pol * (vd - vs) < 0.0
+            vnd = np.where(swap, vs, vd)
+            vns = np.where(swap, vd, vs)
+            vgs = pol * (vg - vns)
+            vds = pol * (vnd - vns)
+            ids, gm, gds = _mosfet_curves_lanes(beta, nvt, vth, lam,
+                                                vgs, vds)
+            residual = pol * ids - gds * (vnd - vns) - gm * (vg - vns)
+            quant[:, self._mos_A_pos[:, :4]] = gds[:, :, None]
+            quant[:, self._mos_A_pos[:, 4:]] = gm[:, :, None]
+            sgn = np.where(swap, 1.0, -1.0)
+            quant[:, self._mos_b_q[:, 0]] = sgn * residual
+            quant[:, self._mos_b_q[:, 1]] = -sgn * residual
+        if self.diodes:
+            va = self._gather2(x2, self._di_a)
+            vc = self._gather2(x2, self._di_c)
+            v = va - vc
+            i, gd = _diode_iv_lanes(v, di_vt, di_isat)
+            ires = i - gd * v
+            quant[:, self._di_A_pos] = gd[:, :, None]
+            quant[:, self._di_b_q[:, 0]] = -ires
+            quant[:, self._di_b_q[:, 1]] = ires
+        if swap is not None and swap.any():
+            swap_slots = np.zeros((n_lanes, n_A), dtype=bool)
+            swap_slots[:, self._mos_A_pos] = swap[:, :, None]
+            A_idx = np.where(swap_slots, self._A_idx_swap,
+                             self._A_idx_norm)
+            idx = np.concatenate(
+                [A_idx,
+                 np.broadcast_to(self._b_idx_off, (n_lanes, n_b))],
+                axis=1)
+        else:
+            idx = self._AB_idx_norm
+        _scatter_lanes(flat2, idx, quant * self._AB_sign)
+
+    def residual_lanes(self, x2: np.ndarray,
+                       temp_c: float) -> np.ndarray:
+        """Accumulated true device currents as a padded lane rhs.
+
+        The quasi-Newton lane loop updates via the residual form
+        ``dx = M (b_step + I_nl(x) - A_step x)``: because the Newton
+        linearization agrees with the device at its expansion point,
+        ``b_dev - A_dev x`` collapses to the physical device current at
+        ``x``, stamped into the two terminal rows.  That makes chord
+        iterations need only this current evaluation — the full
+        Jacobian scatter of :meth:`apply_lanes` runs solely on refactor
+        passes.  Returns a fresh ``(n_lanes, size + 1)`` array (last
+        column is the ground scrap slot).
+
+        This is the hottest lane kernel, so it is written for minimum
+        numpy op count: one fused terminal gather through a
+        zero-padded iterate, branch-free normalized-frame math
+        (``vns = pol min(pol vd, pol vs)``, ``vds = |vd - vs|``, slot
+        sign ``-sign(vd - vs)``), and one cached-flat-index bincount
+        scatter.
+        """
+        beta, nvt, vth, lam, di_isat, di_vt = self._temp_params(temp_c)
+        n_lanes, size = x2.shape[0], self.size
+        x2p = self._res_pad_cache.get(n_lanes)
+        if x2p is None:
+            x2p = np.zeros((n_lanes, size + 1))
+            self._res_pad_cache[n_lanes] = x2p
+        x2p[:, :size] = x2
+        g = x2p[:, self._res_gather]
+        nm = len(self.mosfets)
+        parts = []
+        if nm:
+            vd, vg, vs = g[:, :nm], g[:, nm:2 * nm], g[:, 2 * nm:3 * nm]
+            pol = self._mos_pol
+            pvd = pol * vd
+            pvs = pol * vs
+            d = vd - vs
+            vgs = pol * vg - np.minimum(pvd, pvs)
+            ids = _mosfet_ids_lanes(beta, nvt, vth, lam, vgs, np.abs(d))
+            # b slot 0 targets the physical drain row; the current into
+            # it is pol*ids in the normalized frame, which collapses to
+            # the polarity-free -sign(vd - vs) * ids.
+            i_slot = np.sign(d) * ids
+            parts += [-i_slot, i_slot]
+        if self.diodes:
+            va, vc = g[:, 3 * nm:3 * nm + len(self.diodes)], \
+                g[:, 3 * nm + len(self.diodes):]
+            arg = np.minimum((va - vc) / di_vt, _DIODE_EXP_CLAMP)
+            i = di_isat * (np.exp(arg) - 1.0)
+            parts += [-i, i]
+        vals = parts[0] if len(parts) == 1 else \
+            np.concatenate(parts, axis=1)
+        flat_idx = self._res_flat_cache.get(n_lanes)
+        if flat_idx is None:
+            stride = size + 1
+            flat_idx = (self._res_idx
+                        + (np.arange(n_lanes) * stride)[:, None]).ravel()
+            self._res_flat_cache[n_lanes] = flat_idx
+        acc = np.bincount(flat_idx, weights=vals.ravel(),
+                          minlength=n_lanes * (size + 1))
+        return acc.reshape(n_lanes, size + 1)
+
+    @staticmethod
+    def _gather2(x2: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Per-lane gather: ground sentinel ``-1`` reads 0 V."""
+        return np.where(idx >= 0, x2[:, idx], 0.0)
+
+
+def _mosfet_curves_lanes(beta, nvt, vth, lam, vgs, vds):
+    """Numpy-native mirror of :func:`~repro.spice.mosfet
+    .mosfet_curves_vec` for 2-D lane batches.
+
+    Same formulas and clamps; the transcendentals are numpy's SIMD
+    ``exp``/``log1p`` instead of the scalar :mod:`math` calls, so
+    results agree with the per-lane path only to the last ulp (the lane
+    kernel's documented fp tolerance).
+    """
+    vov = vgs - vth
+    u = vov / nvt
+    uc = np.clip(u, -_MOS_EXP_CLAMP, _MOS_EXP_CLAMP)
+    sp = np.where(u > _MOS_EXP_CLAMP, u,
+                  np.where(u < -_MOS_EXP_CLAMP, 0.0,
+                           np.log1p(np.exp(uc))))
+    sg = np.where(u > _MOS_EXP_CLAMP, 1.0,
+                  np.where(u < -_MOS_EXP_CLAMP, 0.0,
+                           1.0 / (1.0 + np.exp(-uc))))
+    veff = nvt * sp
+    clm = 1.0 + lam * vds
+    tri = vds < veff
+    ids_tri = beta * (veff - 0.5 * vds) * vds * clm
+    gm_tri = beta * vds * clm * sg
+    gds_tri = beta * ((veff - vds) * clm + (veff - 0.5 * vds) * vds * lam)
+    half_beta_veff2 = 0.5 * beta * veff * veff
+    ids_sat = half_beta_veff2 * clm
+    gm_sat = beta * veff * clm * sg
+    gds_sat = half_beta_veff2 * lam
+    ids = np.where(tri, ids_tri, ids_sat)
+    gm = np.where(tri, gm_tri, gm_sat)
+    gds = np.where(tri, gds_tri, gds_sat)
+    return ids, gm, gds
+
+
+def _mosfet_ids_lanes(beta, nvt, vth, lam, vgs, vds):
+    """Drain current only — the cheap core of
+    :func:`_mosfet_curves_lanes` for chord (residual) iterations.
+
+    Uses the exact branch-free softplus ``max(u, 0) + log1p(exp(-|u|))``
+    instead of the clamp-and-select of the curve kernel: same value to
+    rounding everywhere (the clamp only guards ``exp`` overflow, which
+    the ``-|u|`` argument rules out) with three fewer ufunc dispatches —
+    this runs once per chord iteration."""
+    u = (vgs - vth) / nvt
+    sp = np.maximum(u, 0.0) + np.log1p(np.exp(-np.abs(u)))
+    veff = nvt * sp
+    clm = 1.0 + lam * vds
+    return np.where(vds < veff,
+                    beta * (veff - 0.5 * vds) * vds * clm,
+                    0.5 * beta * veff * veff * clm)
+
+
+def _diode_iv_lanes(v, vt, isat):
+    """Numpy-native mirror of :func:`~repro.spice.devices.diode_iv_vec`
+    for 2-D lane batches (same clamp, numpy ``exp``)."""
+    arg = np.minimum(v / vt, _DIODE_EXP_CLAMP)
+    e = np.exp(arg)
+    i = isat * (e - 1.0)
+    gd = isat * e / vt
+    return i, gd
 
 
 def compile_dynamic(devices, size: int) -> DynamicPlan | None:

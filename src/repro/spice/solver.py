@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.spice.errors import ConvergenceError, SingularMatrixError
 from repro.spice.linalg import (LUFactorization, lu_factor,
-                                solve_dense_nocheck)
+                                solve_dense_lanes, solve_dense_nocheck)
 from repro.spice.mna import System
 from repro.spice.netlist import AnalysisContext
 
@@ -40,6 +40,16 @@ SOURCE_RESCUE_STEPS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 #: Modified Newton refactors when the update norm stops shrinking by this.
 MODIFIED_NEWTON_SHRINK = 0.5
+
+#: Extra convergence tightening of the lane (chord) iteration.  A full
+#: Newton pass leaves a quadratically small error once ``dv < vtol``;
+#: a chord pass only guarantees ~``dv`` itself, and that per-step error
+#: accumulates over a chained transient — converging the chord loop a
+#: decade deeper keeps lane trajectories well inside the documented
+#: 1e-5 fp tolerance of the per-lane path (measured worst-case node
+#: divergence over the Fig. 2 sweep: ~3e-6) while costing roughly one
+#: cheap residual pass per step over the per-lane tolerance.
+LANE_VTOL_FACTOR = 1e-1
 
 
 def _failing_nodes(system: System, dx: np.ndarray, vtol: float,
@@ -150,6 +160,166 @@ def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
         f"Newton iteration did not converge within {max_iter} iterations "
         f"(time={ctx.time!r}, moving nodes: {', '.join(nodes) or '-'})",
         time=ctx.time, iterations=max_iter, nodes=nodes)
+
+
+def _try_solve_lanes(A: np.ndarray, b: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Batched solve that survives per-lane singular matrices.
+
+    Returns ``(x, ok)`` where ``ok`` is a boolean mask over lanes.  The
+    common case — no singular lane — is one gufunc call; when the batch
+    raises, each lane is re-solved individually so only the offending
+    lanes are flagged (their rows are left as zeros).  The caller must
+    hold :func:`~repro.spice.linalg.dense_errstate`.
+    """
+    n_lanes = A.shape[0]
+    try:
+        return solve_dense_lanes(A, b), np.ones(n_lanes, dtype=bool)
+    except SingularMatrixError:
+        pass
+    x = np.zeros_like(b)
+    ok = np.zeros(n_lanes, dtype=bool)
+    for k in range(n_lanes):
+        try:
+            x[k] = solve_dense_nocheck(A[k], b[k])
+            ok[k] = True
+        except SingularMatrixError:
+            pass
+    return x, ok
+
+
+def _refactor_lanes(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Batched explicit inverses with per-lane singularity isolation.
+
+    Returns ``(M, ok)``; a singular lane gets a zero matrix and a
+    cleared ``ok`` flag.  The caller must hold
+    :func:`~repro.spice.linalg.dense_errstate`.
+    """
+    n_lanes = A.shape[0]
+    ok = np.ones(n_lanes, dtype=bool)
+    try:
+        return np.linalg.inv(A), ok
+    except (np.linalg.LinAlgError, SingularMatrixError):
+        pass
+    M = np.zeros_like(A)
+    for k in range(n_lanes):
+        try:
+            M[k] = np.linalg.inv(A[k])
+        except (np.linalg.LinAlgError, SingularMatrixError):
+            ok[k] = False
+    return M, ok
+
+
+def newton_solve_lanes(lanes, A_step: np.ndarray, b_step: np.ndarray,
+                       x0: np.ndarray, lane_idx: np.ndarray, *,
+                       temp_c: float, max_iter: int = 100,
+                       vtol: float = DEFAULT_VTOL,
+                       vstep_max: float = DEFAULT_VSTEP_MAX,
+                       shrink: float = MODIFIED_NEWTON_SHRINK
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Masked batched quasi-Newton over stacked same-topology systems.
+
+    ``lanes`` is a :class:`~repro.spice.lanes.LaneSystem`; ``A_step`` is
+    ``(n_batch, size, size)``, ``b_step`` and ``x0`` are
+    ``(n_batch, size)``, and ``lane_idx`` maps batch rows to global lane
+    positions (it keys the per-lane Jacobian-inverse cache on
+    ``lanes``).
+
+    The update is the residual form of the per-lane Newton step,
+    ``dx = M (b - A x)``, where ``M`` is each lane's cached Jacobian
+    inverse — the batched equivalent of :func:`newton_solve`'s opt-in
+    modified mode.  While the update norm shrinks geometrically (by
+    ``shrink`` per pass, the legacy criterion) the factorization is
+    reused across iterations *and* time steps, so the LAPACK cost drops
+    out of quiet stretches of the cycle entirely; a stale lane
+    refactors and its next pass is a full Newton step.  Because the
+    fixed point of the residual iteration is the exact solution of the
+    step's nonlinear system, reuse affects only the convergence path,
+    not the solution (within ``vtol`` — part of the lane kernel's
+    documented fp tolerance).  Damping and the ``dv_max < vtol`` test
+    match :func:`newton_solve` per lane.
+
+    Returns ``(x, failed)``: the stacked solutions and a boolean mask
+    over batch rows that did not converge (their rows hold the last
+    iterate).  Nothing raises for a lane failure — the lane transient
+    driver owns the continuation-retry / isolation policy.  The caller
+    must hold :func:`~repro.spice.linalg.dense_errstate`.
+    """
+    n_batch = x0.shape[0]
+    n = lanes.num_nodes
+    failed = np.zeros(n_batch, dtype=bool)
+    if not lanes.has_nonlinear:
+        x, ok = _try_solve_lanes(A_step, b_step)
+        failed[~ok] = True
+        return x, failed
+
+    M_cache, M_valid = lanes._M, lanes._M_valid
+    size = lanes.size
+    x = x0.copy()
+    # The loop maintains trimmed working copies (iterate, step system,
+    # cached inverses, previous update norm) and writes rows back into
+    # ``x`` only when a lane converges, fails, or the budget runs out —
+    # the hot path carries no per-iteration fancy indexing beyond the
+    # staleness lookup.
+    active = np.arange(n_batch)
+    x_act = x0.copy()
+    A_act, b_act = A_step, b_step
+    M_act = M_cache[active]
+    dv_prev = np.full(n_batch, np.inf)
+    vtol = vtol * LANE_VTOL_FACTOR
+    gidx = lane_idx[active]
+    for _ in range(max_iter):
+        stale = ~M_valid[gidx]
+        if stale.any():
+            # Full Jacobian assembly only for the lanes that refactor;
+            # their next update is then an exact Newton step.
+            A_full, _ = lanes.build_iteration_lanes(
+                A_act[stale], b_act[stale], x_act[stale], temp_c)
+            M_new, ok = _refactor_lanes(A_full)
+            M_cache[gidx[stale]] = M_new
+            M_valid[gidx[stale]] = ok
+            M_act[stale] = M_new
+            if not ok.all():
+                bad_rows = np.flatnonzero(stale)[~ok]
+                x[active[bad_rows]] = x_act[bad_rows]
+                failed[active[bad_rows]] = True
+                keep = np.ones(active.size, dtype=bool)
+                keep[bad_rows] = False
+                active, A_act, b_act, x_act, M_act, dv_prev = (
+                    active[keep], A_act[keep], b_act[keep], x_act[keep],
+                    M_act[keep], dv_prev[keep])
+                if active.size == 0:
+                    return x, failed
+                gidx = gidx[keep]
+        r = b_act - np.matmul(A_act, x_act[:, :, None])[:, :, 0]
+        cur = lanes.residual_currents_lanes(x_act, temp_c)
+        if cur is not None:
+            r += cur[:, :size]
+        dx = np.matmul(M_act, r[:, :, None])[:, :, 0]
+        dv_max = np.abs(dx[:, :n]).max(axis=1) if n \
+            else np.zeros(active.size)
+        # Branch-free damping: the scale is exactly 1.0 (a bitwise
+        # no-op multiply) whenever dv_max <= vstep_max.
+        dx *= (vstep_max / np.maximum(dv_max, vstep_max))[:, None]
+        x_act += dx
+        conv = dv_max < vtol
+        # Stagnating lanes refactor on the next pass (stale Jacobian).
+        slow = ~conv & (dv_max >= shrink * dv_prev)
+        if slow.any():
+            M_valid[gidx[slow]] = False
+        dv_prev = dv_max
+        if conv.any():
+            x[active[conv]] = x_act[conv]
+            keep = ~conv
+            active, A_act, b_act, x_act, M_act, dv_prev = (
+                active[keep], A_act[keep], b_act[keep], x_act[keep],
+                M_act[keep], dv_prev[keep])
+            if active.size == 0:
+                return x, failed
+            gidx = gidx[keep]
+    x[active] = x_act
+    failed[active] = True
+    return x, failed
 
 
 def gmin_step_solve(system: System, A_step: np.ndarray,

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis import sense_threshold, settle_curve, vsa_curve
+from repro.analysis.curves import VsaCurve, border_crossing_scan
 from repro.analysis.planes import log_grid
 from repro.behav import behavioral_model
 from repro.defects import Defect, DefectKind, Placement
@@ -94,3 +95,84 @@ class TestSettleCurve:
         curve = settle_curve(model, 0, grid, n_ops=3)
         assert len(curve.levels) == 4
         assert all(len(row) == 3 for row in curve.levels)
+
+
+class TestCurveHoleHandling:
+    """Degraded-sweep holes must never leak values out of `at`/`after`."""
+
+    def _curve(self, failed=()):
+        return VsaCurve(resistances=[1e4, 1e5, 1e6],
+                        thresholds=[0.9, 0.7, 0.5], failed=failed)
+
+    def test_exact_grid_hit_reads_through_neighbouring_hole(self):
+        curve = self._curve(failed=(1,))
+        assert curve.at(1e4) == 0.9
+        assert curve.at(1e6) == 0.5
+
+    def test_exact_grid_hit_on_hole_is_none(self):
+        curve = self._curve(failed=(1,))
+        assert curve.at(1e5) is None
+
+    def test_endpoint_clamp_onto_hole_is_none(self):
+        assert self._curve(failed=(0,)).at(1e3) is None
+        assert self._curve(failed=(2,)).at(1e7) is None
+
+    def test_interpolation_against_hole_neighbour_is_none(self):
+        curve = self._curve(failed=(1,))
+        assert curve.at(3e4) is None
+        assert curve.at(3e5) is None
+        curve = self._curve()
+        assert curve.at(3e4) is not None
+
+    def test_settle_after_rejects_nonpositive_count(self, model):
+        curve = settle_curve(model, 0, [1e5, 2e5], n_ops=2)
+        with pytest.raises(ValueError, match="counts from 1"):
+            curve.after(0)
+        with pytest.raises(ValueError, match="counts from 1"):
+            curve.after(-1)
+
+
+class TestBorderCrossingScan:
+    """Adaptive BR refinement: identical answer, far fewer probes."""
+
+    def _grid(self, points=24):
+        return log_grid(30e3, 2e6, points)
+
+    def test_adaptive_matches_dense_scan(self, model):
+        grid = self._grid()
+        adaptive = border_crossing_scan(model, grid)
+        dense = border_crossing_scan(model, grid, dense=True)
+        assert adaptive.border == dense.border
+        assert dense.n_probed == len(grid)
+        assert adaptive.n_probed < dense.n_probed
+
+    def test_adaptive_matches_plane_border_estimate(self, model):
+        from repro.analysis import result_planes
+        grid = self._grid()
+        planes = result_planes(model, grid)
+        scan = border_crossing_scan(model, grid)
+        assert scan.border == pytest.approx(planes.border_estimate(),
+                                            rel=1e-12)
+
+    def test_probe_budget_is_sublinear(self, model):
+        grid = self._grid()
+        scan = border_crossing_scan(model, grid)
+        # coarse lattice (~sqrt(n)) plus the bisection refinement must
+        # stay at no more than a third of the dense grid
+        assert scan.n_probed <= len(grid) // 3
+
+    def test_no_crossing_returns_none(self):
+        weak = behavioral_model(Defect(DefectKind.O3, resistance=200e3))
+        grid = log_grid(1e3, 2e4, 12)   # entirely below the border
+        scan = border_crossing_scan(weak, grid)
+        assert scan.border is None
+
+    def test_find_border_adaptive_uses_kind_search_range(self):
+        from repro.core import find_border_adaptive
+        defect = Defect(DefectKind.O3, resistance=200e3)
+        model = behavioral_model(defect)
+        scan = find_border_adaptive(model, defect, points=24)
+        r_lo, r_hi = defect.kind.search_range
+        assert scan.resistances[0] == pytest.approx(r_lo)
+        assert scan.resistances[-1] == pytest.approx(r_hi)
+        assert scan.border is not None

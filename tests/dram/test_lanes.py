@@ -1,0 +1,140 @@
+"""Batched-lane kernel vs the per-lane path: parity and isolation.
+
+The lane kernel (:mod:`repro.spice.lanes` driven through
+:class:`repro.dram.runner.LaneRunner`) replaces per-lane Newton solves
+with one masked chord iteration over stacked systems.  Its results are
+*not* bitwise-identical to the per-lane path — the chord loop converges
+to ``vtol * LANE_VTOL_FACTOR`` instead of running full Newton passes —
+but they must stay within the documented fp tolerance (DESIGN.md
+section 5d): 1e-5 on every node voltage, with identical sensed bits.
+
+These tests drive real SPICE-level cycles, so the hypothesis sweep is
+kept to a handful of examples; the exhaustive grid comparison lives in
+``benchmarks/bench_lanes.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.spice.lanes as lanes_mod
+from repro.dram import ColumnRunner
+from repro.dram.column import DefectSite
+from repro.dram.runner import LaneRunner
+
+#: The documented lane-vs-per-lane tolerance (DESIGN.md section 5d).
+LANE_TOL = 1e-5
+
+
+def _legacy_results(resistances, init_vcs, ops):
+    out = []
+    for r, vc in zip(resistances, init_vcs):
+        runner = ColumnRunner(defect=DefectSite("open_sn", 0, r))
+        out.append(runner.run_sequence(ops, init_vc=vc))
+    return out
+
+
+def _lane_results(resistances, init_vcs, ops):
+    runner = LaneRunner(defect_kind="open_sn")
+    results, counters = runner.run_sequences(
+        ops, list(zip(resistances, init_vcs)))
+    return results, counters
+
+
+class TestLaneParity:
+    @given(exps=st.lists(st.floats(3.5, 6.5), min_size=2, max_size=4),
+           ops=st.sampled_from(["w0", "w1 r1", "w0 r0"]),
+           init=st.sampled_from([0.0, 1.2, 2.4]))
+    @settings(max_examples=5, deadline=None)
+    def test_lanes_match_per_lane_within_documented_tolerance(
+            self, exps, ops, init):
+        """Property: for any Rop stack, lane trajectories track the
+        per-lane path within the documented 1e-5 tolerance and sense
+        the same bits."""
+        resistances = [10.0 ** e for e in exps]
+        init_vcs = [init] * len(resistances)
+        legacy = _legacy_results(resistances, init_vcs, ops)
+        lanes, counters = _lane_results(resistances, init_vcs, ops)
+        assert counters["lanes_isolated"] == 0
+        for lane_seq, legacy_seq in zip(lanes, legacy):
+            assert lane_seq is not None
+            dvc = np.abs(np.asarray(lane_seq.vc_after)
+                         - np.asarray(legacy_seq.vc_after))
+            # Explicit tolerance assertion: this is the parity contract
+            # the default-off `--lanes` switch is documented under.
+            assert dvc.max() <= LANE_TOL
+            assert lane_seq.outputs == legacy_seq.outputs
+
+    def test_cycle_chaining_matches_per_lane(self):
+        """Multi-cycle sequences chain lane final states exactly like
+        the per-lane path chains ``final_state()``."""
+        resistances = [50e3, 200e3, 1e6]
+        init_vcs = [2.4, 0.0, 1.0]
+        ops = "w1 w0 r0"
+        legacy = _legacy_results(resistances, init_vcs, ops)
+        lanes, _ = _lane_results(resistances, init_vcs, ops)
+        for lane_seq, legacy_seq in zip(lanes, legacy):
+            assert np.allclose(lane_seq.vc_after, legacy_seq.vc_after,
+                               atol=LANE_TOL, rtol=0.0)
+
+
+class TestLaneIsolation:
+    def test_failed_lane_is_isolated_mid_batch(self, monkeypatch):
+        """A lane whose solves keep failing (initial attempt and the
+        continuation retry) comes back as ``None`` without disturbing
+        its batch mates."""
+        resistances = [50e3, 200e3, 1e6]
+        victim = 1  # global lane position to poison
+
+        orig = lanes_mod.newton_solve_lanes
+
+        def poisoned(lanes, A_step, b_step, x0, lane_idx, **kw):
+            x, failed = orig(lanes, A_step, b_step, x0, lane_idx, **kw)
+            failed = failed | (np.asarray(lane_idx) == victim)
+            return x, failed
+
+        monkeypatch.setattr(lanes_mod, "newton_solve_lanes", poisoned)
+        lanes, counters = _lane_results(resistances, [0.0] * 3, "w1")
+        assert lanes[victim] is None
+        assert counters["lanes_isolated"] == 1
+        assert counters["lanes_converged"] == 2
+
+        legacy = _legacy_results(resistances, [0.0] * 3, "w1")
+        for k, (lane_seq, legacy_seq) in enumerate(zip(lanes, legacy)):
+            if k == victim:
+                continue
+            assert lane_seq is not None
+            assert np.allclose(lane_seq.vc_after, legacy_seq.vc_after,
+                               atol=LANE_TOL, rtol=0.0)
+
+    def test_continuation_rescue_counts(self, monkeypatch):
+        """A lane that fails once and succeeds on the warm-started
+        retry is *not* isolated, and the rescue is counted."""
+        calls = {"n": 0}
+        orig = lanes_mod.newton_solve_lanes
+
+        def flaky(lanes, A_step, b_step, x0, lane_idx, **kw):
+            x, failed = orig(lanes, A_step, b_step, x0, lane_idx, **kw)
+            calls["n"] += 1
+            if calls["n"] == 1:   # first step, first attempt only
+                failed = failed.copy()
+                failed[0] = True
+            return x, failed
+
+        monkeypatch.setattr(lanes_mod, "newton_solve_lanes", flaky)
+        lanes, counters = _lane_results([50e3, 200e3], [0.0, 0.0], "w1")
+        assert counters["lanes_isolated"] == 0
+        assert counters["lane_continuation_hits"] >= 1
+        assert all(seq is not None for seq in lanes)
+
+
+class TestLaneRunnerSurface:
+    def test_stress_update_revalues_lanes(self):
+        """`set_stress` must flow into subsequent lane batches."""
+        from repro.stress import NOMINAL_STRESS
+        runner = LaneRunner(defect_kind="open_sn")
+        cold, _ = runner.run_sequences("w1", [(200e3, 0.0)])
+        runner.set_stress(NOMINAL_STRESS.with_(vdd=2.1))
+        hot, _ = runner.run_sequences("w1", [(200e3, 0.0)])
+        assert cold[0].vc_after[0] != pytest.approx(
+            hot[0].vc_after[0], abs=1e-3)

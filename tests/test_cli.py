@@ -97,7 +97,11 @@ class TestProfileFlag:
         assert rc == 0
         captured = capsys.readouterr()
         assert "Plane of w0" in captured.out
-        assert "profile:" in captured.err or "no samples" in captured.err
+        # Sweep-level sections time every backend, so the summary always
+        # carries samples now (sweep.settle / sweep.vsa / sweep.traces).
+        assert "profile summary" in captured.err
+        assert "sweep.settle" in captured.err
+        assert "sweep.vsa" in captured.err
         assert "profile" not in captured.out  # stdout stays identical
 
     def test_profile_stdout_matches_unprofiled(self, capsys):
