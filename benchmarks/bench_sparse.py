@@ -1,0 +1,193 @@
+"""Sparse-backend benchmark: dense LU vs CSR/SuperLU on array transients.
+
+Measures the workload the sparse backend exists for — a transient of a
+parameterized R×C DRAM cell array (:func:`repro.dram.array.build_array`)
+through one precharge-then-activate cycle — with the dense backend
+forced and with the sparse backend forced, and writes the numbers to
+``reports/sparse.txt`` (repo root, the acceptance artifact) and
+``benchmarks/reports/sparse.txt`` plus a machine-readable
+``BENCH_sparse.json`` twin (same schema family as ``BENCH_solver.json``
+and ``BENCH_lanes.json``).
+
+Both backends run the same kernel transient loop — plan assembly,
+step-matrix cache, Newton damping — so the speedup isolates the linear
+solve kernel.  Parity between the two is checked against the documented
+sparse fp tolerance (the backends factor in different elimination
+orders, so bitwise equality is not expected — the *dense* bitwise
+guarantee is covered by ``bench_solver.py`` and the golden tests).
+
+Degrades gracefully without scipy: the sparse lane then reports the
+dense fallback and ``--check`` fails with a clear message (CI installs
+the ``sparse`` extra for this job).
+
+Run standalone (CI runs ``--quick --check-parity``)::
+
+    PYTHONPATH=src python benchmarks/bench_sparse.py [--quick] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.dram.array import build_array  # noqa: E402
+from repro.spice.backends import scipy_available  # noqa: E402
+from repro.spice.mna import System  # noqa: E402
+from repro.spice.transient import transient  # noqa: E402
+
+#: Documented dense-vs-sparse agreement tolerance (volts).  The two
+#: backends solve the same assembled systems through different
+#: factorization orders; observed worst-case node divergence over the
+#: benchmark transient is ~1e-11 V.
+PARITY_TOL = 1e-6
+
+#: Transient stimulus: one precharge (4 ns) + row activation, 0.25 ns grid.
+TSTOP = 24e-9
+DT = 0.25e-9
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    """Minimum wall time over ``rounds`` repetitions (noise-robust)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _make_array(n: int):
+    arr = build_array(n, n)
+    arr.set_waveforms(arr.activation_waveforms(n // 2))
+    return arr
+
+
+def _run(arr, backend: str):
+    return transient(arr.circuit, TSTOP, DT, backend=backend)
+
+
+def _sparse_engaged(arr) -> bool:
+    """Did a forced-sparse resolution actually yield the sparse backend?"""
+    from repro.spice.backends import resolve_backend
+    return resolve_backend("sparse", System(arr.circuit)).sparse
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    n = 8 if quick else 16
+    rounds = 2 if quick else 3
+    arr = _make_array(n)
+    size = System(arr.circuit).size
+
+    sparse_engaged = scipy_available() and _sparse_engaged(arr)
+
+    dense_s, res_d = _best_of(lambda: _run(arr, "dense"), rounds)
+    sparse_s, res_s = _best_of(lambda: _run(arr, "sparse"), rounds)
+
+    # Full-trajectory parity on every storage node (strictest observers:
+    # high-impedance nodes integrate any solve divergence).
+    max_dv = 0.0
+    for name in arr.storage_nodes:
+        a, b = res_d.v(name), res_s.v(name)
+        m = min(len(a), len(b))
+        max_dv = max(max_dv, float(np.abs(a[:m] - b[:m]).max()))
+    same_grid = np.array_equal(res_d.time, res_s.time)
+
+    return {
+        "quick": quick,
+        "rounds": rounds,
+        "array": f"{n}x{n}",
+        "system_size": size,
+        "num_nodes": arr.circuit.num_nodes,
+        "scipy": scipy_available(),
+        "sparse_engaged": sparse_engaged,
+        "dense_s": dense_s,
+        "sparse_s": sparse_s,
+        "speedup": dense_s / sparse_s,
+        "parity_max_dv": max_dv,
+        "parity_same_grid": same_grid,
+        "parity_ok": same_grid and max_dv <= PARITY_TOL,
+    }
+
+
+def render(res: dict) -> str:
+    mode = "quick" if res["quick"] else "full"
+    if res["sparse_engaged"]:
+        fallback = ""
+    else:
+        fallback = "  (!) sparse backend unavailable - dense fallback ran\n"
+    return "\n".join([
+        f"sparse backend benchmark ({mode} mode)",
+        f"host: {platform.platform()} / python "
+        f"{platform.python_version()} / numpy {np.__version__}",
+        f"timing: best of {res['rounds']} runs, {res['array']} DRAM array "
+        f"({res['num_nodes']} nodes, MNA size {res['system_size']})",
+        "",
+        f"activation-cycle transient ({TSTOP * 1e9:.0f} ns, "
+        f"dt {DT * 1e9:.2g} ns)",
+        f"  dense LU backend (forced)       : {res['dense_s'] * 1e3:8.1f}"
+        f" ms",
+        f"  sparse CSR/SuperLU backend      : {res['sparse_s'] * 1e3:8.1f}"
+        f" ms",
+        f"  speedup                         : {res['speedup']:8.2f}x   "
+        f"(target >= 3x, full mode)",
+        fallback +
+        f"  dense-vs-sparse max node dv     : {res['parity_max_dv']:.2e} V"
+        f"   (tolerance {PARITY_TOL:.0e})",
+        f"  parity                          : "
+        f"{'ok' if res['parity_ok'] else 'MISMATCH'}",
+    ])
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced array size/rounds (CI)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit nonzero if parity fails or the speedup "
+                         "target is missed (full mode)")
+    ap.add_argument("--check-parity", action="store_true",
+                    help="exit nonzero if parity fails (speedup stays "
+                         "informational - for noisy CI runners)")
+    args = ap.parse_args(argv)
+
+    res = run_benchmark(quick=args.quick)
+    text = render(res)
+    print(text)
+    for target in (REPO_ROOT / "reports" / "sparse.txt",
+                   REPO_ROOT / "benchmarks" / "reports" / "sparse.txt"):
+        target.parent.mkdir(exist_ok=True)
+        target.write_text(text + "\n")
+    payload = dict(res, benchmark="sparse",
+                   parity="ok" if res["parity_ok"] else "mismatch",
+                   python=platform.python_version(),
+                   numpy=np.__version__)
+    (REPO_ROOT / "BENCH_sparse.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if args.check or args.check_parity:
+        if not res["sparse_engaged"]:
+            print("FAIL: sparse backend did not engage (scipy missing "
+                  "or pattern unavailable)", file=sys.stderr)
+            return 1
+        if not res["parity_ok"]:
+            print("FAIL: dense-vs-sparse parity outside tolerance",
+                  file=sys.stderr)
+            return 1
+    if args.check and not args.quick and res["speedup"] < 3.0:
+        print("FAIL: sparse speedup target (3x) missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

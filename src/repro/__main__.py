@@ -52,7 +52,8 @@ def _setup_engine(args) -> None:
         on_error="isolate" if getattr(args, "isolate", False) else "raise",
         timeout=getattr(args, "timeout", None),
         max_retries=getattr(args, "max_retries", 2),
-        lanes=getattr(args, "lanes", None))
+        lanes=getattr(args, "lanes", None),
+        backend=getattr(args, "backend", None))
 
 
 def _report_engine(args) -> None:
@@ -150,6 +151,12 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
                    help="stack up to N same-topology sweep points into "
                         "one batched multi-lane transient (0 disables; "
                         "default: off)")
+    p.add_argument("--backend", choices=("auto", "dense", "sparse"),
+                   default=None,
+                   help="linear-solver backend: 'dense' forces the "
+                        "bitwise-reference dense LU, 'sparse' forces "
+                        "CSR/SuperLU where available, 'auto' (default) "
+                        "picks by system size and sparsity")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-addressed result cache")
     p.add_argument("--verbose", action="store_true",

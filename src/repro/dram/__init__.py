@@ -18,17 +18,21 @@ Entry points:
 from repro.dram.tech import TechnologyParams, default_tech
 from repro.dram.timing import CyclePlan, plan_cycle
 from repro.dram.ops import Operation, OpResult, SequenceResult, parse_ops
-from repro.dram.column import ColumnNetlist, build_column
+from repro.dram.column import ColumnNetlist, DefectSite, build_column
+from repro.dram.array import ArrayNetlist, build_array
 from repro.dram.runner import ColumnRunner
 
 __all__ = [
+    "ArrayNetlist",
     "ColumnNetlist",
     "ColumnRunner",
     "CyclePlan",
+    "DefectSite",
     "OpResult",
     "Operation",
     "SequenceResult",
     "TechnologyParams",
+    "build_array",
     "build_column",
     "default_tech",
     "parse_ops",

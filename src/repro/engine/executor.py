@@ -518,8 +518,17 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
                              disk_dir=None, on_error: str = "raise",
                              timeout: float | None = None,
                              max_retries: int = 2,
-                             lanes: int | None = None) -> BatchExecutor:
-    """Build and install the process-wide engine (CLI entry point)."""
+                             lanes: int | None = None,
+                             backend: str | None = None) -> BatchExecutor:
+    """Build and install the process-wide engine (CLI entry point).
+
+    ``backend`` (when given) sets the process-wide solver-backend
+    default (:func:`repro.spice.backends.set_backend_default`); workers
+    spawned by fork inherit it with the rest of the module state.
+    """
+    if backend is not None:
+        from repro.spice.backends import set_backend_default
+        set_backend_default(backend)
     store = ResultCache(max_entries=max_entries, disk_dir=disk_dir) \
         if cache else None
     engine = BatchExecutor(cache=store, workers=workers,

@@ -19,6 +19,18 @@ It is nevertheless a complete nonlinear transient engine and is validated
 against analytic solutions in the test suite.
 """
 
+from repro.spice.backends import (
+    BACKEND_CHOICES,
+    BackendError,
+    DenseBackend,
+    SolverBackend,
+    SparseBackend,
+    available_backends,
+    backend_default,
+    register_backend,
+    resolve_backend,
+    set_backend_default,
+)
 from repro.spice.errors import (
     ConvergenceError,
     NetlistError,
@@ -39,11 +51,14 @@ from repro.spice.transient import TransientResult, transient
 from repro.spice.dc import dc_operating_point
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "BackendError",
     "Capacitor",
     "Circuit",
     "Constant",
     "ConvergenceError",
     "CurrentSource",
+    "DenseBackend",
     "Diode",
     "GROUND",
     "Mosfet",
@@ -56,10 +71,17 @@ __all__ = [
     "Pulse",
     "Resistor",
     "SingularMatrixError",
+    "SolverBackend",
+    "SparseBackend",
     "SpiceError",
     "TransientResult",
     "VoltageSource",
     "Waveform",
+    "available_backends",
+    "backend_default",
     "dc_operating_point",
+    "register_backend",
+    "resolve_backend",
+    "set_backend_default",
     "transient",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.spice.backends import resolve_backend
 from repro.spice.errors import ConvergenceError
 from repro.spice.mna import DEFAULT_GMIN, System
 from repro.spice.netlist import AnalysisContext, Circuit
@@ -22,14 +23,19 @@ from repro.spice.solver import newton_solve, source_step_solve
 def dc_operating_point(circuit: Circuit, *, temp_c: float = 27.0,
                        gmin: float = DEFAULT_GMIN,
                        initial: dict[str, float] | None = None,
-                       rescues: list[str] | None = None
+                       rescues: list[str] | None = None,
+                       backend: str | None = None
                        ) -> dict[str, float]:
     """Solve the DC operating point; returns ``{node_name: volts}``.
 
     Pass a list as ``rescues`` to learn which rescue stages (if any) the
-    solve needed — the stage names are appended in order.
+    solve needed — the stage names are appended in order.  ``backend``
+    selects the linear-solver backend (``None`` follows the process-wide
+    default; dense resolutions keep the bitwise-identical dense path).
     """
     system = System(circuit, gmin=gmin)
+    resolved = resolve_backend(backend, system)
+    backend_obj = resolved if resolved.sparse else None
     x = np.zeros(system.size)
     if initial:
         for name, volts in initial.items():
@@ -46,7 +52,8 @@ def dc_operating_point(circuit: Circuit, *, temp_c: float = 27.0,
     for extra in gmin_ladder:
         try:
             x = newton_solve(system, A_step, b_step, ctx, x,
-                             extra_gmin=extra, max_iter=200)
+                             extra_gmin=extra, max_iter=200,
+                             backend=backend_obj)
             last_error = None
         except ConvergenceError as exc:
             last_error = exc
@@ -57,7 +64,7 @@ def dc_operating_point(circuit: Circuit, *, temp_c: float = 27.0,
         # here is a genuine operating point.
         try:
             x = source_step_solve(system, A_step, b_step, ctx, x,
-                                  max_iter=200)
+                                  max_iter=200, backend=backend_obj)
         except ConvergenceError as exc:
             raise ConvergenceError(
                 f"DC operating point failed after gmin and source "

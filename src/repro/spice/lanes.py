@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.profiling import profiler
+from repro.spice.backends import resolve_backend
 from repro.spice.errors import SpiceError
 from repro.spice.linalg import dense_errstate
 from repro.spice.mna import STEP_CACHE_MAX, System
@@ -61,6 +62,15 @@ class LaneSystem:
             raise LaneError(
                 "lane batching needs fully plan-compiled static, dynamic "
                 "and source layers")
+        # The lane kernel stacks dense (n_lanes, n, n) systems; it has no
+        # sparse path.  When this system would resolve to the sparse
+        # backend, refuse the batch so the engine degrades to the serial
+        # per-lane path (which honours the backend) instead of silently
+        # going dense at a size the policy deemed dense-hostile.
+        if resolve_backend(None, system).sparse:
+            raise LaneError(
+                "lane batching is dense-only; the resolved solver "
+                "backend for this system is sparse")
         if system.has_nonlinear and system._nl_plan is None:
             raise LaneError(
                 "lane batching needs a plan-compiled nonlinear layer")

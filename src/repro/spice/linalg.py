@@ -198,13 +198,22 @@ def lu_solve(fact: LUFactorization, b: np.ndarray) -> np.ndarray:
 
 
 class FactorizationCache:
-    """Keyed cache of :class:`LUFactorization` objects.
+    """Bounded LRU cache of factorization objects.
 
     The transient engine keys entries by ``(dt, method)`` — the only
     inputs the step base matrix of a linear circuit depends on — so one
-    factorization serves every step of a uniform grid.  ``hits`` and
-    ``misses`` feed the solver-kernel counters in
+    factorization serves every step of a uniform grid.  Long adaptive
+    runs (bisection floors, breakpoint-split grids) can visit many step
+    sizes, so the cache is LRU-bounded: at ``max_entries`` the least
+    recently used entry is evicted (previously the cache cleared
+    wholesale, throwing away every hot factorization).  ``hits`` /
+    ``misses`` / ``evictions`` feed the solver-kernel counters in
     :mod:`repro.diagnostics`.
+
+    ``factor`` lets a solver backend substitute its own factorization
+    constructor (the sparse backend caches
+    :class:`~repro.spice.backends.SparseFactorization` objects through
+    the same policy); the default is the dense :func:`lu_factor`.
     """
 
     def __init__(self, max_entries: int = 64):
@@ -212,20 +221,26 @@ class FactorizationCache:
         self._entries: dict = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key, matrix: np.ndarray) -> LUFactorization:
+    def get(self, key, matrix: np.ndarray, factor=lu_factor):
         """Return the cached factorization for ``key``, factoring on miss."""
         fact = self._entries.get(key)
         if fact is not None:
             self.hits += 1
+            # dicts preserve insertion order; re-inserting marks the
+            # entry most recently used.
+            del self._entries[key]
+            self._entries[key] = fact
             return fact
         self.misses += 1
-        fact = lu_factor(matrix)
-        if len(self._entries) >= self.max_entries:
-            self._entries.clear()
+        fact = factor(matrix)
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
         self._entries[key] = fact
         return fact
 

@@ -36,7 +36,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.spice.devices import VoltageSource
-from repro.spice.linalg import FactorizationCache, LUFactorization
+from repro.spice.linalg import (FactorizationCache, LUFactorization,
+                                lu_factor)
 from repro.spice.netlist import AnalysisContext, Circuit, Device, Stamper
 from repro.spice.plans import compile_plans
 
@@ -182,12 +183,27 @@ class System:
         b[:] = bl[:size]
         return b
 
-    def step_factorization(self, dt, method: str) -> LUFactorization:
-        """Cached LU of the step base matrix (linear fast path)."""
-        key = (dt, method)
-        hit = key in self._fact_cache._entries
-        fact = self._fact_cache.get(key, self.step_matrix(dt, method))
+    def step_factorization(self, dt, method: str,
+                           backend=None) -> LUFactorization:
+        """Cached factorization of the step base matrix (linear fast path).
+
+        With a sparse ``backend`` the cache holds its factorizations
+        under backend-qualified keys, so dense and sparse entries for
+        the same ``(dt, method)`` coexist without collisions.
+        """
+        cache = self._fact_cache
+        if backend is not None and backend.sparse:
+            key = (dt, method, backend.name)
+            factor = backend.factorize
+        else:
+            key = (dt, method)
+            factor = lu_factor
+        hit = key in cache._entries
+        before = cache.evictions
+        fact = cache.get(key, self.step_matrix(dt, method), factor=factor)
         self._count("lu_cache_hit" if hit else "lu_factor")
+        if cache.evictions > before:
+            self._count("lu_cache_eviction", cache.evictions - before)
         return fact
 
     def build_step(self, ctx: AnalysisContext) -> tuple[np.ndarray, np.ndarray]:

@@ -77,7 +77,8 @@ def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
                  linear_fact: LUFactorization | None = None,
                  modified: bool = False,
                  shrink: float = MODIFIED_NEWTON_SHRINK,
-                 fast_solve: bool = False) -> np.ndarray:
+                 fast_solve: bool = False,
+                 backend=None) -> np.ndarray:
     """Solve the (possibly nonlinear) system for one analysis point.
 
     ``A_step``/``b_step`` are the per-step base from
@@ -105,13 +106,23 @@ def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
     step loop); the legacy loop keeps the exact pre-kernel call so
     benchmarks measure the unmodified baseline.
 
+    ``backend`` — a resolved :class:`~repro.spice.backends.SolverBackend`
+    to route linear solves through, or ``None`` for the pre-backend
+    dense path.  A dense backend resolution passes ``None`` here so the
+    dense branches below stay byte-for-byte the original code (the
+    bitwise-parity guarantee); only a sparse backend changes the solve
+    kernel, with the documented fp tolerance.
+
     Returns the solution vector; raises :class:`ConvergenceError` or
     :class:`SingularMatrixError` on failure.
     """
     n = system.num_nodes
+    sparse = backend is not None and backend.sparse
     if not system.has_nonlinear and extra_gmin == 0.0:
         if linear_fact is not None:
             return linear_fact.solve_fast(b_step)
+        if sparse:
+            return backend.solve(A_step, b_step)
         if fast_solve:
             return solve_dense_nocheck(A_step, b_step)
         try:
@@ -129,12 +140,17 @@ def newton_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
         A, b = build_iteration(A_step, b_step, ctx, extra_gmin)
         if modified:
             if fact is None:
-                fact = lu_factor(A)
+                fact = backend.factorize(A) if sparse else lu_factor(A)
                 if dv_prev is not None:
                     system._count("newton_refactor")
             else:
                 system._count("newton_jacobian_reuse")
             x_new = fact.solve_fast(b)
+        elif sparse:
+            # Full Newton refactors every pass on the dense path too
+            # (np.linalg.solve factors internally); the sparse kernel
+            # just swaps the factorization's complexity class.
+            x_new = backend.solve(A, b)
         elif fast_solve:
             x_new = solve_dense_nocheck(A, b)
         else:
@@ -327,7 +343,8 @@ def gmin_step_solve(system: System, A_step: np.ndarray,
                     x0: np.ndarray, *,
                     ladder=GMIN_RESCUE_LADDER, max_iter: int = 100,
                     vtol: float = DEFAULT_VTOL,
-                    vstep_max: float = DEFAULT_VSTEP_MAX) -> np.ndarray:
+                    vstep_max: float = DEFAULT_VSTEP_MAX,
+                    backend=None) -> np.ndarray:
     """Gmin stepping: continuation from a regularised system to the exact
     one.  Each rung warm-starts from the previous solution; rungs that
     fail keep the running iterate and move on, so only a failure of the
@@ -339,7 +356,8 @@ def gmin_step_solve(system: System, A_step: np.ndarray,
         try:
             x = newton_solve(system, A_step, b_step, ctx, x,
                              max_iter=max_iter, vtol=vtol,
-                             vstep_max=vstep_max, extra_gmin=extra)
+                             vstep_max=vstep_max, extra_gmin=extra,
+                             backend=backend)
             last_error = None
         except ConvergenceError as exc:
             last_error = exc
@@ -353,7 +371,8 @@ def source_step_solve(system: System, A_step: np.ndarray,
                       x0: np.ndarray, *,
                       steps=SOURCE_RESCUE_STEPS, max_iter: int = 100,
                       vtol: float = DEFAULT_VTOL,
-                      vstep_max: float = DEFAULT_VSTEP_MAX) -> np.ndarray:
+                      vstep_max: float = DEFAULT_VSTEP_MAX,
+                      backend=None) -> np.ndarray:
     """Source stepping: ramp the excitation vector up to the exact system.
 
     Scaling ``b_step`` scales every independent source (and, in
@@ -365,14 +384,15 @@ def source_step_solve(system: System, A_step: np.ndarray,
     for alpha in steps:
         x = newton_solve(system, A_step, alpha * b_step, ctx, x,
                          max_iter=max_iter, vtol=vtol,
-                         vstep_max=vstep_max)
+                         vstep_max=vstep_max, backend=backend)
     return x
 
 
 def rescue_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
                  ctx: AnalysisContext, x0: np.ndarray, *,
                  max_iter: int = 100, vtol: float = DEFAULT_VTOL,
-                 vstep_max: float = DEFAULT_VSTEP_MAX
+                 vstep_max: float = DEFAULT_VSTEP_MAX,
+                 backend=None
                  ) -> tuple[np.ndarray, tuple[str, ...]]:
     """Solve with the full rescue ladder: plain Newton, then Gmin
     stepping, then source stepping.
@@ -385,20 +405,20 @@ def rescue_solve(system: System, A_step: np.ndarray, b_step: np.ndarray,
     try:
         return newton_solve(system, A_step, b_step, ctx, x0,
                             max_iter=max_iter, vtol=vtol,
-                            vstep_max=vstep_max), ()
+                            vstep_max=vstep_max, backend=backend), ()
     except ConvergenceError:
         pass
     try:
         x = gmin_step_solve(system, A_step, b_step, ctx, x0,
                             max_iter=max_iter, vtol=vtol,
-                            vstep_max=vstep_max)
+                            vstep_max=vstep_max, backend=backend)
         return x, ("gmin",)
     except ConvergenceError:
         pass
     try:
         x = source_step_solve(system, A_step, b_step, ctx, x0,
                               max_iter=max_iter, vtol=vtol,
-                              vstep_max=vstep_max)
+                              vstep_max=vstep_max, backend=backend)
         return x, ("gmin", "source")
     except ConvergenceError as exc:
         raise ConvergenceError(

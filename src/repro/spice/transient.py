@@ -36,6 +36,7 @@ import time as _time
 import numpy as np
 
 from repro.profiling import profiler
+from repro.spice.backends import resolve_backend
 from repro.spice.errors import ConvergenceError, SpiceError
 from repro.spice.linalg import dense_errstate
 from repro.spice.mna import DEFAULT_GMIN, System
@@ -184,7 +185,8 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
               max_step_halvings: int = 14,
               use_kernels: bool | None = None,
               newton: str = "full",
-              system: System | None = None) -> TransientResult:
+              system: System | None = None,
+              backend: str | None = None) -> TransientResult:
     """Run a transient analysis from 0 to ``tstop``.
 
     Parameters
@@ -223,6 +225,14 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         not match ``circuit``/``gmin`` or when the legacy loop is chosen.
         Callers that mutate device *values* in place must drop their
         cached system (the compiled plans would go stale).
+    backend:
+        Linear-solver backend name (``"auto"``, ``"dense"`` or
+        ``"sparse"``; see :mod:`repro.spice.backends`); ``None``
+        (default) follows the process-wide default
+        (:func:`repro.spice.backends.set_backend_default`).  A dense
+        resolution keeps the bitwise-identical dense path; the sparse
+        backend only engages on the kernel fast path (the legacy loop is
+        the dense parity baseline).
     """
     if tstop <= 0 or dt <= 0:
         raise SpiceError("tstop and dt must be positive")
@@ -259,9 +269,15 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
 
     fast = (use_kernels and system._step_plannable)
     if fast:
+        # Resolve the solver backend for this system.  Dense resolutions
+        # hand the loop ``None`` so every pre-backend dense branch runs
+        # untouched (the bitwise-parity guarantee); only a sparse
+        # resolution threads a backend object into the solves.
+        resolved = resolve_backend(backend, system)
+        backend_obj = resolved if resolved.sparse else None
         result = _run_kernel_loop(system, circuit, grid, x, dt_floor,
                                   temp_c, method, node_names, num_nodes,
-                                  newton)
+                                  newton, backend_obj)
     else:
         result = _run_legacy_loop(system, grid, x, dt_floor, temp_c,
                                   method, node_names, num_nodes)
@@ -272,7 +288,7 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
 def _run_kernel_loop(system: System, circuit: Circuit, grid: list[float],
                      x: np.ndarray, dt_floor: float, temp_c: float,
                      method: str, node_names: list[str], num_nodes: int,
-                     newton: str) -> TransientResult:
+                     newton: str, backend=None) -> TransientResult:
     """Kernel fast path: cursor grid walk + bounded bisection stack.
 
     The bisection stack replaces the legacy ``pending.insert(0)/pop(0)``
@@ -303,12 +319,12 @@ def _run_kernel_loop(system: System, circuit: Circuit, grid: list[float],
         return _step_kernel_loop(system, grid, x, dt_floor, ctx, method,
                                  node_names, num_nodes, modified, linear,
                                  prof, times, data, capacity, count,
-                                 rescues)
+                                 rescues, backend)
 
 
 def _step_kernel_loop(system, grid, x, dt_floor, ctx, method, node_names,
                       num_nodes, modified, linear, prof, times, data,
-                      capacity, count, rescues):
+                      capacity, count, rescues, backend=None):
     """The kernel step loop proper (see :func:`_run_kernel_loop`)."""
     n_grid = len(grid)
     t = 0.0
@@ -330,7 +346,7 @@ def _step_kernel_loop(system, grid, x, dt_floor, ctx, method, node_names,
             _t0 = _time.perf_counter()
         A_step = system.step_matrix(dt_step, method)
         b_step = system.step_rhs(ctx)
-        fact = (system.step_factorization(dt_step, method)
+        fact = (system.step_factorization(dt_step, method, backend)
                 if linear else None)
         if prof:
             _t1 = _time.perf_counter()
@@ -338,7 +354,7 @@ def _step_kernel_loop(system, grid, x, dt_floor, ctx, method, node_names,
         try:
             x_new = newton_solve(system, A_step, b_step, ctx, x,
                                  linear_fact=fact, modified=modified,
-                                 fast_solve=True)
+                                 fast_solve=True, backend=backend)
         except ConvergenceError as exc:
             # Step bisection first (identical to the plain path, so runs
             # that never needed a rescue are bit-identical), then — once
@@ -348,7 +364,8 @@ def _step_kernel_loop(system, grid, x, dt_floor, ctx, method, node_names,
                 stack.append(t + dt_step / 2)
                 continue
             try:
-                x_new = gmin_step_solve(system, A_step, b_step, ctx, x)
+                x_new = gmin_step_solve(system, A_step, b_step, ctx, x,
+                                        backend=backend)
             except ConvergenceError as gmin_exc:
                 nodes = gmin_exc.nodes or exc.nodes
                 raise ConvergenceError(

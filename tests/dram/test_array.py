@@ -1,0 +1,148 @@
+"""Parameterized R×C DRAM array builder."""
+
+import pytest
+
+from repro.dram.array import (
+    DEFAULT_C_WL,
+    DEFAULT_R_BL,
+    DEFAULT_R_WL,
+    DEFECT_KINDS,
+    DefectSite,
+    build_array,
+)
+from repro.spice.errors import NetlistError
+from repro.spice.mna import System
+from repro.spice.transient import transient
+
+
+class TestTopology:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (2, 3), (4, 4), (6, 6)])
+    def test_node_and_branch_counts(self, rows, cols):
+        arr = build_array(rows, cols)
+        # 3 nodes per cell (sn, wl tap, bl tap) + per-row driver + rails.
+        assert arr.circuit.num_nodes == 3 * rows * cols + rows + 3
+        system = System(arr.circuit)
+        assert system.size == arr.circuit.num_nodes + rows + 3
+
+    def test_six_by_six_matches_docs(self):
+        arr = build_array(6, 6)
+        assert arr.circuit.num_nodes == 117
+        assert System(arr.circuit).size == 126
+
+    def test_storage_nodes_row_major(self):
+        arr = build_array(3, 4)
+        assert len(arr.storage_nodes) == 12
+        assert arr.cell_index(1, 2) == 6
+        assert arr.storage_node(1, 2) == "sn1_2"
+        assert arr.storage_nodes[6] == "sn1_2"
+        assert arr.wordline_tap(2, 3) == "wl2_3"
+        assert arr.bitline_tap(2, 3) == "bl3_2"
+
+    def test_tap_nodes_exist(self):
+        arr = build_array(2, 2)
+        names = set(arr.circuit.node_names)
+        for r in range(2):
+            for col in range(2):
+                assert arr.wordline_tap(r, col) in names
+                assert arr.bitline_tap(r, col) in names
+                assert arr.storage_node(r, col) in names
+
+    def test_cell_index_out_of_range(self):
+        arr = build_array(2, 2)
+        with pytest.raises(NetlistError):
+            arr.cell_index(2, 0)
+        with pytest.raises(NetlistError):
+            arr.storage_node(0, -1)
+
+    def test_control_sources(self):
+        arr = build_array(3, 2)
+        assert arr.control_sources == [
+            "v_vdd", "v_pre", "v_eq", "v_wl0", "v_wl1", "v_wl2"]
+        for name in arr.control_sources:
+            arr.source(name)  # resolves and type-checks
+        with pytest.raises(NetlistError):
+            arr.source("r_wl0_0")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rows,cols", [(0, 4), (4, 0), (-1, 2)])
+    def test_degenerate_shapes_rejected(self, rows, cols):
+        with pytest.raises(NetlistError):
+            build_array(rows, cols)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"r_wl": 0.0}, {"r_bl": -1.0}, {"c_wl": 0.0}, {"c_bl": -1e-15}])
+    def test_bad_parasitics_rejected(self, kwargs):
+        with pytest.raises(NetlistError):
+            build_array(2, 2, **kwargs)
+
+    def test_defect_cell_out_of_range(self):
+        with pytest.raises(NetlistError):
+            build_array(2, 2, defect=DefectSite("short_gnd", 4, 1e3))
+
+    def test_defaults_are_positive(self):
+        assert DEFAULT_R_WL > 0 and DEFAULT_R_BL > 0 and DEFAULT_C_WL > 0
+
+
+class TestDefects:
+    @pytest.mark.parametrize("kind", DEFECT_KINDS)
+    def test_every_kind_routes(self, kind):
+        clean = build_array(3, 3)
+        arr = build_array(3, 3, defect=DefectSite(kind, 4, 50e3))
+        assert arr.defect_resistance == pytest.approx(50e3)
+        # One extra resistor, plus an internal node for the open kinds.
+        extra_nodes = arr.circuit.num_nodes - clean.circuit.num_nodes
+        assert extra_nodes == (1 if kind.startswith("open") else 0)
+        arr.circuit["r_defect"]  # the injected device exists
+
+    def test_set_defect_resistance(self):
+        arr = build_array(2, 2, defect=DefectSite("bridge_bl", 1, 10e3))
+        arr.set_defect_resistance(99e3)
+        assert arr.defect_resistance == pytest.approx(99e3)
+        assert arr.defect.resistance == pytest.approx(99e3)
+        with pytest.raises(NetlistError):
+            arr.set_defect_resistance(0.0)
+
+    def test_clean_array_has_no_defect_handle(self):
+        arr = build_array(2, 2)
+        assert arr.defect_resistance is None
+        with pytest.raises(NetlistError):
+            arr.set_defect_resistance(1e3)
+
+
+class TestActivation:
+    def test_waveform_keys(self):
+        arr = build_array(4, 2)
+        waves = arr.activation_waveforms(2)
+        assert set(waves) == {"v_eq", "v_wl0", "v_wl1", "v_wl2", "v_wl3"}
+        vpp = arr.tech.vpp(arr.tech.vdd_nom)
+        assert waves["v_eq"].value(0.0) == pytest.approx(vpp)
+        assert waves["v_wl1"].value(10e-9) == 0.0
+
+    def test_row_out_of_range(self):
+        arr = build_array(2, 2)
+        with pytest.raises(NetlistError):
+            arr.activation_waveforms(2)
+
+    def test_precharge_and_activation_transient(self):
+        """Precharge pulls the bit lines to vbl_pre; firing a row then
+        shares charge into that row's storage nodes."""
+        arr = build_array(3, 3)
+        arr.set_waveforms(arr.activation_waveforms(1))
+        res = transient(arr.circuit, 20e-9, 0.25e-9)
+        vpre = arr.tech.vbl_pre(arr.tech.vdd_nom)
+        for col in range(3):
+            bl = res.v(arr.bitline_tap(1, col))
+            # End of precharge window (4 ns): within 10% of the rail.
+            k = int(4e-9 / 0.25e-9)
+            assert bl[k] == pytest.approx(vpre, rel=0.1)
+        for col in range(3):
+            fired = res.final(arr.storage_node(1, col))
+            idle = res.final(arr.storage_node(0, col))
+            assert fired > 0.5 * vpre  # charged toward the bit line
+            assert abs(idle) < 0.1     # isolated row stays discharged
+
+    def test_set_waveforms_rejects_unknown_source(self):
+        arr = build_array(2, 2)
+        with pytest.raises(NetlistError):
+            arr.set_waveforms({"v_nope": None})

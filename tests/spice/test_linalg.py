@@ -101,11 +101,40 @@ class TestFactorizationCache:
         assert isinstance(f1, LUFactorization)
         assert (cache.hits, cache.misses) == (1, 1)
 
-    def test_overflow_clears_wholesale(self):
+    def test_overflow_evicts_lru(self):
         cache = FactorizationCache(max_entries=4)
         a = np.eye(2)
         for i in range(5):
             cache.get(i, a)
-        assert len(cache) == 1  # cleared at capacity, then refilled
+        # Bounded at capacity: only the oldest entry was evicted.
+        assert len(cache) == 4
+        assert cache.evictions == 1
+        f4 = cache.get(4, a)
+        assert cache.get(4, a) is f4  # newest entry survived
         cache.clear()
         assert len(cache) == 0
+
+    def test_hit_refreshes_recency(self):
+        cache = FactorizationCache(max_entries=2)
+        a = np.eye(2)
+        f0 = cache.get(0, a)
+        cache.get(1, a)
+        assert cache.get(0, a) is f0  # hit: key 0 becomes most recent
+        cache.get(2, a)               # evicts key 1, not key 0
+        assert cache.evictions == 1
+        assert cache.get(0, a) is f0
+        assert (cache.hits, cache.misses) == (2, 3)
+
+    def test_custom_factor_callable(self):
+        cache = FactorizationCache()
+        calls = []
+
+        def factor(matrix):
+            calls.append(matrix)
+            return lu_factor(matrix)
+
+        a = np.eye(2)
+        f1 = cache.get("k", a, factor=factor)
+        f2 = cache.get("k", a, factor=factor)
+        assert f1 is f2
+        assert len(calls) == 1
