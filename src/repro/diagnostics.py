@@ -98,6 +98,11 @@ class RunDiagnostics:
     timeouts: int = 0
     worker_crashes: int = 0
     cache_evictions: int = 0
+    cache_quarantined: int = 0
+    cache_tmp_reclaimed: int = 0
+    journal_recovered: int = 0
+    journal_holes: int = 0
+    journal_missing: int = 0
     failure_kinds: dict[str, int] = field(default_factory=dict)
     rescue_stages: dict[str, int] = field(default_factory=dict)
     solver_kernels: dict[str, int] = field(default_factory=dict)
@@ -156,6 +161,41 @@ class RunDiagnostics:
             "evicted corrupted cache entry%s",
             f" {path}" if path else "")
 
+    def record_cache_quarantine(self, path: str = "",
+                                reason: str = "") -> None:
+        """One store entry that failed integrity verification and was
+        moved into the store's ``corrupt/`` directory."""
+        self.cache_quarantined += 1
+        get_logger("diagnostics").warning(
+            "quarantined store entry%s%s",
+            f" {path}" if path else "",
+            f" ({reason})" if reason else "")
+
+    def record_tmp_reclaimed(self, count: int = 1) -> None:
+        """Orphaned ``*.tmp`` files swept at store construction —
+        leftovers of a crash mid-write."""
+        self.cache_tmp_reclaimed += count
+        get_logger("diagnostics").info(
+            "reclaimed %d orphaned cache temp file(s)", count)
+
+    def record_journal_recovery(self, count: int = 1) -> None:
+        """Completed work skipped on resume (journaled + in the store)."""
+        self.journal_recovered += count
+
+    def record_journal_hole(self, detail: str = "") -> None:
+        """One journaled failure replayed as a hole instead of re-run."""
+        self.journal_holes += 1
+        get_logger("diagnostics").info(
+            "journal-recovered hole%s", f": {detail}" if detail else "")
+
+    def record_journal_missing(self, key: str = "") -> None:
+        """One journaled-complete result missing from the store (lost or
+        quarantined entry) — re-simulated instead of recovered."""
+        self.journal_missing += 1
+        get_logger("diagnostics").warning(
+            "journaled result missing from store%s; re-running",
+            f" ({key[:12]}…)" if key else "")
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
@@ -163,7 +203,10 @@ class RunDiagnostics:
     def eventful(self) -> bool:
         """Did anything noteworthy happen this run?"""
         return bool(self.failures or self.rescues or self.retries
-                    or self.worker_crashes or self.cache_evictions)
+                    or self.worker_crashes or self.cache_evictions
+                    or self.cache_quarantined or self.cache_tmp_reclaimed
+                    or self.journal_recovered or self.journal_holes
+                    or self.journal_missing)
 
     def summary(self) -> str:
         """Multi-line per-run summary (the CLI prints this to stderr)."""
@@ -184,6 +227,18 @@ class RunDiagnostics:
         if self.cache_evictions:
             lines.append(f"  corrupted cache entries evicted: "
                          f"{self.cache_evictions}")
+        if self.cache_quarantined:
+            lines.append(f"  store entries quarantined: "
+                         f"{self.cache_quarantined}")
+        if self.cache_tmp_reclaimed:
+            lines.append(f"  orphaned cache temp files reclaimed: "
+                         f"{self.cache_tmp_reclaimed}")
+        if self.journal_recovered or self.journal_holes \
+                or self.journal_missing:
+            lines.append(f"  journal: {self.journal_recovered} results "
+                         f"recovered, {self.journal_holes} holes "
+                         f"replayed, {self.journal_missing} missing "
+                         f"from store")
         if self.solver_kernels:
             kernels = ", ".join(f"{k} x{n}" for k, n in
                                 sorted(self.solver_kernels.items()))

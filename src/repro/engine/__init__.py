@@ -19,7 +19,11 @@ package gives all of them one execution funnel:
 * :mod:`repro.engine.model` — :class:`EngineModel`, an engine-backed
   implementation of the ``ColumnModel`` protocol, and
   :func:`batch_run`, the batched sweep primitive with a serial fallback
-  for plain models.
+  for plain models;
+* :mod:`repro.engine.journal` — :class:`SweepJournal` and
+  :class:`SweepCheckpoint`, the append-only completion journal and
+  checkpoint directory that make interrupted sweeps resumable
+  (``--checkpoint``/``--resume``).
 """
 
 from repro.engine.cache import EngineStats, ResultCache
@@ -32,6 +36,7 @@ from repro.engine.executor import (
     set_default_engine,
 )
 from repro.engine.failures import FailedResult, is_failed
+from repro.engine.journal import SweepCheckpoint, SweepJournal
 from repro.engine.model import BatchItem, EngineModel, batch_run
 from repro.engine.request import SequenceRequest, tech_fingerprint
 
@@ -43,6 +48,8 @@ __all__ = [
     "FailedResult",
     "ResultCache",
     "SequenceRequest",
+    "SweepCheckpoint",
+    "SweepJournal",
     "batch_run",
     "configure_default_engine",
     "default_engine",

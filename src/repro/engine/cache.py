@@ -6,15 +6,18 @@ hash.  Two tiers:
 
 * an in-memory LRU (bounded by ``max_entries``) — the working set of a
   sweep session;
-* an optional on-disk store (one pickle per hash under ``disk_dir``) —
-  survives the process, so repeated CLI invocations and separate
-  analysis passes share simulation work.
+* an optional on-disk tier backed by a
+  :class:`~repro.store.sharded.ShardedStore` (2-hex-prefix sharded,
+  integrity-checked, crash-safe) — survives the process, so repeated
+  CLI invocations, checkpointed sweeps and separate analysis passes
+  share simulation work.
 
 Invalidation is structural: the request hash covers the backend, the
 full technology fingerprint and the stress combination, so changing any
 of them simply addresses a different entry.  The schema version baked
 into the hash retires every stale entry when simulation semantics
-change.
+change; the store's own format version retires entries written by an
+incompatible store layout (they are quarantined on read).
 
 Cached results are shared objects — callers must treat a returned
 :class:`SequenceResult` as immutable.
@@ -23,14 +26,13 @@ Cached results are shared objects — callers must treat a returned
 from __future__ import annotations
 
 import os
-import pickle
-import tempfile
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.dram.ops import SequenceResult
 from repro.engine.request import SequenceRequest
+from repro.store.sharded import ShardedStore, StoreStats
 
 
 @dataclass
@@ -41,6 +43,12 @@ class EngineStats:
     ``cycles_saved`` the cycles that cache hits avoided — together they
     quantify the memoization win (the paper's cost metric is operation
     cycles, see :class:`repro.analysis.interface.CycleCountingModel`).
+
+    ``hits`` is the total over both tiers; ``disk_hits`` the subset
+    served by the on-disk store, so ``memory_hits`` is the difference.
+    When the cache has a disk tier, ``store`` references its live
+    :class:`~repro.store.sharded.StoreStats` (eviction / quarantine /
+    reclaim counters); snapshots and deltas carry counters only.
     """
 
     hits: int = 0
@@ -50,6 +58,8 @@ class EngineStats:
     disk_hits: int = 0
     failures: int = 0
     retries: int = 0
+    store: StoreStats | None = field(default=None, init=False,
+                                     compare=False, repr=False)
 
     @property
     def requests(self) -> int:
@@ -60,6 +70,11 @@ class EngineStats:
     def hit_rate(self) -> float:
         """Fraction of lookups answered from the cache."""
         return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def memory_hits(self) -> int:
+        """Hits served by the in-memory tier (total minus disk)."""
+        return self.hits - self.disk_hits
 
     def snapshot(self) -> "EngineStats":
         """A frozen copy (for before/after deltas)."""
@@ -93,20 +108,27 @@ class EngineStats:
         """One-line rendering for ``--verbose`` output.
 
         Failure/retry counters only appear when nonzero, so a clean run
-        renders exactly as it always did.
+        renders exactly as it always did; the memory/disk hit breakdown
+        and the store's eviction/quarantine counters appear whenever a
+        disk tier saw traffic.
         """
         line = (f"engine: {self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate:.0%} hit rate), "
                 f"{self.cycles_simulated} cycles simulated, "
                 f"{self.cycles_saved} cycles saved")
+        if self.disk_hits:
+            line += (f"; tiers: {self.memory_hits} memory / "
+                     f"{self.disk_hits} disk")
         if self.failures or self.retries:
             line += (f", {self.failures} failed, "
                      f"{self.retries} retried")
+        if self.store is not None and self.store.eventful:
+            line += f"; store: {self.store.describe()}"
         return line
 
 
 class ResultCache:
-    """LRU + optional disk store keyed by the request content hash.
+    """LRU + optional sharded disk store keyed by the request hash.
 
     Parameters
     ----------
@@ -114,18 +136,35 @@ class ResultCache:
         Bound of the in-memory tier; the least-recently-used entry is
         evicted beyond it.
     disk_dir:
-        Optional directory for the persistent tier.  Created on first
-        write; entries are written atomically (temp file + rename) so a
-        crashed run never leaves a truncated pickle behind.
+        Optional directory for the persistent tier; constructs a
+        :class:`~repro.store.sharded.ShardedStore` there (atomic
+        fsync'd writes, per-entry sha256 verification, quarantine of
+        corrupt entries, orphaned-tmp reclamation).
+    store:
+        An already-built store to use as the disk tier (overrides
+        ``disk_dir``) — this is how sweep checkpoints share their
+        durable store with the cache.
+    max_disk_entries / max_disk_bytes:
+        LRU bounds of the disk tier (``None`` = unbounded); only used
+        when the store is built here (``disk_dir``).
     """
 
     def __init__(self, max_entries: int = 100_000,
-                 disk_dir: str | os.PathLike | None = None):
+                 disk_dir: str | os.PathLike | None = None, *,
+                 store: ShardedStore | None = None,
+                 max_disk_entries: int | None = None,
+                 max_disk_bytes: int | None = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if store is None and disk_dir is not None:
+            store = ShardedStore(disk_dir,
+                                 max_entries=max_disk_entries,
+                                 max_bytes=max_disk_bytes)
+        self.store = store
+        self.disk_dir = Path(store.root) if store is not None else None
         self.stats = EngineStats()
+        self.stats.store = store.stats if store is not None else None
         self._entries: OrderedDict[str, SequenceResult] = OrderedDict()
 
     def __len__(self) -> int:
@@ -185,48 +224,16 @@ class ResultCache:
             self._entries.popitem(last=False)
 
     def _disk_path(self, key: str) -> Path | None:
-        if self.disk_dir is None:
+        if self.store is None:
             return None
-        return self.disk_dir / key[:2] / f"{key}.pkl"
+        return self.store.path_for(key)
 
     def _disk_get(self, key: str) -> SequenceResult | None:
-        path = self._disk_path(key)
-        if path is None or not path.exists():
+        if self.store is None:
             return None
-        try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except (pickle.UnpicklingError, EOFError, AttributeError,
-                IndexError, ValueError):
-            # Corrupted (or stale-schema) entry: evict it so it is
-            # rebuilt instead of failing every future lookup.  Writes
-            # are atomic (temp file + rename), so this only happens
-            # after external damage — report it.
-            self._evict_corrupt(path)
-            return None
-        except OSError:
-            return None
-
-    def _evict_corrupt(self, path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            return
-        from repro.diagnostics import diagnostics
-        diagnostics().record_cache_eviction(str(path))
+        return self.store.get(key)
 
     def _disk_put(self, key: str, result: SequenceResult) -> None:
-        path = self._disk_path(key)
-        if path is None:
+        if self.store is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        self.store.put(key, result)

@@ -214,13 +214,21 @@ class BatchExecutor:
         groups run in-process — for the small sweeps this repo runs,
         the stacked kernel beats shipping requests to worker processes,
         so laneable work is carved out *before* the pool sees it.
+    journal:
+        Optional :class:`~repro.engine.journal.SweepJournal`: every
+        completed request appends one fsync'd record *after* its result
+        landed in the cache's durable store, and every isolated failure
+        records its hole.  A journal opened with ``resume=True`` lets
+        an interrupted sweep skip already-journaled work (see
+        :mod:`repro.engine.journal` for the recovery semantics).
     """
 
     def __init__(self, cache: ResultCache | None = None,
                  workers: int = 1, *, on_error: str = "raise",
                  timeout: float | None = None, max_retries: int = 2,
                  work_fn: Callable = execute_request,
-                 lanes: int | None = None):
+                 lanes: int | None = None,
+                 journal=None):
         if on_error not in ("raise", "isolate"):
             raise ValueError(f"unknown on_error policy {on_error!r}")
         self.cache = cache
@@ -229,6 +237,7 @@ class BatchExecutor:
         self.timeout = timeout
         self.max_retries = max(0, int(max_retries))
         self.lanes = None if lanes is None else max(0, int(lanes))
+        self.journal = journal
         self._work = work_fn
         # Cycle accounting lives on the cache when there is one, so
         # stats survive executor turnover; otherwise track locally.
@@ -244,16 +253,20 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     def run(self, request: SequenceRequest) -> SequenceResult:
         """Execute one request, consulting the cache first."""
+        key = request.content_hash
         if self.cache is not None:
             cached = self.cache.get(request)
             if cached is not None:
+                self._note_recovery(key, hit=True)
                 return cached
+        self._note_recovery(key, hit=False)
         result = self._work(request)
         if self.cache is not None:
             self.cache.put(request, result)
         else:
             self._stats.misses += 1
             self._stats.cycles_simulated += request.cycles
+        self._journal_ok(key)
         return result
 
     def map(self, requests: Sequence[SequenceRequest],
@@ -288,11 +301,19 @@ class BatchExecutor:
                 self._stats.hits += 1
                 self._stats.cycles_saved += request.cycles
                 continue
+            hole = self._journal_hole(key, on_error)
+            if hole is not None:
+                # A resumed journal says this request already failed:
+                # replay the hole instead of burning cycles on it.
+                results[key] = hole
+                continue
             if self.cache is not None:
                 cached = self.cache.get(request)
                 if cached is not None:
+                    self._note_recovery(key, hit=True)
                     results[key] = cached
                     continue
+            self._note_recovery(key, hit=False)
             results[key] = None  # reserve input order / dedupe slot
             pending.append(request)
 
@@ -316,20 +337,63 @@ class BatchExecutor:
                 for request, result in zip(rest, executed):
                     outcomes[request.content_hash] = result
             for request in pending:
-                result = outcomes[request.content_hash]
-                results[request.content_hash] = result
+                key = request.content_hash
+                result = outcomes[key]
+                results[key] = result
                 if is_failed(result):
                     self._stats.failures += 1
                     diagnostics().record_failure(result.error_type,
                                                  result.describe())
+                    if self.journal is not None:
+                        self.journal.record_failure(key, result)
                     continue
                 if self.cache is not None:
                     self.cache.put(request, result)
                 else:
                     self._stats.misses += 1
                     self._stats.cycles_simulated += request.cycles
+                self._journal_ok(key)
 
         return [results[r.content_hash] for r in requests]
+
+    # ------------------------------------------------------------------
+    # journal integration (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def _journal_ok(self, key: str) -> None:
+        """Record a completed request (after its durable store put)."""
+        if self.journal is not None:
+            self.journal.record_ok(key)
+
+    def _journal_hole(self, key: str, on_error: str):
+        """The replayed :class:`FailedResult` for a journaled failure.
+
+        Only applies under ``on_error="isolate"`` — a raising sweep
+        wants the failure re-attempted, not replayed.  Returns ``None``
+        when the journal has nothing (or something else) to say.
+        """
+        if self.journal is None or on_error != "isolate":
+            return None
+        record = self.journal.recovered(key)
+        if record is None or record.get("status") != "failed":
+            return None
+        self.journal.claim(key)
+        hole = self.journal.recovered_failure(record)
+        self._stats.failures += 1
+        diagnostics().record_journal_hole(hole.describe())
+        return hole
+
+    def _note_recovery(self, key: str, *, hit: bool) -> None:
+        """Account a resumed request: recovered on a cache hit, missing
+        from the store (re-run) otherwise."""
+        if self.journal is None:
+            return
+        record = self.journal.claim(key)
+        if record is None or record.get("status") != "ok":
+            return
+        if hit:
+            diagnostics().record_journal_recovery()
+        else:
+            diagnostics().record_journal_missing(key)
 
     # ------------------------------------------------------------------
     # execution internals
@@ -519,21 +583,39 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
                              timeout: float | None = None,
                              max_retries: int = 2,
                              lanes: int | None = None,
-                             backend: str | None = None) -> BatchExecutor:
+                             backend: str | None = None,
+                             checkpoint=None,
+                             resume: bool = False) -> BatchExecutor:
     """Build and install the process-wide engine (CLI entry point).
 
     ``backend`` (when given) sets the process-wide solver-backend
     default (:func:`repro.spice.backends.set_backend_default`); workers
     spawned by fork inherit it with the rest of the module state.
+
+    ``checkpoint`` (a directory) makes the run durable: results land in
+    a sharded integrity-checked store there and every completion is
+    journaled (see :mod:`repro.engine.journal`); it overrides
+    ``cache=False``/``disk_dir`` because durability *is* the cache's
+    disk tier.  ``resume=True`` additionally recovers a prior
+    interrupted run's journal, skipping already-completed work.
     """
     if backend is not None:
         from repro.spice.backends import set_backend_default
         set_backend_default(backend)
-    store = ResultCache(max_entries=max_entries, disk_dir=disk_dir) \
-        if cache else None
+    journal = None
+    if checkpoint is not None:
+        from repro.engine.journal import SweepCheckpoint
+        ckpt = SweepCheckpoint(checkpoint, resume=resume)
+        store = ckpt.cache(max_entries=max_entries)
+        journal = ckpt.journal
+    elif cache:
+        store = ResultCache(max_entries=max_entries, disk_dir=disk_dir)
+    else:
+        store = None
     engine = BatchExecutor(cache=store, workers=workers,
                            on_error=on_error, timeout=timeout,
-                           max_retries=max_retries, lanes=lanes)
+                           max_retries=max_retries, lanes=lanes,
+                           journal=journal)
     set_default_engine(engine)
     return engine
 

@@ -1,0 +1,11 @@
+"""Durable result storage: the sharded content-addressed store.
+
+* :mod:`repro.store.sharded` — :class:`ShardedStore`, the
+  integrity-checked, crash-safe, LRU-bounded disk tier behind
+  :class:`~repro.engine.cache.ResultCache` and sweep checkpoints, plus
+  its :class:`StoreStats` counters.
+"""
+
+from repro.store.sharded import FORMAT_VERSION, ShardedStore, StoreStats
+
+__all__ = ["FORMAT_VERSION", "ShardedStore", "StoreStats"]

@@ -1,0 +1,427 @@
+"""Sharded, integrity-checked, content-addressed result store.
+
+:class:`ShardedStore` is the durable disk tier behind
+:class:`~repro.engine.cache.ResultCache` and the checkpoint/resume
+machinery: a directory of pickled payloads addressed by content hash,
+built so that a crashed, concurrent or bit-rotted store can never lie
+to a reader.
+
+Layout and entry format
+-----------------------
+Entries live under a 2-hex-prefix shard of the key
+(``<root>/<key[:2]>/<key>.pkl``), so directory listings stay short at
+hundreds of thousands of entries.  Every entry starts with a fixed
+46-byte header::
+
+    magic 4s | format version u16 | payload length u64 | sha256 32s
+
+followed by the pickled payload.  Reads verify all four fields and the
+payload digest before unpickling; anything that fails — truncated file,
+flipped bit, foreign format version, stale pickle schema — is
+*quarantined* (moved into ``<root>/corrupt/``, counted, reported through
+:mod:`repro.diagnostics`) and the lookup reports a miss, so corruption
+converts to recomputation, never to wrong results.
+
+Durability and concurrency
+--------------------------
+Writes are atomic: a temp file in the destination shard, flushed and
+fsync'd (configurable), then ``os.replace``.  Orphaned ``*.tmp`` files
+left by a crash mid-write are swept on store construction and counted
+(``tmp_reclaimed``).  Cross-process writers are safe by construction
+(``os.replace`` either fully lands or not at all); per-shard advisory
+file locks additionally serialise write/evict/quarantine races so two
+processes never double-move an entry.
+
+Eviction
+--------
+``max_entries``/``max_bytes`` bound the store; when a put pushes past a
+bound, the least-recently-used entries (by mtime — reads touch their
+entry) are evicted down to 90 % of the bound.  All activity is counted
+in :class:`StoreStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+try:  # advisory locks are POSIX-only; the store degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: First bytes of every entry file ("RePro Store").
+MAGIC = b"RPRS"
+
+#: Bumped whenever the entry layout changes; foreign versions quarantine.
+FORMAT_VERSION = 1
+
+#: ``magic | version | payload length | payload sha256``.
+_HEADER = struct.Struct("<4sHQ32s")
+
+#: Orphaned ``*.tmp`` files older than this many seconds are reclaimed
+#: at store construction (young ones may belong to a live writer).
+TMP_RECLAIM_AGE = 60.0
+
+#: Eviction drains the store to this fraction of the exceeded bound, so
+#: a hot put loop does not re-trigger a full scan on every write.
+EVICT_WATERMARK = 0.9
+
+
+@dataclass
+class StoreStats:
+    """Activity counters of one :class:`ShardedStore` lifetime.
+
+    ``hits``/``misses`` count lookups, ``writes`` completed puts,
+    ``evictions`` entries removed by the LRU bound, ``quarantined``
+    entries moved aside after failing integrity verification, and
+    ``tmp_reclaimed`` orphaned temp files swept at construction.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    quarantined: int = 0
+    tmp_reclaimed: int = 0
+
+    def describe(self) -> str:
+        """One-line rendering for ``--verbose`` / ``--profile`` output."""
+        line = (f"{self.hits} hits / {self.misses} misses, "
+                f"{self.writes} writes, {self.evictions} evicted")
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
+        if self.tmp_reclaimed:
+            line += f", {self.tmp_reclaimed} tmp reclaimed"
+        return line
+
+    @property
+    def eventful(self) -> bool:
+        """Did anything a clean run would not show happen?"""
+        return bool(self.evictions or self.quarantined
+                    or self.tmp_reclaimed)
+
+
+class _ShardLock:
+    """Advisory exclusive lock on one shard directory (``.lock`` file).
+
+    Reentrant within a process is *not* needed (callers never nest); the
+    lock only serialises cross-process mutation of one shard.  On
+    platforms without ``fcntl`` it degrades to a no-op — atomicity of
+    ``os.replace`` still guarantees readers never see a torn entry.
+    """
+
+    def __init__(self, shard_dir: Path):
+        self._path = shard_dir / ".lock"
+        self._fd: int | None = None
+
+    def __enter__(self) -> "_ShardLock":
+        if fcntl is not None:
+            try:
+                self._fd = os.open(self._path,
+                                   os.O_CREAT | os.O_RDWR, 0o644)
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
+            except OSError:
+                if self._fd is not None:
+                    os.close(self._fd)
+                self._fd = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+            self._fd = None
+
+
+class ShardedStore:
+    """Content-addressed pickle store with integrity-checked entries.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily on first write; an existing
+        tree is scanned for size accounting and orphan reclamation).
+    max_entries / max_bytes:
+        Optional LRU bounds (``None`` = unbounded).  ``max_bytes``
+        counts payload files only, not locks or quarantined entries.
+    fsync:
+        Whether every put fsyncs before publishing (default).  Turning
+        it off trades crash durability of the *latest* writes for
+        throughput — integrity checking still rejects any torn entry.
+    tmp_max_age:
+        Minimum age (seconds) before an orphaned ``*.tmp`` file is
+        reclaimed at construction; younger files may belong to a
+        concurrent live writer.
+    """
+
+    def __init__(self, root: str | os.PathLike, *,
+                 max_entries: int | None = None,
+                 max_bytes: int | None = None,
+                 fsync: bool = True,
+                 tmp_max_age: float = TMP_RECLAIM_AGE):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.fsync = fsync
+        self.stats = StoreStats()
+        self._approx_entries = 0
+        self._approx_bytes = 0
+        if self.root.is_dir():
+            self._scan_existing(tmp_max_age)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (existing or not)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where quarantined entries are moved."""
+        return self.root / "corrupt"
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The stored object for ``key``, or ``None`` on a miss.
+
+        Every read re-verifies the header and payload digest; entries
+        failing verification are quarantined and reported as misses.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                raw = fh.read()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        payload = self._verify(raw)
+        if payload is None:
+            self._quarantine(path, self._verify_failure(raw))
+            self.stats.misses += 1
+            return None
+        try:
+            obj = pickle.loads(payload)
+        except Exception:
+            # The bytes are intact but the pickled schema is stale or
+            # foreign — same treatment as corruption.
+            self._quarantine(path, "unpicklable")
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._touch(path)
+        return obj
+
+    def put(self, key: str, obj) -> None:
+        """Atomically store ``obj`` under ``key`` (last writer wins)."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _HEADER.pack(MAGIC, FORMAT_VERSION, len(payload),
+                              hashlib.sha256(payload).digest())
+        path = self.path_for(key)
+        shard = path.parent
+        shard.mkdir(parents=True, exist_ok=True)
+        with _ShardLock(shard):
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(header)
+                    fh.write(payload)
+                    fh.flush()
+                    if self.fsync:
+                        os.fsync(fh.fileno())
+                existed = path.exists()
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return
+        self.stats.writes += 1
+        if not existed:
+            self._approx_entries += 1
+        self._approx_bytes += len(header) + len(payload)
+        self._enforce_bounds()
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def keys(self) -> list[str]:
+        """Keys of every entry currently on disk (unverified)."""
+        return [p.name[:-4] for _, _, p in self._entries()]
+
+    # ------------------------------------------------------------------
+    # verification / quarantine
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _verify(raw: bytes) -> bytes | None:
+        """The payload when ``raw`` is a valid entry, else ``None``."""
+        if len(raw) < _HEADER.size:
+            return None
+        magic, version, length, digest = _HEADER.unpack_from(raw)
+        if magic != MAGIC or version != FORMAT_VERSION:
+            return None
+        payload = raw[_HEADER.size:]
+        if len(payload) != length:
+            return None
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        return payload
+
+    @staticmethod
+    def _verify_failure(raw: bytes) -> str:
+        """Why ``raw`` failed verification (for the quarantine name)."""
+        if len(raw) < _HEADER.size:
+            return "truncated"
+        magic, version, length, digest = _HEADER.unpack_from(raw)
+        if magic != MAGIC:
+            return "bad-magic"
+        if version != FORMAT_VERSION:
+            return f"version-{version}"
+        payload = raw[_HEADER.size:]
+        if len(payload) != length:
+            return "truncated"
+        if hashlib.sha256(payload).digest() != digest:
+            return "digest-mismatch"
+        return "corrupt"
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a failed entry into ``corrupt/`` and count it."""
+        dest_dir = self.corrupt_dir
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return
+        dest = dest_dir / f"{path.name}.{reason}"
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = dest_dir / f"{path.name}.{reason}.{n}"
+        with _ShardLock(path.parent):
+            try:
+                size = path.stat().st_size
+                os.replace(path, dest)
+            except OSError:
+                # A concurrent reader already quarantined (or a writer
+                # replaced) this entry; nothing left to move.
+                return
+        self.stats.quarantined += 1
+        self._approx_entries = max(0, self._approx_entries - 1)
+        self._approx_bytes = max(0, self._approx_bytes - size)
+        from repro.diagnostics import diagnostics
+        diagnostics().record_cache_quarantine(str(path), reason)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _touch(self, path: Path) -> None:
+        """Refresh the entry's LRU recency (mtime)."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _entries(self):
+        """Yield ``(mtime, size, path)`` of every entry on disk."""
+        try:
+            shards = [p for p in self.root.iterdir()
+                      if p.is_dir() and p.name != "corrupt"]
+        except OSError:
+            return
+        for shard in shards:
+            try:
+                names = list(os.scandir(shard))
+            except OSError:
+                continue
+            for entry in names:
+                if not entry.name.endswith(".pkl"):
+                    continue
+                try:
+                    st = entry.stat()
+                except OSError:
+                    continue
+                yield st.st_mtime, st.st_size, Path(entry.path)
+
+    def _scan_existing(self, tmp_max_age: float) -> None:
+        """Initial accounting pass: sizes plus orphaned-tmp reclamation."""
+        now = time.time()
+        reclaimed = 0
+        for shard in self.root.iterdir():
+            if not shard.is_dir() or shard.name == "corrupt":
+                continue
+            try:
+                names = list(os.scandir(shard))
+            except OSError:
+                continue
+            for entry in names:
+                try:
+                    st = entry.stat()
+                except OSError:
+                    continue
+                if entry.name.endswith(".tmp"):
+                    # A crash mid-put leaves the temp file behind; the
+                    # entry it was meant to become was never published.
+                    if now - st.st_mtime >= tmp_max_age:
+                        try:
+                            os.unlink(entry.path)
+                            reclaimed += 1
+                        except OSError:
+                            pass
+                    continue
+                if entry.name.endswith(".pkl"):
+                    self._approx_entries += 1
+                    self._approx_bytes += st.st_size
+        if reclaimed:
+            self.stats.tmp_reclaimed += reclaimed
+            from repro.diagnostics import diagnostics
+            diagnostics().record_tmp_reclaimed(reclaimed)
+
+    def _enforce_bounds(self) -> None:
+        """Evict LRU entries when a size/count bound is exceeded."""
+        over_count = (self.max_entries is not None
+                      and self._approx_entries > self.max_entries)
+        over_bytes = (self.max_bytes is not None
+                      and self._approx_bytes > self.max_bytes)
+        if not (over_count or over_bytes):
+            return
+        entries = sorted(self._entries())          # oldest mtime first
+        # Re-anchor the approximations on the exact scan.
+        self._approx_entries = len(entries)
+        self._approx_bytes = sum(size for _, size, _ in entries)
+        target_entries = (int(self.max_entries * EVICT_WATERMARK)
+                          if self.max_entries is not None else None)
+        target_bytes = (int(self.max_bytes * EVICT_WATERMARK)
+                        if self.max_bytes is not None else None)
+        for _, size, path in entries:
+            need_count = (target_entries is not None
+                          and self._approx_entries > target_entries)
+            need_bytes = (target_bytes is not None
+                          and self._approx_bytes > target_bytes)
+            if not (need_count or need_bytes):
+                break
+            with _ShardLock(path.parent):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+            self.stats.evictions += 1
+            self._approx_entries -= 1
+            self._approx_bytes -= size

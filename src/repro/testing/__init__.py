@@ -1,0 +1,26 @@
+"""Test-support harnesses shipped with the package.
+
+* :mod:`repro.testing.chaos` — deterministic, seed-driven fault
+  injection (worker crashes, entry corruption, forced non-convergence,
+  stalls, mid-sweep signals) for proving the durability layer.
+"""
+
+from repro.testing.chaos import (
+    CORRUPT_MODES,
+    ChaosPlan,
+    chaos_execute,
+    chaos_work_fn,
+    corrupt_entry,
+    corrupt_store,
+    run_cli_killed_mid_sweep,
+)
+
+__all__ = [
+    "CORRUPT_MODES",
+    "ChaosPlan",
+    "chaos_execute",
+    "chaos_work_fn",
+    "corrupt_entry",
+    "corrupt_store",
+    "run_cli_killed_mid_sweep",
+]

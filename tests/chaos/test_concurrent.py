@@ -1,0 +1,112 @@
+"""Concurrent writers on one store never lose or mangle entries.
+
+Two real processes each drive a :class:`BatchExecutor` with its own
+:class:`ResultCache` over one shared disk directory, with overlapping
+request sets.  Afterwards the union of all requested entries must be
+present, and every entry must pass the store's integrity verification.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.defects import Defect, DefectKind
+from repro.engine import BatchExecutor, ResultCache, SequenceRequest
+from repro.stress import NOMINAL_STRESS
+
+
+def _request(i):
+    return SequenceRequest.build(
+        "w1 r1 w0 r0", 0.0, backend="behavioral",
+        defect=Defect(DefectKind.O3, resistance=50e3 + 7e3 * i),
+        stress=NOMINAL_STRESS)
+
+
+def _sweep_worker(disk_dir, indices, out):
+    """One contender: own cache + executor, shared disk directory."""
+    cache = ResultCache(disk_dir=disk_dir)
+    requests = [_request(i) for i in indices]
+    results = BatchExecutor(cache=cache).map(requests)
+    out.put({
+        "vc": {r.content_hash: res.vc_after
+               for r, res in zip(requests, results)},
+        "misses": cache.stats.misses,
+        "disk_hits": cache.stats.disk_hits,
+        "quarantined": cache.store.stats.quarantined,
+    })
+
+
+@pytest.mark.parametrize("spans", [
+    (range(0, 20), range(10, 30)),            # half-overlapping
+    (range(0, 15), range(0, 15)),             # fully identical
+])
+def test_two_writers_share_one_store(tmp_path, spans):
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [ctx.Process(target=_sweep_worker,
+                         args=(tmp_path / "store", span, out))
+             for span in spans]
+    for p in procs:
+        p.start()
+    reports = [out.get(timeout=120) for _ in procs]
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+
+    union = {_request(i).content_hash: _request(i)
+             for span in spans for i in span}
+    overlap = set.intersection(*(set(
+        _request(i).content_hash for i in span) for span in spans))
+
+    # Nothing was corrupted by the racing writers...
+    assert all(r["quarantined"] == 0 for r in reports)
+    # ...and both contenders computed identical values where they met.
+    for key in overlap:
+        values = [r["vc"][key] for r in reports if key in r["vc"]]
+        assert all(v == values[0] for v in values)
+
+    # No lost entries: every requested key is present and verifies.
+    verify = ResultCache(disk_dir=tmp_path / "store")
+    for key, request in union.items():
+        entry = verify.store.get(key)
+        assert entry is not None, f"lost entry {key[:12]}"
+        assert entry.vc_after            # payload round-trips
+    assert verify.store.stats.quarantined == 0
+
+    # Duplicate work is bounded by the race window: total misses can
+    # exceed the union (both processes may simulate an overlapping key
+    # they both missed) but never the sum of both full spans plus one.
+    total_misses = sum(r["misses"] for r in reports)
+    assert total_misses <= sum(len(s) for s in spans)
+    assert total_misses >= len(union)
+
+
+def test_interleaved_instances_single_process(tmp_path):
+    """Two cache instances ping-pong writes in one process — the
+    fine-grained interleaving a scheduler race would produce."""
+    a = ResultCache(disk_dir=tmp_path / "store")
+    b = ResultCache(disk_dir=tmp_path / "store")
+    requests = [_request(i) for i in range(12)]
+    engine_a = BatchExecutor(cache=a)
+    engine_b = BatchExecutor(cache=b)
+    for i, request in enumerate(requests):
+        (engine_a if i % 2 else engine_b).run(request)
+
+    verify = ResultCache(disk_dir=tmp_path / "store")
+    for request in requests:
+        assert verify.get(request) is not None
+    assert verify.store.stats.quarantined == 0
+    assert verify.stats.disk_hits == len(requests)
+
+
+def test_entries_survive_pickled_rescue(tmp_path):
+    """An entry written by one process reads back identically in
+    another (the payload crosses the process boundary via disk)."""
+    request = _request(0)
+    cache = ResultCache(disk_dir=tmp_path / "store")
+    result = BatchExecutor(cache=cache).run(request)
+
+    fresh = ResultCache(disk_dir=tmp_path / "store")
+    recalled = fresh.get(request)
+    assert pickle.dumps(recalled) == pickle.dumps(result)

@@ -1,0 +1,83 @@
+"""Corrupted store entries never poison sweep results."""
+
+import pytest
+
+from repro.defects import Defect, DefectKind
+from repro.diagnostics import reset_diagnostics
+from repro.engine import BatchExecutor, ResultCache, SequenceRequest, is_failed
+from repro.stress import NOMINAL_STRESS
+from repro.testing import CORRUPT_MODES, corrupt_entry, corrupt_store
+
+
+def _requests(n):
+    return [SequenceRequest.build(
+        "w1 r1 w0 r0", 0.0, backend="behavioral",
+        defect=Defect(DefectKind.O3, resistance=100e3 + 15e3 * i),
+        stress=NOMINAL_STRESS) for i in range(n)]
+
+
+def _sweep(requests, disk_dir):
+    cache = ResultCache(disk_dir=disk_dir)
+    return BatchExecutor(cache=cache).map(requests), cache
+
+
+class TestCorruptionNeverPoisons:
+    def test_full_corruption_reproduces_clean_results(self, tmp_path):
+        requests = _requests(8)
+        clean, first = _sweep(requests, tmp_path / "store")
+        damaged = corrupt_store(first.store, rate=1.0)
+        assert len(damaged) == len(requests)
+
+        diag = reset_diagnostics()
+        again, fresh = _sweep(requests, tmp_path / "store")
+        for got, want in zip(again, clean):
+            assert not is_failed(got)
+            assert got.vc_after == want.vc_after
+            assert got.outputs == want.outputs
+        # Every damaged entry was caught, quarantined and recomputed —
+        # none was served.
+        assert fresh.store.stats.quarantined == len(damaged)
+        assert diag.cache_quarantined == len(damaged)
+        assert fresh.stats.disk_hits == 0
+        assert len(list(fresh.store.corrupt_dir.iterdir())) == len(damaged)
+
+    def test_partial_corruption_mixed_hits(self, tmp_path):
+        requests = _requests(10)
+        clean, first = _sweep(requests, tmp_path / "store")
+        damaged = corrupt_store(first.store, rate=0.4, seed=3)
+        assert 0 < len(damaged) < len(requests)
+
+        again, fresh = _sweep(requests, tmp_path / "store")
+        for got, want in zip(again, clean):
+            assert got.vc_after == want.vc_after
+        assert fresh.store.stats.quarantined == len(damaged)
+        assert fresh.stats.disk_hits == len(requests) - len(damaged)
+
+    @pytest.mark.parametrize("mode", CORRUPT_MODES)
+    def test_each_mode_detected(self, tmp_path, mode):
+        [request] = _requests(1)
+        _, first = _sweep([request], tmp_path / "store")
+        corrupt_entry(first.store, request.content_hash, mode=mode)
+
+        [result], fresh = _sweep([request], tmp_path / "store")
+        assert not is_failed(result)
+        assert fresh.store.stats.quarantined == 1
+        assert fresh.stats.disk_hits == 0
+
+    def test_store_healthy_after_recovery_sweep(self, tmp_path):
+        requests = _requests(6)
+        _, first = _sweep(requests, tmp_path / "store")
+        corrupt_store(first.store, rate=1.0)
+        _sweep(requests, tmp_path / "store")          # heals every slot
+
+        verify = ResultCache(disk_dir=tmp_path / "store")
+        for request in requests:
+            assert verify.store.get(request.content_hash) is not None
+        assert verify.store.stats.quarantined == 0
+
+    def test_corruption_is_deterministic(self, tmp_path):
+        requests = _requests(9)
+        _, a = _sweep(requests, tmp_path / "a")
+        _, b = _sweep(requests, tmp_path / "b")
+        assert corrupt_store(a.store, rate=0.5, seed=11) == \
+               corrupt_store(b.store, rate=0.5, seed=11)

@@ -1,0 +1,108 @@
+"""Injected worker crashes, forced non-convergence, and stalls.
+
+The crash tests MUST run with ``workers >= 2``: an injected
+``os._exit`` on the serial path would take the test runner down with
+it.  The pool path is exactly what the crash machinery protects.
+"""
+
+from repro.defects import Defect, DefectKind
+from repro.diagnostics import reset_diagnostics
+from repro.engine import BatchExecutor, SequenceRequest, is_failed
+from repro.stress import NOMINAL_STRESS
+from repro.testing import ChaosPlan, chaos_work_fn
+
+
+def _requests(n):
+    return [SequenceRequest.build(
+        "w1 r1", 0.0, backend="behavioral",
+        defect=Defect(DefectKind.O3, resistance=100e3 + 10e3 * i),
+        stress=NOMINAL_STRESS) for i in range(n)]
+
+
+def _clean_results(requests):
+    return BatchExecutor(cache=None).map(requests)
+
+
+class TestCrash:
+    def test_crashed_workers_recover(self, tmp_path):
+        requests = _requests(4)
+        plan = ChaosPlan(state_dir=str(tmp_path), crash_rate=1.0)
+        diag = reset_diagnostics()
+        engine = BatchExecutor(cache=None, workers=2,
+                               work_fn=chaos_work_fn(plan))
+        results = engine.map(requests)
+        assert diag.worker_crashes >= 1
+        assert not any(is_failed(r) for r in results)
+        for got, want in zip(results, _clean_results(requests)):
+            assert got.vc_after == want.vc_after
+
+    def test_crash_fires_once_per_request(self, tmp_path):
+        requests = _requests(3)
+        plan = ChaosPlan(state_dir=str(tmp_path), crash_rate=1.0)
+        for request in requests:
+            assert plan.should_inject(request.content_hash) == "crash"
+            assert plan.should_inject(request.content_hash) is None
+
+
+class TestConvergence:
+    def test_forced_nonconvergence_isolates(self, tmp_path):
+        requests = _requests(3)
+        plan = ChaosPlan(state_dir=str(tmp_path),
+                         convergence_rate=1.0, once=False)
+        engine = BatchExecutor(cache=None, on_error="isolate",
+                               work_fn=chaos_work_fn(plan))
+        results = engine.map(requests)
+        assert all(is_failed(r) for r in results)
+        assert all(r.error_type == "ConvergenceError" for r in results)
+        assert all(r.rescue_trail == ("chaos",) for r in results)
+
+    def test_partial_rate_is_deterministic(self, tmp_path):
+        requests = _requests(12)
+        plan = ChaosPlan(state_dir=str(tmp_path), seed=7,
+                         convergence_rate=0.5, once=False)
+        engine = BatchExecutor(cache=None, on_error="isolate",
+                               work_fn=chaos_work_fn(plan))
+        pattern = [is_failed(r) for r in engine.map(requests)]
+        assert any(pattern) and not all(pattern)   # genuinely partial
+        expected = [plan.draw(r.content_hash) == "convergence"
+                    for r in requests]
+        assert pattern == expected
+        # The schedule is a pure function of (seed, key).
+        again = ChaosPlan(state_dir=str(tmp_path), seed=7,
+                          convergence_rate=0.5, once=False)
+        assert [again.draw(r.content_hash) for r in requests] == \
+               [plan.draw(r.content_hash) for r in requests]
+
+    def test_seed_changes_schedule(self, tmp_path):
+        requests = _requests(32)
+        a = ChaosPlan(state_dir=str(tmp_path), seed=1,
+                      convergence_rate=0.5)
+        b = ChaosPlan(state_dir=str(tmp_path), seed=2,
+                      convergence_rate=0.5)
+        assert [a.draw(r.content_hash) for r in requests] != \
+               [b.draw(r.content_hash) for r in requests]
+
+
+class TestStall:
+    def test_stalled_worker_times_out_to_hole(self, tmp_path):
+        requests = _requests(2)
+        plan = ChaosPlan(state_dir=str(tmp_path), stall_rate=1.0,
+                         stall_seconds=30.0, once=False)
+        engine = BatchExecutor(cache=None, workers=2,
+                               on_error="isolate", timeout=1.0,
+                               work_fn=chaos_work_fn(plan))
+        results = engine.map(requests)
+        assert all(is_failed(r) for r in results)
+        assert all(r.error_type == "TimeoutError" for r in results)
+
+    def test_stall_cleared_after_once_claim(self, tmp_path):
+        requests = _requests(2)
+        plan = ChaosPlan(state_dir=str(tmp_path), stall_rate=1.0,
+                         stall_seconds=30.0, once=True)
+        for request in requests:       # burn the once-only markers
+            assert plan.should_inject(request.content_hash) == "stall"
+        engine = BatchExecutor(cache=None, workers=2,
+                               on_error="isolate", timeout=30.0,
+                               work_fn=chaos_work_fn(plan))
+        results = engine.map(requests)  # runs clean, well under timeout
+        assert not any(is_failed(r) for r in results)

@@ -1,0 +1,117 @@
+"""Kill-and-resume reproduces byte-identical sweep output.
+
+The subprocess test drives the real CLI (``python -m repro table1``)
+through a mid-sweep SIGKILL and asserts the resumed stdout matches an
+uninterrupted reference byte for byte.  It is the slowest test in the
+repo (two full table1 sweeps plus the interrupted stub) and carries the
+``slow`` marker; the in-process tests cover the same resume semantics
+in well under a second.
+"""
+
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.defects import Defect, DefectKind
+from repro.diagnostics import reset_diagnostics
+from repro.engine import BatchExecutor, SequenceRequest, SweepCheckpoint
+from repro.stress import NOMINAL_STRESS
+
+
+def _requests(n):
+    return [SequenceRequest.build(
+        "w1 r1 w0 r0", 0.0, backend="behavioral",
+        defect=Defect(DefectKind.O3, resistance=80e3 + 12e3 * i),
+        stress=NOMINAL_STRESS) for i in range(n)]
+
+
+class TestInProcessResume:
+    def test_interrupted_sweep_resumes_identically(self, tmp_path):
+        requests = _requests(10)
+        reference = BatchExecutor(cache=None).map(requests)
+
+        # First attempt dies after 4 completions (simulated by only
+        # mapping a prefix — the journal does not care why it stopped).
+        ckpt = SweepCheckpoint(tmp_path / "ck")
+        BatchExecutor(cache=ckpt.cache(),
+                      journal=ckpt.journal).map(requests[:4])
+        ckpt.close()
+
+        diag = reset_diagnostics()
+        resumed = SweepCheckpoint(tmp_path / "ck", resume=True)
+        engine = BatchExecutor(cache=resumed.cache(),
+                               journal=resumed.journal)
+        results = engine.map(requests)
+        assert diag.journal_recovered == 4
+        assert engine.stats.misses == 6
+        for got, want in zip(results, reference):
+            assert got.vc_after == want.vc_after
+            assert got.outputs == want.outputs
+
+    def test_double_interruption(self, tmp_path):
+        requests = _requests(9)
+        reference = BatchExecutor(cache=None).map(requests)
+        for stop in (3, 6):                         # two crashes
+            ckpt = SweepCheckpoint(tmp_path / "ck", resume=True)
+            BatchExecutor(cache=ckpt.cache(),
+                          journal=ckpt.journal).map(requests[:stop])
+            ckpt.close()
+
+        final = SweepCheckpoint(tmp_path / "ck", resume=True)
+        results = BatchExecutor(cache=final.cache(),
+                                journal=final.journal).map(requests)
+        for got, want in zip(results, reference):
+            assert got.vc_after == want.vc_after
+
+
+@pytest.fixture(scope="module")
+def table1_reference():
+    """One uninterrupted ``table1`` run shared by the CLI kill tests."""
+    run = subprocess.run(
+        [sys.executable, "-m", "repro", "table1"],
+        capture_output=True, text=True, timeout=600)
+    assert run.returncode == 0
+    return run.stdout
+
+
+@pytest.mark.slow
+class TestCliKillResume:
+    def test_sigkill_mid_table1_resumes_byte_identical(
+            self, tmp_path, table1_reference):
+        from repro.testing import run_cli_killed_mid_sweep
+
+        ck = tmp_path / "ck"
+        interrupted = run_cli_killed_mid_sweep(
+            ["table1", "--checkpoint", ck], ck,
+            kill_after_records=60, sig=signal.SIGKILL)
+        assert interrupted.interrupted, \
+            "sweep finished before the kill could land"
+        assert interrupted.returncode == -signal.SIGKILL
+        assert interrupted.journal_records >= 60
+
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "table1",
+             "--checkpoint", str(ck), "--resume", "--profile"],
+            capture_output=True, text=True, timeout=600)
+        assert resumed.returncode == 0
+        assert resumed.stdout == table1_reference
+        assert "results recovered" in resumed.stderr
+
+    def test_sigterm_mid_sweep_resumes(self, tmp_path, table1_reference):
+        from repro.testing import run_cli_killed_mid_sweep
+
+        ck = tmp_path / "ck"
+        interrupted = run_cli_killed_mid_sweep(
+            ["table1", "--checkpoint", ck], ck,
+            kill_after_records=40, sig=signal.SIGTERM)
+        assert interrupted.interrupted
+        assert interrupted.returncode != 0
+
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "table1",
+             "--checkpoint", str(ck), "--resume"],
+            capture_output=True, text=True, timeout=600)
+        assert resumed.returncode == 0
+        assert resumed.stdout == table1_reference

@@ -86,26 +86,29 @@ class TestDiskTier:
         assert len(cache) == 0
         assert cache.get(req) is not None         # re-read from disk
 
-    def test_corrupted_entry_is_evicted(self, tmp_path):
+    def test_corrupted_entry_is_quarantined(self, tmp_path):
         from repro.diagnostics import reset_diagnostics
 
         req = _request()
         cache = ResultCache(disk_dir=tmp_path)
         cache.put(req, _result(req))
         path = cache._disk_path(req.content_hash)
-        path.write_bytes(b"not a pickle at all")
+        path.write_bytes(b"not a store entry at all")
 
         diag = reset_diagnostics()
         fresh = ResultCache(disk_dir=tmp_path)
         assert fresh.get(req) is None             # miss, not a crash
-        assert not path.exists()                  # bad file deleted
-        assert diag.cache_evictions == 1
+        assert not path.exists()                  # moved out of the way
+        assert diag.cache_quarantined == 1
+        assert fresh.store.stats.quarantined == 1
+        quarantined = list(fresh.store.corrupt_dir.iterdir())
+        assert len(quarantined) == 1              # kept for inspection
 
-        # The slot is usable again after the eviction.
+        # The slot is usable again after the quarantine.
         fresh.put(req, _result(req))
         assert ResultCache(disk_dir=tmp_path).get(req) is not None
 
-    def test_truncated_entry_is_evicted(self, tmp_path):
+    def test_truncated_entry_is_quarantined(self, tmp_path):
         req = _request()
         cache = ResultCache(disk_dir=tmp_path)
         cache.put(req, _result(req))
@@ -115,6 +118,51 @@ class TestDiskTier:
         fresh = ResultCache(disk_dir=tmp_path)
         assert fresh.get(req) is None
         assert not path.exists()
+        assert fresh.store.stats.quarantined == 1
+
+    def test_orphaned_tmp_reclaimed_on_init(self, tmp_path):
+        import os
+
+        from repro.diagnostics import reset_diagnostics
+
+        req = _request()
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(req, _result(req))
+        orphan = tmp_path / "ab" / "deadbeef.tmp"
+        orphan.parent.mkdir(exist_ok=True)
+        orphan.write_bytes(b"half a write")
+        os.utime(orphan, (0, 0))                  # old enough to reclaim
+
+        diag = reset_diagnostics()
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert not orphan.exists()
+        assert fresh.store.stats.tmp_reclaimed == 1
+        assert diag.cache_tmp_reclaimed == 1
+        assert fresh.get(req) is not None         # entries untouched
+
+    def test_fresh_tmp_left_alone(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(_request(), _result(_request()))
+        live = tmp_path / "ab" / "inflight.tmp"
+        live.parent.mkdir(exist_ok=True)
+        live.write_bytes(b"a concurrent writer owns this")
+
+        fresh = ResultCache(disk_dir=tmp_path)    # default 60 s age gate
+        assert live.exists()
+        assert fresh.store.stats.tmp_reclaimed == 0
+
+    def test_stats_split_memory_vs_disk(self, tmp_path):
+        req = _request()
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(req, _result(req))
+
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.get(req) is not None         # disk hit
+        assert fresh.get(req) is not None         # memory hit
+        assert fresh.stats.hits == 2
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.memory_hits == 1
+        assert "1 memory / 1 disk" in fresh.stats.describe()
 
 
 class TestEngineStats:

@@ -1,0 +1,226 @@
+"""Sharded store: layout, integrity verification, eviction, reclamation."""
+
+import hashlib
+import os
+import pickle
+import struct
+
+import pytest
+
+from repro.store import FORMAT_VERSION, ShardedStore, StoreStats
+from repro.store.sharded import _HEADER, MAGIC
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = _key(0)
+        store.put(key, {"value": [1, 2, 3]})
+        assert store.get(key) == {"value": [1, 2, 3]}
+        assert store.stats.writes == 1
+        assert store.stats.hits == 1
+
+    def test_miss(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        assert store.get(_key(1)) is None
+        assert store.stats.misses == 1
+
+    def test_sharded_layout(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = _key(2)
+        store.put(key, "x")
+        path = store.path_for(key)
+        assert path.parent == tmp_path / key[:2]
+        assert path.name == f"{key}.pkl"
+        assert path.is_file()
+
+    def test_overwrite_last_writer_wins(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = _key(3)
+        store.put(key, "first")
+        store.put(key, "second")
+        assert store.get(key) == "second"
+        assert len(store) == 1
+
+    def test_contains_len_keys(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        keys = [_key(i) for i in range(5)]
+        for i, key in enumerate(keys):
+            store.put(key, i)
+        assert len(store) == 5
+        assert all(k in store for k in keys)
+        assert _key(99) not in store
+        assert sorted(store.keys()) == sorted(keys)
+
+    def test_survives_reopen(self, tmp_path):
+        ShardedStore(tmp_path).put(_key(4), ("a", 1))
+        assert ShardedStore(tmp_path).get(_key(4)) == ("a", 1)
+
+    def test_header_layout(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = _key(5)
+        store.put(key, "payload")
+        raw = store.path_for(key).read_bytes()
+        magic, version, length, digest = _HEADER.unpack_from(raw)
+        payload = raw[_HEADER.size:]
+        assert magic == MAGIC
+        assert version == FORMAT_VERSION
+        assert length == len(payload)
+        assert hashlib.sha256(payload).digest() == digest
+        assert pickle.loads(payload) == "payload"
+
+
+class TestIntegrity:
+    def _stored(self, tmp_path, value="v"):
+        store = ShardedStore(tmp_path)
+        key = _key(10)
+        store.put(key, value)
+        return store, key, store.path_for(key)
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.get(key) is None
+        assert not path.exists()
+        assert store.stats.quarantined == 1
+        names = [p.name for p in store.corrupt_dir.iterdir()]
+        assert any("truncated" in n for n in names)
+
+    def test_bitflip_quarantined_as_digest_mismatch(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x40
+        path.write_bytes(bytes(raw))
+        assert store.get(key) is None
+        names = [p.name for p in store.corrupt_dir.iterdir()]
+        assert any("digest-mismatch" in n for n in names)
+
+    def test_foreign_version_quarantined(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        raw = bytearray(path.read_bytes())
+        struct.pack_into("<H", raw, 4, FORMAT_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        assert store.get(key) is None
+        names = [p.name for p in store.corrupt_dir.iterdir()]
+        assert any(f"version-{FORMAT_VERSION + 1}" in n for n in names)
+
+    def test_garbage_quarantined(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        path.write_bytes(b"Z" * 200)
+        assert store.get(key) is None
+        assert store.stats.quarantined == 1
+
+    def test_valid_header_bad_pickle_quarantined(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        payload = b"\x80\x05not really a pickle"
+        header = _HEADER.pack(MAGIC, FORMAT_VERSION, len(payload),
+                              hashlib.sha256(payload).digest())
+        path.write_bytes(header + payload)
+        assert store.get(key) is None
+        names = [p.name for p in store.corrupt_dir.iterdir()]
+        assert any("unpicklable" in n for n in names)
+
+    def test_quarantine_records_diagnostics(self, tmp_path):
+        from repro.diagnostics import reset_diagnostics
+        store, key, path = self._stored(tmp_path)
+        path.write_bytes(b"junk")
+        diag = reset_diagnostics()
+        store.get(key)
+        assert diag.cache_quarantined == 1
+        assert diag.eventful
+
+    def test_slot_reusable_after_quarantine(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        path.write_bytes(b"junk")
+        assert store.get(key) is None
+        store.put(key, "fresh")
+        assert store.get(key) == "fresh"
+
+
+class TestTmpReclamation:
+    def test_old_orphans_swept(self, tmp_path):
+        first = ShardedStore(tmp_path)
+        first.put(_key(20), "keep")
+        orphan = tmp_path / "aa" / "orphan.tmp"
+        orphan.parent.mkdir(exist_ok=True)
+        orphan.write_bytes(b"torn")
+        os.utime(orphan, (0, 0))
+        store = ShardedStore(tmp_path)
+        assert not orphan.exists()
+        assert store.stats.tmp_reclaimed == 1
+        assert store.get(_key(20)) == "keep"
+
+    def test_young_tmp_kept(self, tmp_path):
+        (tmp_path / "aa").mkdir(parents=True)
+        live = tmp_path / "aa" / "live.tmp"
+        live.write_bytes(b"in flight")
+        store = ShardedStore(tmp_path)
+        assert live.exists()
+        assert store.stats.tmp_reclaimed == 0
+
+    def test_age_gate_configurable(self, tmp_path):
+        (tmp_path / "aa").mkdir(parents=True)
+        (tmp_path / "aa" / "x.tmp").write_bytes(b"?")
+        store = ShardedStore(tmp_path, tmp_max_age=0.0)
+        assert store.stats.tmp_reclaimed == 1
+
+
+class TestEviction:
+    def test_count_bound(self, tmp_path):
+        store = ShardedStore(tmp_path, max_entries=10)
+        for i in range(15):
+            store.put(_key(i), i)
+        assert len(store) <= 10
+        assert store.stats.evictions >= 5
+
+    def test_lru_order(self, tmp_path):
+        store = ShardedStore(tmp_path, max_entries=4)
+        for i in range(4):
+            store.put(_key(i), i)
+            os.utime(store.path_for(_key(i)), (i, i))  # force ordering
+        store.put(_key(4), 4)                          # push past bound
+        # The oldest entries went; the newest survives.
+        assert store.get(_key(4)) == 4
+        assert store.get(_key(0)) is None
+
+    def test_byte_bound(self, tmp_path):
+        store = ShardedStore(tmp_path, max_bytes=4096)
+        for i in range(40):
+            store.put(_key(i), "x" * 200)
+        total = sum(s for _, s, _ in store._entries())
+        assert total <= 4096
+        assert store.stats.evictions > 0
+
+    def test_unbounded_by_default(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        for i in range(50):
+            store.put(_key(i), i)
+        assert len(store) == 50
+        assert store.stats.evictions == 0
+
+    def test_rejects_degenerate_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedStore(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ShardedStore(tmp_path, max_bytes=0)
+
+
+class TestStoreStats:
+    def test_describe(self):
+        stats = StoreStats(hits=3, misses=1, writes=4, evictions=2,
+                           quarantined=1, tmp_reclaimed=5)
+        text = stats.describe()
+        assert "3 hits" in text
+        assert "2 evicted" in text
+        assert "1 quarantined" in text
+        assert "5 tmp reclaimed" in text
+
+    def test_eventful(self):
+        assert not StoreStats(hits=9, misses=9, writes=9).eventful
+        assert StoreStats(quarantined=1).eventful
+        assert StoreStats(evictions=1).eventful
+        assert StoreStats(tmp_reclaimed=1).eventful
