@@ -4,21 +4,41 @@ Runs the Fig. 2 result planes and the full Table 1 twice through one
 :class:`repro.engine.BatchExecutor`: the first pass simulates every
 unique sequence (cold), the second recalls them from the content-
 addressed cache (warm).  The report records wall time and the engine's
-cycle accounting for both passes; the assertions pin the acceptance
-criterion that a warm repeat simulates at least 50% fewer cycles
-(in practice: none at all).
+cycle accounting for both passes and lands in ``reports/engine.txt``
+(repo root) and ``benchmarks/reports/engine.txt`` plus a
+machine-readable ``BENCH_engine.json`` twin (same schema family as
+``BENCH_solver.json``/``BENCH_sparse.json``); the check pins the
+acceptance criterion that a warm repeat simulates at least 50% fewer
+cycles (in practice: none at all).
+
+Run standalone (CI runs ``--check``)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--check]
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
 import time
 
-from repro.engine import BatchExecutor, ResultCache
-from repro.experiments import fig2_result_planes, table1_optimization
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine import BatchExecutor, ResultCache  # noqa: E402
+from repro.experiments import (fig2_result_planes,  # noqa: E402
+                               table1_optimization)
 
 WORKLOADS = (
-    ("fig2 result planes (behavioral, 9 points)",
+    ("fig2 result planes (behavioral, 9 points)", "fig2_planes",
      lambda engine: fig2_result_planes(backend="behavioral", points=9,
                                        engine=engine)),
-    ("table1 optimization (behavioral, full catalog)",
+    ("table1 optimization (behavioral, full catalog)", "table1",
      lambda engine: table1_optimization(engine=engine)),
 )
 
@@ -37,25 +57,77 @@ def _cold_warm(run):
     return cold_s, cold, warm_s, warm
 
 
-def test_engine_cold_vs_warm(benchmark, save_report):
-    outcomes = benchmark.pedantic(
-        lambda: [(name, *_cold_warm(run)) for name, run in WORKLOADS],
-        rounds=1, iterations=1)
+def run_benchmark() -> dict:
+    workloads = []
+    for name, key, run in WORKLOADS:
+        cold_s, cold, warm_s, warm = _cold_warm(run)
+        workloads.append({
+            "name": name,
+            "key": key,
+            "cold_s": cold_s,
+            "cold_cycles_simulated": cold.cycles_simulated,
+            "cold_cycles_saved": cold.cycles_saved,
+            "warm_s": warm_s,
+            "warm_cycles_simulated": warm.cycles_simulated,
+            "warm_cycles_saved": warm.cycles_saved,
+            "warm_hit_rate": warm.hit_rate,
+            "ok": (cold.cycles_simulated > 0
+                   and warm.cycles_simulated
+                   <= 0.5 * cold.cycles_simulated
+                   and warm.cycles_saved >= 0.5 * cold.cycles_simulated),
+        })
+    return {
+        "workloads": workloads,
+        "ok": all(w["ok"] for w in workloads),
+    }
 
-    lines = ["engine result cache: cold vs warm pass (serial execution)"]
-    for name, cold_s, cold, warm_s, warm in outcomes:
-        lines.append(f"\n{name}:")
-        lines.append(f"  cold: {cold_s:8.3f} s   "
-                     f"{cold.cycles_simulated} cycles simulated, "
-                     f"{cold.cycles_saved} saved")
-        lines.append(f"  warm: {warm_s:8.3f} s   "
-                     f"{warm.cycles_simulated} cycles simulated, "
-                     f"{warm.cycles_saved} saved "
-                     f"({warm.hit_rate:.0%} hit rate)")
-    save_report("engine", "\n".join(lines))
 
-    for name, _, cold, _, warm in outcomes:
-        assert cold.cycles_simulated > 0, name
-        assert warm.cycles_simulated <= 0.5 * cold.cycles_simulated, \
-            f"{name}: warm cache must halve the simulated cycles"
-        assert warm.cycles_saved >= 0.5 * cold.cycles_simulated, name
+def render(res: dict) -> str:
+    lines = [
+        "engine result cache: cold vs warm pass (serial execution)",
+        f"host: {platform.platform()} / python "
+        f"{platform.python_version()} / numpy {np.__version__}",
+    ]
+    for w in res["workloads"]:
+        lines.append(f"\n{w['name']}:")
+        lines.append(f"  cold: {w['cold_s']:8.3f} s   "
+                     f"{w['cold_cycles_simulated']} cycles simulated, "
+                     f"{w['cold_cycles_saved']} saved")
+        lines.append(f"  warm: {w['warm_s']:8.3f} s   "
+                     f"{w['warm_cycles_simulated']} cycles simulated, "
+                     f"{w['warm_cycles_saved']} saved "
+                     f"({w['warm_hit_rate']:.0%} hit rate)")
+    lines.append(f"\nwarm-pass cycle savings >= 50%: "
+                 f"{'ok' if res['ok'] else 'MISSED'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true",
+                    help="exit nonzero unless every warm pass saves at "
+                         "least 50% of the cold pass's cycles")
+    args = ap.parse_args(argv)
+
+    res = run_benchmark()
+    text = render(res)
+    print(text)
+    for target in (REPO_ROOT / "reports" / "engine.txt",
+                   REPO_ROOT / "benchmarks" / "reports" / "engine.txt"):
+        target.parent.mkdir(exist_ok=True)
+        target.write_text(text + "\n")
+    payload = dict(res, benchmark="engine",
+                   python=platform.python_version(),
+                   numpy=np.__version__)
+    (REPO_ROOT / "BENCH_engine.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if args.check and not res["ok"]:
+        print("FAIL: warm cache must halve the simulated cycles",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

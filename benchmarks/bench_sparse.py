@@ -160,6 +160,15 @@ def main(argv=None) -> int:
                          "informational - for noisy CI runners)")
     args = ap.parse_args(argv)
 
+    if not scipy_available():
+        # Without the [sparse] extra every "sparse" leg would silently
+        # run the dense fallback — the comparison is meaningless, so
+        # say so and stop (failing only when a check was requested).
+        print("scipy not installed — skipping sparse legs "
+              "(install the [sparse] extra to run this benchmark)",
+              file=sys.stderr)
+        return 1 if (args.check or args.check_parity) else 0
+
     res = run_benchmark(quick=args.quick)
     text = render(res)
     print(text)

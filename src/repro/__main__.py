@@ -12,6 +12,13 @@ Commands
     Render the Sec. 2 Shmoo baseline.
 ``coverage``
     March-test coverage at nominal vs optimized SC (Sec. 5.2).
+``array [--geometry R C] [--trim off|auto|force]``
+    Array-scale activation-disturbance borders per defect kind
+    (ROADMAP "Scale the DUT"): one victim in an R×C array, activated
+    by its own row, border resistance bisected per kind.  ``--trim``
+    controls the active-window netlist trimming (default ``auto``:
+    simulate only the accessed row/column plus the defect neighborhood
+    with calibrated boundary loads; see DESIGN.md section 5g).
 
 The sweep-heavy commands (``table1``, ``planes``, ``coverage``) accept
 ``--workers N`` (process-pool fan-out), ``--lanes N`` (stack same-
@@ -65,6 +72,7 @@ def _setup_engine(args) -> None:
         max_retries=getattr(args, "max_retries", 2),
         lanes=getattr(args, "lanes", None),
         backend=getattr(args, "backend", None),
+        trim=getattr(args, "trim", None),
         checkpoint=getattr(args, "checkpoint", None),
         resume=getattr(args, "resume", False))
 
@@ -97,6 +105,12 @@ def _report_engine(args) -> None:
             print("lane kernel: "
                   + ", ".join(f"{k} x{n}"
                               for k, n in sorted(lanes.items())),
+                  file=sys.stderr)
+        trims = diagnostics().trim_counters
+        if trims:
+            print("netlist trim: "
+                  + ", ".join(f"{k} x{n}"
+                              for k, n in sorted(trims.items())),
                   file=sys.stderr)
 
 
@@ -163,6 +177,29 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+def _cmd_array(args) -> int:
+    from repro.dram.column import DEFECT_KINDS
+    from repro.experiments import array_disturb_study
+    rows, cols = args.geometry
+    if rows < 1 or cols < 1:
+        print(f"--geometry needs positive dimensions, got "
+              f"{rows}x{cols}", file=sys.stderr)
+        return 2
+    kinds = args.kinds.split(",") if args.kinds else DEFECT_KINDS
+    unknown = [k for k in kinds if k not in DEFECT_KINDS]
+    if unknown:
+        print(f"unknown defect kind(s) {', '.join(unknown)}; choose "
+              f"from: {', '.join(DEFECT_KINDS)}", file=sys.stderr)
+        return 2
+    _setup_engine(args)
+    # engine=None routes through the default engine _setup_engine just
+    # configured (cache, workers, trim policy).
+    study = array_disturb_study(geometry=(rows, cols), kinds=kinds)
+    print(study.render())
+    _report_engine(args)
+    return 0
+
+
 def _add_engine_options(p: argparse.ArgumentParser) -> None:
     from repro.diagnostics import LOG_LEVELS
     p.add_argument("--workers", type=int, default=1, metavar="N",
@@ -177,6 +214,14 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
                         "bitwise-reference dense LU, 'sparse' forces "
                         "CSR/SuperLU where available, 'auto' (default) "
                         "picks by system size and sparsity")
+    p.add_argument("--trim", choices=("off", "auto", "force"),
+                   default=None,
+                   help="active-window netlist trimming for array-scale "
+                        "simulations: 'auto' (the array default) prunes "
+                        "unselected rows/columns into boundary loads, "
+                        "'off' simulates the full array, 'force' trims "
+                        "even degenerate windows (no effect on the "
+                        "seed 2x2 column commands)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-addressed result cache")
     p.add_argument("--checkpoint", metavar="DIR", default=None,
@@ -241,6 +286,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=10)
     _add_engine_options(p)
     p.set_defaults(fn=_cmd_coverage)
+
+    p = sub.add_parser("array",
+                       help="array-scale activation-disturbance borders")
+    p.add_argument("--geometry", type=int, nargs=2, default=(6, 6),
+                   metavar=("R", "C"),
+                   help="array rows and columns (default: 6 6)")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated defect kinds (default: all "
+                        "array-routed kinds)")
+    _add_engine_options(p)
+    p.set_defaults(fn=_cmd_array)
 
     return parser
 

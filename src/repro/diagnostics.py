@@ -107,6 +107,7 @@ class RunDiagnostics:
     rescue_stages: dict[str, int] = field(default_factory=dict)
     solver_kernels: dict[str, int] = field(default_factory=dict)
     lane_counters: dict[str, int] = field(default_factory=dict)
+    trim_counters: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # recording
@@ -143,6 +144,15 @@ class RunDiagnostics:
         """
         for name, n in counters.items():
             self.lane_counters[name] = self.lane_counters.get(name, 0) + n
+
+    def record_trim_counters(self, counters: dict[str, int]) -> None:
+        """Fold netlist-trimming counters (windows applied/bypassed,
+        cells and nodes pruned) into the run totals.  Informational,
+        like the solver-kernel counters — trimming activity never makes
+        a run ``eventful``.
+        """
+        for name, n in counters.items():
+            self.trim_counters[name] = self.trim_counters.get(name, 0) + n
 
     def record_retry(self, count: int = 1) -> None:
         """Batch items re-driven after an infrastructure fault."""
@@ -247,6 +257,10 @@ class RunDiagnostics:
             lanes = ", ".join(f"{k} x{n}" for k, n in
                               sorted(self.lane_counters.items()))
             lines.append(f"  lane kernel: {lanes}")
+        if self.trim_counters:
+            trims = ", ".join(f"{k} x{n}" for k, n in
+                              sorted(self.trim_counters.items()))
+            lines.append(f"  netlist trim: {trims}")
         return "\n".join(lines)
 
     def report(self, stream=None) -> None:

@@ -20,10 +20,14 @@ from repro.dram.timing import CyclePlan, plan_cycle
 from repro.dram.ops import Operation, OpResult, SequenceResult, parse_ops
 from repro.dram.column import ColumnNetlist, DefectSite, build_column
 from repro.dram.array import ArrayNetlist, build_array
-from repro.dram.runner import ColumnRunner
+from repro.dram.trim import (TrimPlan, TrimmedArrayNetlist,
+                             build_trimmed_array, plan_trim,
+                             set_trim_default, trim_array, trim_default)
+from repro.dram.runner import ArrayRunner, ColumnRunner
 
 __all__ = [
     "ArrayNetlist",
+    "ArrayRunner",
     "ColumnNetlist",
     "ColumnRunner",
     "CyclePlan",
@@ -32,9 +36,16 @@ __all__ = [
     "Operation",
     "SequenceResult",
     "TechnologyParams",
+    "TrimPlan",
+    "TrimmedArrayNetlist",
     "build_array",
     "build_column",
+    "build_trimmed_array",
     "default_tech",
     "parse_ops",
     "plan_cycle",
+    "plan_trim",
+    "set_trim_default",
+    "trim_array",
+    "trim_default",
 ]

@@ -16,9 +16,11 @@ from repro.dram.column import (DEFECT_DEVICE, ColumnNetlist, DefectSite,
 from repro.dram.ops import Op, Operation, OpResult, SequenceResult, parse_ops
 from repro.dram.tech import TechnologyParams, default_tech
 from repro.dram.timing import plan_cycle
+from repro.spice.errors import NetlistError
 from repro.spice.lanes import LaneSystem, lane_transient
 from repro.spice.mna import System
 from repro.spice.transient import kernels_enabled, transient
+from repro.spice.waveforms import Constant, Pulse
 
 
 def column_idle_state(netlist: ColumnNetlist, tech: TechnologyParams,
@@ -304,3 +306,206 @@ class LaneRunner:
             if lane_ops is not None else None
             for lane_ops in per_lane_ops]
         return results, counters
+
+
+# ----------------------------------------------------------------------
+# array-scale activation workloads
+# ----------------------------------------------------------------------
+#: Fraction of the cycle an array activation spends precharging before
+#: the addressed word line fires.
+ARRAY_PRE_FRAC = 0.2
+
+#: Rise/fall time of the array control edges (seconds).
+ARRAY_EDGE = 0.5e-9
+
+
+class ArrayRunner:
+    """Apply activation cycles to one victim cell of an R×C array.
+
+    The array-scale counterpart of :class:`ColumnRunner` for the
+    workloads an array without a sense path can express: ``r`` cycles
+    (precharge the bit lines, fire the addressed row, observe the
+    charge sharing and the defect's disturbance of the victim) and
+    ``nop`` cycles (idle retention).  Write cycles need the column's
+    write drivers and raise.
+
+    The netlist is built through the trim layer
+    (:func:`repro.dram.trim.trim_array`): ``trim=None`` follows the
+    process-wide policy, ``"off"`` keeps the full array, ``"auto"`` /
+    ``"force"`` simulate only the accessed row/column plus the defect
+    neighborhood with boundary loads standing in for the pruned rest.
+
+    Parameters
+    ----------
+    geometry:
+        ``(rows, cols)`` of the logical array.
+    address:
+        Accessed ``(row, col)``; defaults to the defective cell's own
+        position (the standard victim-activation scenario).
+    defect:
+        Optional injected :class:`~repro.dram.column.DefectSite` with
+        the cell index flattened row-major over the geometry.
+    trim:
+        Trim policy (see :mod:`repro.dram.trim`).
+    """
+
+    def __init__(self, *, tech: TechnologyParams | None = None,
+                 stress: StressConditions = NOMINAL_STRESS,
+                 defect: DefectSite | None = None,
+                 geometry: tuple[int, int] = (4, 4),
+                 address: tuple[int, int] | None = None,
+                 trim: str | None = None,
+                 halo: int = 1,
+                 record: bool = False):
+        from repro.dram.trim import default_address, trim_array
+        rows, cols = geometry
+        self.tech = tech or default_tech()
+        self.stress = stress
+        self.rows = int(rows)
+        self.cols = int(cols)
+        if address is None:
+            address = default_address(self.rows, self.cols, defect)
+        self.address = (int(address[0]), int(address[1]))
+        self.record = record
+        self.netlist = trim_array(self.rows, self.cols, self.tech, defect,
+                                  address=self.address, policy=trim,
+                                  halo=halo)
+        if defect is not None:
+            self.victim = divmod(defect.cell, self.cols)
+        else:
+            self.victim = self.address
+        self._victim_idx = self.victim[0] * self.cols + self.victim[1]
+        self._sn = self.netlist.storage_node(*self.victim)
+        self._system: System | None = None
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def set_stress(self, stress: StressConditions) -> None:
+        self.stress = stress
+
+    def set_defect_resistance(self, resistance: float) -> None:
+        self.netlist.set_defect_resistance(resistance)
+        # Values changed in place: compiled plans/factorizations are
+        # stale, so the system is rebuilt lazily.
+        self._system = None
+
+    @property
+    def defect(self) -> DefectSite | None:
+        return self.netlist.defect
+
+    @property
+    def trimmed(self) -> bool:
+        """Did the trim layer actually prune this netlist?"""
+        return getattr(self.netlist.circuit, "trimmed", False)
+
+    # ------------------------------------------------------------------
+    # state and stimulus
+    # ------------------------------------------------------------------
+    def idle_state(self, init_vc: float,
+                   background: int = 0) -> dict[str, float]:
+        """Node voltages of a quiescent array before the first cycle.
+
+        Bit lines rest at the precharge level, word lines low, every
+        storage node at the logical ``background`` value — except the
+        victim, which holds the physical ``init_vc``.  Works on full
+        and trimmed netlists alike (pruned nodes simply do not appear).
+        """
+        vdd = self.stress.vdd
+        vpre = self.tech.vbl_pre(vdd)
+        vbg = float(background) * vdd
+        state: dict[str, float] = {"vdd": vdd, "vpre": vpre}
+        for name in self.netlist.circuit.node_names:
+            if name.startswith("sn"):
+                state[name] = vbg
+            elif name.startswith("bl") or name.startswith("d_int"):
+                state[name] = vpre
+            elif name.startswith("s_int"):
+                state[name] = vbg
+        state[self._sn] = float(init_vc)
+        if self.netlist.circuit.has_node(f"s_int{self._victim_idx}"):
+            state[f"s_int{self._victim_idx}"] = float(init_vc)
+        return state
+
+    def cycle_waveforms(self, op: Op) -> tuple[dict, float]:
+        """Control waveforms for one cycle plus the sense-sample time.
+
+        An active (``r``) cycle precharges for ``ARRAY_PRE_FRAC`` of
+        the stress cycle time, then fires the addressed word line for
+        a window scaled by the stress duty cycle — so every ST axis
+        (tcyc, duty, T through the simulation, Vdd through the rails
+        and boosted levels) stresses the array exactly as it does the
+        column.  A ``nop`` cycle holds every control low (retention).
+        """
+        tcyc = self.stress.tcyc
+        vdd = self.stress.vdd
+        vpp = self.tech.vpp(vdd)
+        t_pre = ARRAY_PRE_FRAC * tcyc
+        waves: dict = {"v_vdd": Constant(vdd),
+                       "v_pre": Constant(self.tech.vbl_pre(vdd))}
+        active = op.operation is Operation.R
+        t_act = self.stress.duty * (tcyc - t_pre - 2.0 * ARRAY_EDGE)
+        if active:
+            waves["v_eq"] = Pulse(vpp, 0.0, delay=t_pre, rise=ARRAY_EDGE,
+                                  fall=ARRAY_EDGE, width=10.0)
+        else:
+            waves["v_eq"] = Constant(0.0)
+        for r in range(self.rows):
+            if active and r == self.address[0]:
+                waves[f"v_wl{r}"] = Pulse(0.0, vpp,
+                                          delay=t_pre + ARRAY_EDGE,
+                                          rise=ARRAY_EDGE,
+                                          fall=ARRAY_EDGE, width=t_act)
+            else:
+                waves[f"v_wl{r}"] = Constant(0.0)
+        t_sample = t_pre + 2.0 * ARRAY_EDGE + t_act
+        return waves, t_sample
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_op(self, op: Op | str, state: dict[str, float]
+               ) -> tuple[OpResult, dict[str, float]]:
+        """Apply one cycle starting from ``state``."""
+        if isinstance(op, str):
+            op = Op.parse(op)
+        if op.operation.is_write:
+            raise NetlistError(
+                "the array model has no write path; express array "
+                "workloads with r/nop cycles (initial data comes from "
+                "init_vc/background)")
+        waves, t_sample = self.cycle_waveforms(op)
+        self.netlist.set_waveforms(waves)
+        dt = self.stress.tcyc * self.tech.dt_frac
+        if self._system is None and kernels_enabled():
+            self._system = System(self.netlist.circuit)
+        res = transient(self.netlist.circuit, self.stress.tcyc, dt,
+                        temp_c=self.stress.temp_c, initial=state,
+                        system=self._system)
+        new_state = res.final_state()
+
+        sensed = None
+        if op.operation is Operation.R:
+            head = f"bl{self.address[1]}_0"
+            sensed = 1 if res.at(head, t_sample) > \
+                self.tech.vbl_pre(self.stress.vdd) else 0
+
+        result = OpResult(op=op, vc_end=res.final(self._sn), sensed=sensed)
+        if self.record:
+            result.times = res.time
+            result.vc = res.v(self._sn)
+            result.extra = {"bl": res.v(f"bl{self.address[1]}_0")}
+        return result, new_state
+
+    def run_sequence(self, ops, init_vc: float, background: int = 0
+                     ) -> SequenceResult:
+        """Apply a whole cycle sequence from a fresh idle state."""
+        if isinstance(ops, str):
+            ops = parse_ops(ops)
+        ops = [Op.parse(o) if isinstance(o, str) else o for o in ops]
+        state = self.idle_state(init_vc, background=background)
+        results = []
+        for op in ops:
+            result, state = self.run_op(op, state)
+            results.append(result)
+        return SequenceResult(ops=ops, results=results)

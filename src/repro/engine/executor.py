@@ -67,13 +67,23 @@ _UNSET = object()
 
 
 def _model_for(request: SequenceRequest):
-    """Build (or reuse) the column model that serves ``request``."""
+    """Build (or reuse) the model (column or array) serving ``request``."""
     key = (request.backend, request.tech, request.defect_kind,
-           request.cell)
+           request.cell, request.geometry, request.address, request.trim)
     model = _PROCESS_MODELS.get(key)
     if model is None:
         site = request.site()
-        if request.backend == "electrical":
+        if request.geometry is not None:
+            if request.backend != "electrical":
+                raise ValueError(
+                    f"array requests support only the electrical "
+                    f"backend, not {request.backend!r}")
+            from repro.dram.runner import ArrayRunner
+            model = ArrayRunner(tech=request.tech, stress=request.stress,
+                                defect=site, geometry=request.geometry,
+                                address=request.address,
+                                trim=request.trim)
+        elif request.backend == "electrical":
             from repro.dram.runner import ColumnRunner
             model = ColumnRunner(tech=request.tech, stress=request.stress,
                                  defect=site, target_cell=request.cell)
@@ -117,14 +127,18 @@ def _lane_groups(pending: Sequence[SequenceRequest], width: int
                             list[SequenceRequest]]:
     """Split a batch into same-topology lane groups and a remainder.
 
-    Only electrical requests with a defect resistance are laneable
-    (the resistance is the per-lane axis).  Groups are chunked to at
-    most ``width`` lanes; chunks of a single request are not worth a
-    stacked transient and stay on the classic path.
+    Only electrical *column* requests with a defect resistance are
+    laneable (the resistance is the per-lane axis; the lane kernel
+    stacks the seed column topology only — array requests go through
+    :class:`~repro.dram.runner.ArrayRunner` on the classic path).
+    Groups are chunked to at most ``width`` lanes; chunks of a single
+    request are not worth a stacked transient and stay on the classic
+    path.
     """
     by_key: dict = {}
     for i, request in enumerate(pending):
-        if request.backend != "electrical" or request.resistance is None:
+        if request.backend != "electrical" or request.resistance is None \
+                or request.geometry is not None:
             continue
         by_key.setdefault(_lane_group_key(request), []).append(i)
     groups: list[list[SequenceRequest]] = []
@@ -584,6 +598,7 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
                              max_retries: int = 2,
                              lanes: int | None = None,
                              backend: str | None = None,
+                             trim: str | None = None,
                              checkpoint=None,
                              resume: bool = False) -> BatchExecutor:
     """Build and install the process-wide engine (CLI entry point).
@@ -591,6 +606,9 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
     ``backend`` (when given) sets the process-wide solver-backend
     default (:func:`repro.spice.backends.set_backend_default`); workers
     spawned by fork inherit it with the rest of the module state.
+    ``trim`` likewise sets the process-wide netlist-trimming default
+    (:func:`repro.dram.trim.set_trim_default`) consumed by array
+    requests built without an explicit policy.
 
     ``checkpoint`` (a directory) makes the run durable: results land in
     a sharded integrity-checked store there and every completion is
@@ -602,6 +620,9 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
     if backend is not None:
         from repro.spice.backends import set_backend_default
         set_backend_default(backend)
+    if trim is not None:
+        from repro.dram.trim import set_trim_default
+        set_trim_default(trim)
     journal = None
     if checkpoint is not None:
         from repro.engine.journal import SweepCheckpoint

@@ -87,6 +87,19 @@ class SequenceRequest:
         Initial physical storage voltage of the target cell.
     background:
         Logical value held by the other cells of the column.
+    geometry:
+        ``None`` for the seed 2×2 column (the default DUT), or an
+        ``(rows, cols)`` pair to simulate an R×C array through
+        :class:`~repro.dram.runner.ArrayRunner` instead.
+    address:
+        Accessed ``(row, col)`` of an array request (``None`` lets the
+        runner default to the defective cell's own position).
+    trim:
+        Netlist trimming policy of an array request —
+        ``"off"``/``"auto"``/``"force"``
+        (see :mod:`repro.dram.trim`).  Part of the content hash for
+        array requests, so trimmed and full results never collide in
+        the cache or the verified store.
     """
 
     backend: str
@@ -98,13 +111,19 @@ class SequenceRequest:
     ops: str
     init_vc: float
     background: int = 0
+    geometry: tuple[int, int] | None = None
+    address: tuple[int, int] | None = None
+    trim: str = "off"
 
     @classmethod
     def build(cls, ops, init_vc: float, *, backend: str,
               defect: Defect | DefectSite | None,
               stress: StressConditions,
               tech: TechnologyParams | None = None,
-              background: int = 0) -> "SequenceRequest":
+              background: int = 0,
+              geometry: tuple[int, int] | None = None,
+              address: tuple[int, int] | None = None,
+              trim: str | None = None) -> "SequenceRequest":
         """Build a request from high-level pieces.
 
         ``ops`` may be a string or a list of :class:`~repro.dram.ops.Op`;
@@ -112,6 +131,11 @@ class SequenceRequest:
         ``"w1 w1"`` and ``[w1, w1]`` address the same cache entry.
         ``defect`` may be the high-level catalog :class:`Defect` or the
         netlist-level :class:`DefectSite`.
+
+        ``geometry`` turns the request into an array simulation;
+        ``trim=None`` then resolves to the process-wide default
+        (:func:`repro.dram.trim.trim_default`).  Column requests always
+        carry ``trim="off"`` so their hashes stay unchanged.
         """
         if isinstance(ops, str):
             ops = parse_ops(ops)
@@ -119,6 +143,19 @@ class SequenceRequest:
             site = defect.site()
         else:
             site = defect
+        if geometry is not None:
+            from repro.dram.trim import resolve_trim
+            geometry = (int(geometry[0]), int(geometry[1]))
+            trim = resolve_trim(trim)
+            if address is not None:
+                address = (int(address[0]), int(address[1]))
+        else:
+            if address is not None:
+                raise ValueError("address requires geometry")
+            if trim not in (None, "off"):
+                raise ValueError("trim requires geometry (the seed 2x2 "
+                                 "column is never trimmed)")
+            trim = "off"
         return cls(
             backend=backend,
             tech=tech or default_tech(),
@@ -129,6 +166,9 @@ class SequenceRequest:
             ops=format_ops(ops),
             init_vc=float(init_vc),
             background=int(background),
+            geometry=geometry,
+            address=address,
+            trim=trim,
         )
 
     @property
@@ -139,7 +179,7 @@ class SequenceRequest:
     @cached_property
     def content_hash(self) -> str:
         """Deterministic hex digest addressing this simulation."""
-        payload = json.dumps({
+        payload = {
             "schema": SCHEMA_VERSION,
             "backend": self.backend,
             "tech": _canonical(self.tech),
@@ -151,7 +191,18 @@ class SequenceRequest:
             "ops": self.ops,
             "init_vc": repr(self.init_vc),
             "background": self.background,
-        }, sort_keys=True, separators=(",", ":"))
+        }
+        # Array fields only enter the payload when used, so every column
+        # request keeps the hash it had before arrays existed (cache and
+        # verified-store entries stay addressable).
+        if self.geometry is not None or self.trim != "off":
+            payload["geometry"] = (list(self.geometry)
+                                   if self.geometry is not None else None)
+            payload["address"] = (list(self.address)
+                                  if self.address is not None else None)
+            payload["trim"] = self.trim
+        payload = json.dumps(payload, sort_keys=True,
+                             separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def site(self) -> DefectSite | None:
@@ -165,5 +216,9 @@ class SequenceRequest:
         defect = ("clean" if self.defect_kind is None else
                   f"{self.defect_kind}@{self.cell} "
                   f"R={self.resistance:.3g}")
-        return (f"[{self.backend}] {defect} {self.stress.describe()} "
+        dut = ""
+        if self.geometry is not None:
+            dut = (f" {self.geometry[0]}x{self.geometry[1]} "
+                   f"trim={self.trim}")
+        return (f"[{self.backend}]{dut} {defect} {self.stress.describe()} "
                 f"ops='{self.ops}' Vc0={self.init_vc:.3f}")

@@ -19,6 +19,11 @@ Sec. 5.2 (cov.)   :func:`march_coverage_comparison`
 ================  ==============================================
 """
 
+from repro.experiments.array import (
+    ArrayStudy,
+    activation_disturb_br,
+    array_disturb_study,
+)
 from repro.experiments.figures import (
     PanelStudy,
     fig2_result_planes,
@@ -34,7 +39,10 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "ArrayStudy",
     "PanelStudy",
+    "activation_disturb_br",
+    "array_disturb_study",
     "fig2_result_planes",
     "fig3_timing_panels",
     "fig4_temperature_panels",

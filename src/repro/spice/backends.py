@@ -397,6 +397,11 @@ def resolve_backend(name: str | None, system) -> SolverBackend:
                     backend.pattern.density <= SPARSE_AUTO_MAX_DENSITY:
                 system._count("backend_auto_sparse")
                 return backend
+        if getattr(getattr(system, "circuit", None), "trimmed", False):
+            # A trimmed array dropped back under the sparse threshold:
+            # count it so benches can attribute the speedup to the
+            # dense/lane fast paths the trim re-enabled.
+            system._count("backend_trim_dense")
         return DENSE
     factory = _REGISTRY.get(name)
     if factory is None:

@@ -1,6 +1,8 @@
 """Parameterized R×C DRAM array builder."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dram.array import (
     DEFAULT_C_WL,
@@ -146,3 +148,68 @@ class TestActivation:
         arr = build_array(2, 2)
         with pytest.raises(NetlistError):
             arr.set_waveforms({"v_nope": None})
+
+
+class TestEdgeGeometries:
+    """Degenerate 1×C / R×1 ladders and corner-cell defect routing."""
+
+    @pytest.mark.parametrize("cols", [1, 2, 5])
+    def test_single_row(self, cols):
+        arr = build_array(1, cols)
+        assert arr.circuit.num_nodes == 3 * cols + 1 + 3
+        arr.set_waveforms(arr.activation_waveforms(0))
+        res = transient(arr.circuit, 20e-9, 0.25e-9)
+        vpre = arr.tech.vbl_pre(arr.tech.vdd_nom)
+        for col in range(cols):
+            assert res.final(arr.storage_node(0, col)) > 0.5 * vpre
+
+    @pytest.mark.parametrize("rows", [1, 2, 5])
+    def test_single_column(self, rows):
+        arr = build_array(rows, 1)
+        assert arr.circuit.num_nodes == 3 * rows + rows + 3
+        arr.set_waveforms(arr.activation_waveforms(rows - 1))
+        res = transient(arr.circuit, 20e-9, 0.25e-9)
+        vpre = arr.tech.vbl_pre(arr.tech.vdd_nom)
+        assert res.final(arr.storage_node(rows - 1, 0)) > 0.5 * vpre
+        if rows > 1:
+            assert abs(res.final(arr.storage_node(0, 0))) < 0.1
+
+    @pytest.mark.parametrize("kind", DEFECT_KINDS)
+    @pytest.mark.parametrize("rows,cols", [(1, 3), (3, 1), (1, 1)])
+    def test_defect_routes_in_degenerate_arrays(self, kind, rows, cols):
+        arr = build_array(rows, cols,
+                          defect=DefectSite(kind, rows * cols - 1, 50e3))
+        arr.circuit["r_defect"]
+        assert arr.defect_resistance == pytest.approx(50e3)
+
+    @pytest.mark.parametrize("kind", DEFECT_KINDS)
+    def test_defect_routes_at_every_corner(self, kind):
+        rows, cols = 3, 4
+        corners = [0, cols - 1, (rows - 1) * cols, rows * cols - 1]
+        for cell in corners:
+            arr = build_array(rows, cols,
+                              defect=DefectSite(kind, cell, 50e3))
+            arr.circuit["r_defect"]
+            # Bridge kinds fold to their in-array neighbor at the edge;
+            # the victim's own taps always exist.
+            r, c = divmod(cell, cols)
+            names = set(arr.circuit.node_names)
+            assert arr.storage_node(r, c) in names
+
+    @given(rows=st.integers(1, 5), cols=st.integers(1, 5),
+           data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_topology_invariants(self, rows, cols, data):
+        cell = data.draw(st.integers(0, rows * cols - 1))
+        kind = data.draw(st.sampled_from(DEFECT_KINDS))
+        arr = build_array(rows, cols, defect=DefectSite(kind, cell, 1e5))
+        open_kind = kind.startswith("open")
+        assert arr.circuit.num_nodes == \
+            3 * rows * cols + rows + 3 + (1 if open_kind else 0)
+        system = System(arr.circuit)
+        assert system.size == arr.circuit.num_nodes + rows + 3
+        names = set(arr.circuit.node_names)
+        r, c = divmod(cell, cols)
+        assert arr.storage_node(r, c) in names
+        assert arr.wordline_tap(r, c) in names
+        assert arr.bitline_tap(r, c) in names

@@ -87,3 +87,60 @@ class TestRequestObject:
         assert tech_fingerprint(tech) == tech_fingerprint(tech)
         bumped = tech.with_(cs=tech.cs * 1.01)
         assert tech_fingerprint(bumped) != tech_fingerprint(tech)
+
+
+class TestArrayRequests:
+    """Array geometry/address/trim fields and their hash gating."""
+
+    #: Hash of the reference column request, pinned before the array
+    #: fields existed — column requests must keep their cache/store
+    #: addresses forever.
+    PINNED = "dd3de624ce1c5cefb963bb51a94dc2f5f472926a020f2f96410906a55736c812"
+
+    def test_column_hash_pinned(self):
+        assert _request().content_hash == self.PINNED
+
+    def test_column_requests_default_trim_off(self):
+        req = _request()
+        assert req.geometry is None
+        assert req.trim == "off"
+
+    def test_geometry_changes_the_hash(self):
+        base = _request()
+        arr = _request(geometry=(4, 4))
+        assert arr.content_hash != base.content_hash
+
+    def test_trim_policies_never_collide(self):
+        hashes = {_request(geometry=(6, 6), trim=t).content_hash
+                  for t in ("off", "auto", "force")}
+        assert len(hashes) == 3
+
+    def test_address_contributes(self):
+        a = _request(geometry=(4, 4), address=(0, 0))
+        b = _request(geometry=(4, 4), address=(1, 1))
+        assert a.content_hash != b.content_hash
+
+    def test_trim_default_resolution(self):
+        from repro.dram.trim import set_trim_default, trim_default
+        prev = set_trim_default("force")
+        try:
+            assert _request(geometry=(4, 4)).trim == "force"
+            # Explicit policy wins over the process default.
+            assert _request(geometry=(4, 4), trim="off").trim == "off"
+            # Column requests ignore the default entirely.
+            assert _request().trim == "off"
+        finally:
+            set_trim_default(prev)
+        assert trim_default() == prev
+
+    def test_trim_without_geometry_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            _request(trim="force")
+        with pytest.raises(ValueError):
+            _request(address=(0, 0))
+
+    def test_describe_mentions_geometry_and_trim(self):
+        text = _request(geometry=(6, 6), trim="force").describe()
+        assert "6x6" in text
+        assert "trim=force" in text

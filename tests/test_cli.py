@@ -117,3 +117,54 @@ class TestProfileFlag:
         captured = capsys.readouterr()
         assert "solver kernels:" in captured.err
         assert "plan_iteration_assembly" in captured.err
+
+
+class TestArrayCommand:
+    @pytest.fixture(autouse=True)
+    def _reset_trim_default(self):
+        """--trim sets a process-wide default; leave it untouched."""
+        from repro.dram.trim import set_trim_default, trim_default
+        prev = trim_default()
+        yield
+        set_trim_default(prev)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["array"])
+        assert tuple(args.geometry) == (6, 6)
+        assert args.kinds is None
+        assert args.trim is None
+
+    def test_trim_flag_on_every_engine_command(self):
+        for command in ("table1", "planes", "coverage", "array"):
+            args = build_parser().parse_args([command, "--trim", "force"])
+            assert args.trim == "force"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["array", "--trim", "maybe"])
+
+    def test_bad_geometry(self, capsys):
+        rc = main(["array", "--geometry", "0", "4"])
+        assert rc == 2
+        assert "positive dimensions" in capsys.readouterr().err
+
+    def test_unknown_kind(self, capsys):
+        rc = main(["array", "--kinds", "open_sn,nope"])
+        assert rc == 2
+        assert "unknown defect kind" in capsys.readouterr().err
+
+    def test_array_study_runs(self, capsys):
+        rc = main(["array", "--geometry", "3", "3",
+                   "--kinds", "short_gnd", "--trim", "force"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "array activation disturbance, 3x3" in out
+        assert "trim=force" in out
+        assert "short_gnd" in out
+
+    def test_trim_off_matches_force(self, capsys):
+        borders = {}
+        for policy in ("off", "force"):
+            assert main(["array", "--geometry", "3", "3",
+                         "--kinds", "short_gnd", "--trim", policy]) == 0
+            out = capsys.readouterr().out
+            borders[policy] = out.splitlines()[-1].split()[-1]
+        assert borders["off"] == borders["force"]
