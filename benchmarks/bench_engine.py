@@ -18,15 +18,13 @@ Run standalone (CI runs ``--check``)::
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
 import platform
-import sys
 import time
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+try:
+    from benchmarks._common import emit, fail, make_parser
+except ImportError:                               # run as a script
+    from _common import emit, fail, make_parser
 
 import numpy as np  # noqa: E402
 
@@ -103,29 +101,14 @@ def render(res: dict) -> str:
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--check", action="store_true",
-                    help="exit nonzero unless every warm pass saves at "
-                         "least 50% of the cold pass's cycles")
-    args = ap.parse_args(argv)
+    args = make_parser(__doc__, quick=False,
+                       check_parity=False).parse_args(argv)
 
     res = run_benchmark()
-    text = render(res)
-    print(text)
-    for target in (REPO_ROOT / "reports" / "engine.txt",
-                   REPO_ROOT / "benchmarks" / "reports" / "engine.txt"):
-        target.parent.mkdir(exist_ok=True)
-        target.write_text(text + "\n")
-    payload = dict(res, benchmark="engine",
-                   python=platform.python_version(),
-                   numpy=np.__version__)
-    (REPO_ROOT / "BENCH_engine.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit("engine", render(res), res)
 
     if args.check and not res["ok"]:
-        print("FAIL: warm cache must halve the simulated cycles",
-              file=sys.stderr)
-        return 1
+        return fail("warm cache must halve the simulated cycles")
     return 0
 
 

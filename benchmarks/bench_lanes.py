@@ -29,15 +29,12 @@ Run standalone (CI runs ``--quick --check-parity``)::
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
 import platform
-import sys
-import time
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+try:
+    from benchmarks._common import best_of, emit, fail, make_parser
+except ImportError:                               # run as a script
+    from _common import best_of, emit, fail, make_parser
 
 import numpy as np  # noqa: E402
 
@@ -59,17 +56,6 @@ LANE_TOL = 1e-5
 
 #: Dense-grid resolution for the adaptive-BR comparison.
 BR_POINTS = 24
-
-
-def _best_of(fn, rounds: int) -> tuple[float, object]:
-    """Minimum wall time over ``rounds`` repetitions (noise-robust)."""
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 # ----------------------------------------------------------------------
@@ -161,9 +147,9 @@ def run_benchmark(quick: bool = False) -> dict:
     points = LANE_WIDTH          # one full-width lane group per sweep
     rounds = 1 if quick else 2
 
-    lane_s, lane_study = _best_of(
+    lane_s, lane_study = best_of(
         lambda: _run_planes(LANE_WIDTH, points), rounds)
-    legacy_s, legacy_study = _best_of(
+    legacy_s, legacy_study = best_of(
         lambda: _run_planes(0, points), rounds)
     parity_ok, max_diff = _planes_parity(lane_study, legacy_study)
 
@@ -235,43 +221,20 @@ def render(res: dict) -> str:
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--quick", action="store_true",
-                    help="reduced rounds/defect set (CI)")
-    ap.add_argument("--check", action="store_true",
-                    help="exit nonzero if parity fails or the speedup / "
-                         "cycle-ratio targets are missed")
-    ap.add_argument("--check-parity", action="store_true",
-                    help="exit nonzero if parity or BR identity fails "
-                         "(perf targets stay informational — for noisy "
-                         "CI runners)")
-    args = ap.parse_args(argv)
+    args = make_parser(__doc__).parse_args(argv)
 
     res = run_benchmark(quick=args.quick)
-    text = render(res)
-    print(text)
-    for target in (REPO_ROOT / "reports" / "lanes.txt",
-                   REPO_ROOT / "benchmarks" / "reports" / "lanes.txt"):
-        target.parent.mkdir(exist_ok=True)
-        target.write_text(text + "\n")
     payload = {k: v for k, v in res.items() if k != "br_rows"}
-    payload.update(benchmark="lanes",
-                   parity="within-tolerance" if res["parity_ok"]
-                   else "mismatch",
-                   python=platform.python_version(),
-                   numpy=np.__version__)
-    (REPO_ROOT / "BENCH_lanes.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    payload["parity"] = ("within-tolerance" if res["parity_ok"]
+                         else "mismatch")
+    emit("lanes", render(res), payload)
 
     strict = args.check or args.check_parity
     if strict and not (res["parity_ok"] and res["br_identical"]):
-        print("FAIL: lane parity or BR identity broken", file=sys.stderr)
-        return 1
+        return fail("lane parity or BR identity broken")
     if args.check and (res["planes_speedup"] < 3.0
                        or res["br_cycle_ratio"] > 1.0 / 3.0):
-        print("FAIL: speedup / cycle-ratio targets missed",
-              file=sys.stderr)
-        return 1
+        return fail("speedup / cycle-ratio targets missed")
     return 0
 
 

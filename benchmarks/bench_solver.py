@@ -26,15 +26,12 @@ Run standalone (CI runs ``--quick``)::
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
 import platform
-import sys
-import time
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+try:
+    from benchmarks._common import best_of, emit, fail, make_parser
+except ImportError:                               # run as a script
+    from _common import best_of, emit, fail, make_parser
 
 import numpy as np  # noqa: E402
 
@@ -47,17 +44,6 @@ from repro.spice.transient import set_kernels_default  # noqa: E402
 
 #: The cycle sequence benchmarked per ISSUE acceptance (w0/w1/r).
 CYCLE_OPS = "w0 w1 r1"
-
-
-def _best_of(fn, rounds: int) -> tuple[float, object]:
-    """Minimum wall time over ``rounds`` cold repetitions (noise-robust)."""
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def _run_cycles():
@@ -95,15 +81,15 @@ def run_benchmark(quick: bool = False) -> dict:
 
     bitwise = _parity_check()
 
-    fast_s, _ = _best_of(lambda: _with_kernels(True, _run_cycles), rounds)
-    legacy_s, _ = _best_of(lambda: _with_kernels(False, _run_cycles),
+    fast_s, _ = best_of(lambda: _with_kernels(True, _run_cycles), rounds)
+    legacy_s, _ = best_of(lambda: _with_kernels(False, _run_cycles),
                            rounds)
 
     plane_rounds = 1 if quick else 2
-    fast_p, _ = _best_of(
+    fast_p, _ = best_of(
         lambda: _with_kernels(True, lambda: _run_planes(points)),
         plane_rounds)
-    legacy_p, _ = _best_of(
+    legacy_p, _ = best_of(
         lambda: _with_kernels(False, lambda: _run_planes(points)),
         plane_rounds)
 
@@ -152,41 +138,17 @@ def render(res: dict) -> str:
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--quick", action="store_true",
-                    help="reduced rounds/grid (CI)")
-    ap.add_argument("--check", action="store_true",
-                    help="exit nonzero if parity fails or speedup "
-                         "targets are missed")
-    ap.add_argument("--check-parity", action="store_true",
-                    help="exit nonzero if parity fails (targets stay "
-                         "informational — for noisy CI runners)")
-    args = ap.parse_args(argv)
+    args = make_parser(__doc__).parse_args(argv)
 
     res = run_benchmark(quick=args.quick)
-    text = render(res)
-    print(text)
-    for target in (REPO_ROOT / "reports" / "solver.txt",
-                   REPO_ROOT / "benchmarks" / "reports" / "solver.txt"):
-        target.parent.mkdir(exist_ok=True)
-        target.write_text(text + "\n")
-    # Machine-readable twin of the text report, so the perf trajectory
-    # is trackable across PRs.
-    payload = dict(res, benchmark="solver",
-                   parity="bitwise" if res["bitwise"] else "mismatch",
-                   python=platform.python_version(),
-                   numpy=np.__version__)
-    (REPO_ROOT / "BENCH_solver.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit("solver", render(res),
+         dict(res, parity="bitwise" if res["bitwise"] else "mismatch"))
 
     if (args.check or args.check_parity) and not res["bitwise"]:
-        print("FAIL: kernel path is not bitwise-identical",
-              file=sys.stderr)
-        return 1
+        return fail("kernel path is not bitwise-identical")
     if args.check and (res["cycles_speedup"] < 3.0
                        or res["planes_speedup"] < 2.0):
-        print("FAIL: speedup targets missed", file=sys.stderr)
-        return 1
+        return fail("speedup targets missed")
     return 0
 
 

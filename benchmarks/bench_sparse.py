@@ -27,15 +27,13 @@ Run standalone (CI runs ``--quick --check-parity``)::
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
 import platform
 import sys
-import time
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+try:
+    from benchmarks._common import best_of, emit, fail, make_parser
+except ImportError:                               # run as a script
+    from _common import best_of, emit, fail, make_parser
 
 import numpy as np  # noqa: E402
 
@@ -53,17 +51,6 @@ PARITY_TOL = 1e-6
 #: Transient stimulus: one precharge (4 ns) + row activation, 0.25 ns grid.
 TSTOP = 24e-9
 DT = 0.25e-9
-
-
-def _best_of(fn, rounds: int) -> tuple[float, object]:
-    """Minimum wall time over ``rounds`` repetitions (noise-robust)."""
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def _make_array(n: int):
@@ -90,8 +77,8 @@ def run_benchmark(quick: bool = False) -> dict:
 
     sparse_engaged = scipy_available() and _sparse_engaged(arr)
 
-    dense_s, res_d = _best_of(lambda: _run(arr, "dense"), rounds)
-    sparse_s, res_s = _best_of(lambda: _run(arr, "sparse"), rounds)
+    dense_s, res_d = best_of(lambda: _run(arr, "dense"), rounds)
+    sparse_s, res_s = best_of(lambda: _run(arr, "sparse"), rounds)
 
     # Full-trajectory parity on every storage node (strictest observers:
     # high-impedance nodes integrate any solve divergence).
@@ -149,16 +136,7 @@ def render(res: dict) -> str:
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--quick", action="store_true",
-                    help="reduced array size/rounds (CI)")
-    ap.add_argument("--check", action="store_true",
-                    help="exit nonzero if parity fails or the speedup "
-                         "target is missed (full mode)")
-    ap.add_argument("--check-parity", action="store_true",
-                    help="exit nonzero if parity fails (speedup stays "
-                         "informational - for noisy CI runners)")
-    args = ap.parse_args(argv)
+    args = make_parser(__doc__).parse_args(argv)
 
     if not scipy_available():
         # Without the [sparse] extra every "sparse" leg would silently
@@ -170,31 +148,17 @@ def main(argv=None) -> int:
         return 1 if (args.check or args.check_parity) else 0
 
     res = run_benchmark(quick=args.quick)
-    text = render(res)
-    print(text)
-    for target in (REPO_ROOT / "reports" / "sparse.txt",
-                   REPO_ROOT / "benchmarks" / "reports" / "sparse.txt"):
-        target.parent.mkdir(exist_ok=True)
-        target.write_text(text + "\n")
-    payload = dict(res, benchmark="sparse",
-                   parity="ok" if res["parity_ok"] else "mismatch",
-                   python=platform.python_version(),
-                   numpy=np.__version__)
-    (REPO_ROOT / "BENCH_sparse.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit("sparse", render(res),
+         dict(res, parity="ok" if res["parity_ok"] else "mismatch"))
 
     if args.check or args.check_parity:
         if not res["sparse_engaged"]:
-            print("FAIL: sparse backend did not engage (scipy missing "
-                  "or pattern unavailable)", file=sys.stderr)
-            return 1
+            return fail("sparse backend did not engage (scipy missing "
+                        "or pattern unavailable)")
         if not res["parity_ok"]:
-            print("FAIL: dense-vs-sparse parity outside tolerance",
-                  file=sys.stderr)
-            return 1
+            return fail("dense-vs-sparse parity outside tolerance")
     if args.check and not args.quick and res["speedup"] < 3.0:
-        print("FAIL: sparse speedup target (3x) missed", file=sys.stderr)
-        return 1
+        return fail("sparse speedup target (3x) missed")
     return 0
 
 

@@ -25,19 +25,18 @@ Run standalone (CI runs ``--quick --check``)::
 
 from __future__ import annotations
 
-import argparse
 import hashlib
-import json
 import pathlib
 import pickle
 import platform
 import shutil
-import sys
 import tempfile
 import time
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+try:
+    from benchmarks._common import emit, fail, make_parser
+except ImportError:                               # run as a script
+    from _common import emit, fail, make_parser
 
 from repro.defects import Defect, DefectKind  # noqa: E402
 from repro.engine import BatchExecutor, SequenceRequest, SweepCheckpoint  # noqa: E402
@@ -198,31 +197,14 @@ def render(res: dict) -> str:
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--quick", action="store_true",
-                    help="reduced entry/sweep counts (CI)")
-    ap.add_argument("--check", action="store_true",
-                    help="exit nonzero if any entry fails verification "
-                         "or the resumed sweep diverges")
-    args = ap.parse_args(argv)
+    args = make_parser(__doc__, check_parity=False).parse_args(argv)
 
     res = run_benchmark(quick=args.quick)
-    text = render(res)
-    print(text)
-    for target in (REPO_ROOT / "reports" / "store.txt",
-                   REPO_ROOT / "benchmarks" / "reports" / "store.txt"):
-        target.parent.mkdir(exist_ok=True)
-        target.write_text(text + "\n")
-    payload = dict(res, benchmark="store",
-                   python=platform.python_version())
-    (REPO_ROOT / "BENCH_store.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit("store", render(res), res)
 
     if args.check and not (res["all_verified"]
                            and res["resume"]["identical"]):
-        print("FAIL: store verification or resume parity broken",
-              file=sys.stderr)
-        return 1
+        return fail("store verification or resume parity broken")
     return 0
 
 

@@ -26,15 +26,13 @@ Run standalone (CI runs ``--quick --check-parity``)::
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
 import platform
-import sys
 import time
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+try:
+    from benchmarks._common import best_of, emit, fail, make_parser
+except ImportError:                               # run as a script
+    from _common import best_of, emit, fail, make_parser
 
 import numpy as np  # noqa: E402
 
@@ -62,17 +60,6 @@ BR_REL_TOL = 1e-6
 
 #: Resistance sweep of the speedup leg (log-spaced across the border).
 SWEEP_DECADES = (1e4, 1e8)
-
-
-def _best_of(fn, rounds: int) -> tuple[float, object]:
-    """Minimum wall time over ``rounds`` repetitions (noise-robust)."""
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def _center(n: int) -> int:
@@ -183,9 +170,9 @@ def run_benchmark(quick: bool = False) -> dict:
     # (sparse when available) vs the trimmed sweep on its natural
     # auto-resolved dense fast path.
     full_backend = "sparse" if scipy_available() else "auto"
-    full_s, _ = _best_of(lambda: _sweep(n_sweep, "off", full_backend,
+    full_s, _ = best_of(lambda: _sweep(n_sweep, "off", full_backend,
                                         points), rounds)
-    trim_s, _ = _best_of(lambda: _sweep(n_sweep, "force", "auto",
+    trim_s, _ = best_of(lambda: _sweep(n_sweep, "force", "auto",
                                         points), rounds)
 
     parity_ok = (column["ok"] and trajectory["ok"]
@@ -241,39 +228,16 @@ def render(res: dict) -> str:
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--quick", action="store_true",
-                    help="reduced sizes/kinds/rounds (CI)")
-    ap.add_argument("--check", action="store_true",
-                    help="exit nonzero if parity fails or the speedup "
-                         "target is missed (full mode)")
-    ap.add_argument("--check-parity", action="store_true",
-                    help="exit nonzero if parity fails (speedup stays "
-                         "informational - for noisy CI runners)")
-    args = ap.parse_args(argv)
+    args = make_parser(__doc__).parse_args(argv)
 
     res = run_benchmark(quick=args.quick)
-    text = render(res)
-    print(text)
-    for target in (REPO_ROOT / "reports" / "trim.txt",
-                   REPO_ROOT / "benchmarks" / "reports" / "trim.txt"):
-        target.parent.mkdir(exist_ok=True)
-        target.write_text(text + "\n")
-    payload = dict(res, benchmark="trim",
-                   parity="ok" if res["parity_ok"] else "mismatch",
-                   python=platform.python_version(),
-                   numpy=np.__version__)
-    (REPO_ROOT / "BENCH_trim.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit("trim", render(res),
+         dict(res, parity="ok" if res["parity_ok"] else "mismatch"))
 
-    if args.check or args.check_parity:
-        if not res["parity_ok"]:
-            print("FAIL: trimmed-vs-full parity outside tolerance",
-                  file=sys.stderr)
-            return 1
+    if (args.check or args.check_parity) and not res["parity_ok"]:
+        return fail("trimmed-vs-full parity outside tolerance")
     if args.check and not args.quick and res["speedup"] < 5.0:
-        print("FAIL: trim speedup target (5x) missed", file=sys.stderr)
-        return 1
+        return fail("trim speedup target (5x) missed")
     return 0
 
 

@@ -205,9 +205,12 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="worker processes for simulation fan-out")
     p.add_argument("--lanes", type=int, default=None, metavar="N",
-                   help="stack up to N same-topology sweep points into "
-                        "one batched multi-lane transient (0 disables; "
-                        "default: off)")
+                   help="stack up to N same-topology sweep points "
+                        "(column or array, dense or sparse as the "
+                        "backend resolves) into one batched multi-lane "
+                        "transient; bisection drivers then probe "
+                        "speculatively and warm-start across "
+                        "generations (0 disables; default: off)")
     p.add_argument("--backend", choices=("auto", "dense", "sparse"),
                    default=None,
                    help="linear-solver backend: 'dense' forces the "

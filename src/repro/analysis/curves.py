@@ -332,6 +332,34 @@ def _border_crossing_scan(model, resistances, *, n_writes, vsa_tol,
         raise ValueError("need at least 2 grid points")
     margins: dict[int, object] = {}
     probed: list[int] = []
+    # Speculative batching: when the model's engine stacks lanes, probe
+    # several grid indices per round — they differ only in resistance,
+    # so their settle/Vsa requests batch into multi-lane transients.
+    # With lanes off (the default) every probe stays a single request
+    # and the scan behaves exactly as before.
+    engine = getattr(model, "engine", None)
+    speculate = (not dense and engine is not None
+                 and getattr(engine, "effective_lanes", lambda: 0)() >= 2)
+
+    def prefetch(idxs) -> None:
+        """Measure several margins in one settle/Vsa batch."""
+        todo = [i for i in dict.fromkeys(idxs) if i not in margins]
+        if not todo:
+            return
+        probed.extend(todo)
+        settle = settle_curve(model, 0, [rs[i] for i in todo],
+                              n_ops=n_writes, on_error=on_error)
+        w0s = settle.after(1)
+        vsa = _vsa_curve(model, [rs[i] for i in todo], tol=vsa_tol,
+                         on_error=on_error)
+        for j, i in enumerate(todo):
+            if w0s[j] is None or vsa.is_hole(j):
+                m: object = _HOLE
+            elif vsa.thresholds[j] is None:
+                m = 1.0
+            else:
+                m = w0s[j] - vsa.thresholds[j]
+            margins[i] = m
 
     def margin(i: int):
         """Memoized margin at grid index ``i`` (``_HOLE`` = no data).
@@ -368,6 +396,12 @@ def _border_crossing_scan(model, resistances, *, n_writes, vsa_tol,
         k = max(2, min(k, n))
         lattice = sorted({round(j * (n - 1) / (k - 1)) for j in range(k)})
 
+    if speculate:
+        # One multi-lane batch for the whole coarse lattice: the early
+        # break below saves serial probes, but with lanes the lattice
+        # costs barely more than its most stubborn point.
+        prefetch(lattice)
+
     prev = None   # last measurable lattice index below the crossing
     hit = None    # first lattice index at/above the crossing
     for i in lattice:
@@ -388,6 +422,16 @@ def _border_crossing_scan(model, resistances, *, n_writes, vsa_tol,
         b = hit
         while b - a > 1:
             mid = (a + b) // 2
+            if speculate and mid not in margins:
+                # Prefetch the midpoint plus both children midpoints
+                # (the next level either way the comparison goes) as
+                # lanes of one batch.
+                kids = [mid]
+                if mid - a > 1:
+                    kids.append((a + mid) // 2)
+                if b - mid > 1:
+                    kids.append((mid + b) // 2)
+                prefetch(kids)
             m = margin(mid)
             if m is _HOLE:
                 m = None

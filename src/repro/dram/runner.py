@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.profiling import profiler
 from repro.stress import NOMINAL_STRESS, StressConditions
 from repro.dram.column import (DEFECT_DEVICE, ColumnNetlist, DefectSite,
                                build_column)
@@ -17,7 +18,8 @@ from repro.dram.ops import Op, Operation, OpResult, SequenceResult, parse_ops
 from repro.dram.tech import TechnologyParams, default_tech
 from repro.dram.timing import plan_cycle
 from repro.spice.errors import NetlistError
-from repro.spice.lanes import LaneSystem, lane_transient
+from repro.spice.lanes import (LaneSystem, LaneWarmBank, lane_transient,
+                               make_lane_system)
 from repro.spice.mna import System
 from repro.spice.transient import kernels_enabled, transient
 from repro.spice.waveforms import Constant, Pulse
@@ -218,7 +220,8 @@ class LaneRunner:
     def _lane_system(self, resistances) -> LaneSystem:
         lanes = self._lanes
         if lanes is None:
-            lanes = LaneSystem(self._system, resistances, DEFECT_DEVICE)
+            lanes = make_lane_system(self._system, resistances,
+                                     DEFECT_DEVICE)
             self._lanes = lanes
         elif lanes.resistances != tuple(float(r) for r in resistances):
             lanes.set_resistances(resistances)
@@ -509,3 +512,164 @@ class ArrayRunner:
             result, state = self.run_op(op, state)
             results.append(result)
         return SequenceResult(ops=ops, results=results)
+
+
+class ArrayLaneRunner:
+    """Run one array cycle sequence over many ``Rop`` lanes at once.
+
+    The array-scale counterpart of :class:`LaneRunner`: one (optionally
+    trimmed) array netlist built around a placeholder defect, one
+    compiled :class:`System` template, and a lane system whose per-lane
+    statics carry the swept defect resistances — dense or sparse
+    depending on what the backend policy resolves for this netlist
+    (:func:`~repro.spice.lanes.make_lane_system`).  Because the
+    template is compiled once, a BR bisection stops paying the
+    netlist-build + plan-compile cost per probe that the serial
+    :class:`ArrayRunner` path incurs through
+    :meth:`ArrayRunner.set_defect_resistance`.
+
+    A :class:`~repro.spice.lanes.LaneWarmBank` carries quasi-Newton
+    factorizations and trajectories across successive batches (the
+    *generations* of a bisection), warm-starting each new lane from its
+    nearest converged log-R neighbour.  The bank is cleared on stress
+    changes — a new stress moves every waveform and time grid, so
+    nothing stored remains commensurable.
+    """
+
+    def __init__(self, *, tech: TechnologyParams | None = None,
+                 stress: StressConditions = NOMINAL_STRESS,
+                 defect_kind: str = "open_sn",
+                 cell: int = 0,
+                 geometry: tuple[int, int] = (4, 4),
+                 address: tuple[int, int] | None = None,
+                 trim: str | None = None,
+                 record: bool = False):
+        defect = DefectSite(kind=defect_kind, cell=cell, resistance=1.0)
+        self._runner = ArrayRunner(tech=tech, stress=stress, defect=defect,
+                                   geometry=geometry, address=address,
+                                   trim=trim, record=record)
+        self.tech = self._runner.tech
+        self.stress = stress
+        self.record = record
+        self._system = System(self._runner.netlist.circuit)
+        self._lanes: LaneSystem | None = None
+        self._bank = LaneWarmBank()
+
+    @property
+    def trimmed(self) -> bool:
+        return self._runner.trimmed
+
+    def set_stress(self, stress: StressConditions) -> None:
+        if stress != self.stress:
+            self.stress = stress
+            self._runner.set_stress(stress)
+            self._bank.clear()
+
+    def _lane_system(self, resistances) -> LaneSystem:
+        lanes = self._lanes
+        if lanes is None:
+            lanes = make_lane_system(self._system, resistances,
+                                     DEFECT_DEVICE)
+            self._lanes = lanes
+        elif lanes.resistances != tuple(float(r) for r in resistances):
+            lanes.set_resistances(resistances)
+        return lanes
+
+    def _stack_states(self, states) -> np.ndarray:
+        circ = self._runner.netlist.circuit
+        x2 = np.zeros((len(states), self._system.size))
+        for k, state in enumerate(states):
+            for name, volts in state.items():
+                x2[k, circ.node(name).index] = float(volts)
+        return x2
+
+    def run_sequences(self, ops, lanes_in, background: int = 0
+                      ) -> tuple[list, dict[str, int]]:
+        """Apply one cycle sequence to every ``(resistance, init_vc)``
+        lane.
+
+        Same contract as :meth:`LaneRunner.run_sequences`: returns
+        ``(results, counters)`` with ``None`` for isolated lanes, which
+        the batch executor re-runs on the serial :class:`ArrayRunner`
+        path.
+        """
+        if isinstance(ops, str):
+            ops = parse_ops(ops)
+        ops = [Op.parse(o) if isinstance(o, str) else o for o in ops]
+        for op in ops:
+            if op.operation.is_write:
+                raise NetlistError(
+                    "the array model has no write path; express array "
+                    "workloads with r/nop cycles (initial data comes "
+                    "from init_vc/background)")
+        runner = self._runner
+        n = len(lanes_in)
+        counters = {"lanes_launched": n, "lanes_isolated": 0,
+                    "lanes_converged": 0, "lane_continuation_hits": 0,
+                    "lane_warm_start_hits": 0, "lane_warm_start_misses": 0}
+        active = list(range(n))
+        states = [runner.idle_state(init_vc, background=background)
+                  for _, init_vc in lanes_in]
+        x2 = self._stack_states(states)
+        per_lane_ops: list = [[] for _ in range(n)]
+
+        dt = self.stress.tcyc * self.tech.dt_frac
+        num_nodes = self._system.num_nodes
+        sn = runner._sn
+        head = f"bl{runner.address[1]}_0"
+        vpre = self.tech.vbl_pre(self.stress.vdd)
+        for oi, op in enumerate(ops):
+            if not active:
+                break
+            lanes = self._lane_system([lanes_in[k][0] for k in active])
+            waves, t_sample = runner.cycle_waveforms(op)
+            runner.netlist.set_waveforms(waves)
+            key = (oi, op.operation)
+            hits, misses = self._bank.seed(key, lanes)
+            counters["lane_warm_start_hits"] += hits
+            counters["lane_warm_start_misses"] += misses
+            if profiler.enabled:
+                profiler.count("lanes.warm_start_hits", hits)
+                profiler.count("lanes.warm_start_misses", misses)
+            batch = lane_transient(lanes, self.stress.tcyc, dt,
+                                   temp_c=self.stress.temp_c,
+                                   method="be", x0=x2,
+                                   warm=self._bank.view(key))
+            for name, value in batch.counters.items():
+                if name not in ("lanes_launched", "lanes_converged"):
+                    counters[name] = counters.get(name, 0) + value
+            survivors = []
+            x_rows = []
+            for row, (pos, res) in enumerate(zip(active, batch.results)):
+                if res is None:
+                    per_lane_ops[pos] = None
+                    continue
+                self._bank.store(key, lanes, row, res)
+                sensed = None
+                if op.operation is Operation.R:
+                    sensed = 1 if res.at(head, t_sample) > vpre else 0
+                result = OpResult(op=op, vc_end=res.final(sn),
+                                  sensed=sensed)
+                if self.record:
+                    result.times = res.time
+                    result.vc = res.v(sn)
+                    result.extra = {"bl": res.v(head)}
+                per_lane_ops[pos].append(result)
+                survivors.append(pos)
+                x_rows.append(res.final_x)
+            active = survivors
+            if not active:
+                break
+            # Cycle chaining mirrors ArrayRunner's final_state() round
+            # trip: node voltages carry over, branch currents restart
+            # at zero.
+            x2 = np.zeros((len(active), self._system.size))
+            for j, row in enumerate(x_rows):
+                x2[j, :num_nodes] = row[:num_nodes]
+
+        counters["lanes_converged"] = len(active)
+        results = [
+            SequenceResult(ops=ops, results=lane_ops)
+            if lane_ops is not None else None
+            for lane_ops in per_lane_ops]
+        return results, counters

@@ -58,6 +58,10 @@ class EngineStats:
     disk_hits: int = 0
     failures: int = 0
     retries: int = 0
+    lane_groups: int = 0
+    lane_sparse_groups: int = 0
+    lane_warm_hits: int = 0
+    lane_warm_misses: int = 0
     store: StoreStats | None = field(default=None, init=False,
                                      compare=False, repr=False)
 
@@ -80,7 +84,9 @@ class EngineStats:
         """A frozen copy (for before/after deltas)."""
         return EngineStats(self.hits, self.misses, self.cycles_saved,
                            self.cycles_simulated, self.disk_hits,
-                           self.failures, self.retries)
+                           self.failures, self.retries,
+                           self.lane_groups, self.lane_sparse_groups,
+                           self.lane_warm_hits, self.lane_warm_misses)
 
     def delta_since(self, before: "EngineStats") -> "EngineStats":
         """Stats accumulated since ``before`` was snapshotted."""
@@ -92,6 +98,10 @@ class EngineStats:
             self.disk_hits - before.disk_hits,
             self.failures - before.failures,
             self.retries - before.retries,
+            self.lane_groups - before.lane_groups,
+            self.lane_sparse_groups - before.lane_sparse_groups,
+            self.lane_warm_hits - before.lane_warm_hits,
+            self.lane_warm_misses - before.lane_warm_misses,
         )
 
     def merge(self, other: "EngineStats") -> None:
@@ -103,6 +113,10 @@ class EngineStats:
         self.disk_hits += other.disk_hits
         self.failures += getattr(other, "failures", 0)
         self.retries += getattr(other, "retries", 0)
+        self.lane_groups += getattr(other, "lane_groups", 0)
+        self.lane_sparse_groups += getattr(other, "lane_sparse_groups", 0)
+        self.lane_warm_hits += getattr(other, "lane_warm_hits", 0)
+        self.lane_warm_misses += getattr(other, "lane_warm_misses", 0)
 
     def describe(self) -> str:
         """One-line rendering for ``--verbose`` output.
@@ -122,6 +136,11 @@ class EngineStats:
         if self.failures or self.retries:
             line += (f", {self.failures} failed, "
                      f"{self.retries} retried")
+        if self.lane_groups:
+            line += (f"; lanes: {self.lane_groups} groups "
+                     f"({self.lane_sparse_groups} sparse), "
+                     f"{self.lane_warm_hits} warm hits / "
+                     f"{self.lane_warm_misses} misses")
         if self.store is not None and self.store.eventful:
             line += f"; store: {self.store.describe()}"
         return line

@@ -116,9 +116,12 @@ def execute_request(request: SequenceRequest) -> SequenceResult:
 def _lane_group_key(request: SequenceRequest):
     """Grouping key of the batched-lane path: everything that must match
     for requests to share one stacked transient (only resistance and
-    initial cell voltage may vary across lanes)."""
+    initial cell voltage may vary across lanes).  Geometry, address and
+    trim policy are part of the key so array requests only batch when
+    they share one (identically trimmed) netlist topology."""
     return (request.defect_kind, request.cell, request.ops,
             request.background, request.stress,
+            request.geometry, request.address, request.trim,
             tech_fingerprint(request.tech))
 
 
@@ -127,18 +130,19 @@ def _lane_groups(pending: Sequence[SequenceRequest], width: int
                             list[SequenceRequest]]:
     """Split a batch into same-topology lane groups and a remainder.
 
-    Only electrical *column* requests with a defect resistance are
-    laneable (the resistance is the per-lane axis; the lane kernel
-    stacks the seed column topology only — array requests go through
-    :class:`~repro.dram.runner.ArrayRunner` on the classic path).
-    Groups are chunked to at most ``width`` lanes; chunks of a single
-    request are not worth a stacked transient and stay on the classic
-    path.
+    Electrical requests with a defect resistance are laneable — the
+    resistance is the per-lane axis.  Column requests stack the seed
+    column topology (:class:`~repro.dram.runner.LaneRunner`); array
+    requests with identical geometry/address/trim stack their shared
+    (possibly trimmed) array topology
+    (:class:`~repro.dram.runner.ArrayLaneRunner`), dense or sparse as
+    the backend policy resolves.  Groups are chunked to at most
+    ``width`` lanes; chunks of a single request are not worth a stacked
+    transient and stay on the classic path.
     """
     by_key: dict = {}
     for i, request in enumerate(pending):
-        if request.backend != "electrical" or request.resistance is None \
-                or request.geometry is not None:
+        if request.backend != "electrical" or request.resistance is None:
             continue
         by_key.setdefault(_lane_group_key(request), []).append(i)
     groups: list[list[SequenceRequest]] = []
@@ -163,13 +167,23 @@ def execute_lane_group(requests: Sequence[SequenceRequest]
     repeated sweeps reuse the built netlist and compiled plans.
     """
     first = requests[0]
-    key = ("lanes", first.tech, first.defect_kind, first.cell)
+    key = ("lanes", first.tech, first.defect_kind, first.cell,
+           first.geometry, first.address, first.trim)
     model = _PROCESS_MODELS.get(key)
     if model is None:
-        from repro.dram.runner import LaneRunner
-        model = LaneRunner(tech=first.tech, stress=first.stress,
-                           defect_kind=first.defect_kind,
-                           target_cell=first.cell)
+        if first.geometry is not None:
+            from repro.dram.runner import ArrayLaneRunner
+            model = ArrayLaneRunner(tech=first.tech, stress=first.stress,
+                                    defect_kind=first.defect_kind,
+                                    cell=first.cell,
+                                    geometry=first.geometry,
+                                    address=first.address,
+                                    trim=first.trim)
+        else:
+            from repro.dram.runner import LaneRunner
+            model = LaneRunner(tech=first.tech, stress=first.stress,
+                               defect_kind=first.defect_kind,
+                               target_cell=first.cell)
         _PROCESS_MODELS[key] = model
     model.set_stress(first.stress)
     lanes_in = [(r.resistance, r.init_vc) for r in requests]
@@ -426,6 +440,17 @@ class BatchExecutor:
         from repro.spice.transient import lanes_default
         return lanes_default()
 
+    def effective_lanes(self) -> int:
+        """The lane width :meth:`map` would use right now.
+
+        Exposed so batch-aware drivers (speculative BR bisection, the
+        border scan) can decide whether prefetching probes into one
+        ``map`` call will actually stack — with a width below 2 the
+        carve-out never fires and speculation would only waste
+        simulations.
+        """
+        return self._lane_width()
+
     def _run_lane_group(self, group: Sequence[SequenceRequest],
                         on_error: str) -> list:
         """Execute one lane group, falling back per-lane on trouble.
@@ -443,6 +468,13 @@ class BatchExecutor:
                 len(group), type(exc).__name__, exc)
             return [self._execute_serial(r, on_error) for r in group]
         diagnostics().record_lane_counters(counters)
+        self._stats.lane_groups += 1
+        self._stats.lane_sparse_groups += \
+            counters.get("lane_sparse_groups", 0) and 1
+        self._stats.lane_warm_hits += \
+            counters.get("lane_warm_start_hits", 0)
+        self._stats.lane_warm_misses += \
+            counters.get("lane_warm_start_misses", 0)
         out = []
         for request, result in zip(group, lane_results):
             if result is None:

@@ -370,6 +370,24 @@ def backend_default() -> str:
     return _BACKEND_DEFAULT
 
 
+def resolve_lane_mode(system, n_lanes: int,
+                      name: str | None = None) -> str:
+    """Lane-batching mode for ``n_lanes`` stacked copies of ``system``.
+
+    Returns ``"serial"`` (no batch is worth stacking), ``"dense"`` (the
+    (L, n, n) dense lane kernel) or ``"sparse"`` (per-lane CSR data over
+    the shared :class:`SparsityPattern`, factored by SuperLU).  The
+    decision mirrors :func:`resolve_backend` — whatever backend the
+    serial path would pick, the lane path batches *that* solver — plus
+    the lane-count gate: a single lane never beats the serial kernel
+    path, so it stays serial.
+    """
+    if n_lanes < 2:
+        return "serial"
+    backend = resolve_backend(name, system)
+    return "sparse" if backend.sparse else "dense"
+
+
 def resolve_backend(name: str | None, system) -> SolverBackend:
     """Resolve a backend request for one system.
 

@@ -32,16 +32,27 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.profiling import profiler
-from repro.spice.backends import resolve_backend
+from repro.spice.backends import SparseBackend, resolve_backend
 from repro.spice.errors import SpiceError
 from repro.spice.linalg import dense_errstate
 from repro.spice.mna import STEP_CACHE_MAX, System
-from repro.spice.solver import DEFAULT_VSTEP_MAX, newton_solve_lanes
+from repro.spice.solver import (DEFAULT_VSTEP_MAX, newton_solve_lanes,
+                                newton_solve_lanes_sparse)
 from repro.spice.transient import TransientResult, _build_grid
 
 
 class LaneError(SpiceError):
     """The circuit/plan combination cannot run as a lane batch."""
+
+
+def _validated_resistances(resistances) -> list[float]:
+    """The per-lane ``Rop`` values as floats, validated."""
+    rs = [float(r) for r in resistances]
+    if not rs:
+        raise LaneError("lane batch needs at least one resistance")
+    if any(r <= 0 for r in rs):
+        raise LaneError("lane resistances must be positive")
+    return rs
 
 
 class LaneSystem:
@@ -54,6 +65,10 @@ class LaneSystem:
     can share its :class:`System` with the per-lane legacy path.
     """
 
+    #: Dense lane systems batch through :func:`~repro.spice.solver
+    #: .newton_solve_lanes`; :class:`SparseLaneSystem` flips this.
+    sparse = False
+
     def __init__(self, system: System, resistances,
                  device_name: str):
         plans = system.plans
@@ -62,15 +77,6 @@ class LaneSystem:
             raise LaneError(
                 "lane batching needs fully plan-compiled static, dynamic "
                 "and source layers")
-        # The lane kernel stacks dense (n_lanes, n, n) systems; it has no
-        # sparse path.  When this system would resolve to the sparse
-        # backend, refuse the batch so the engine degrades to the serial
-        # per-lane path (which honours the backend) instead of silently
-        # going dense at a size the policy deemed dense-hostile.
-        if resolve_backend(None, system).sparse:
-            raise LaneError(
-                "lane batching is dense-only; the resolved solver "
-                "backend for this system is sparse")
         if system.has_nonlinear and system._nl_plan is None:
             raise LaneError(
                 "lane batching needs a plan-compiled nonlinear layer")
@@ -109,11 +115,7 @@ class LaneSystem:
         Resets the step-matrix cache and the per-lane capacitor history
         (lanes are only retargeted between transients, never mid-run).
         """
-        rs = [float(r) for r in resistances]
-        if not rs:
-            raise LaneError("lane batch needs at least one resistance")
-        if any(r <= 0 for r in rs):
-            raise LaneError("lane resistances must be positive")
+        rs = _validated_resistances(resistances)
         self.resistances = tuple(rs)
         plans = self.system.plans
         s0, s1 = self._span
@@ -236,6 +238,295 @@ class LaneSystem:
                 x_prev2, x_now2, dt, method, self._i_prev2)
 
 
+class SparseLaneSystem(LaneSystem):
+    """N stacked CSR copies of one compiled :class:`System`.
+
+    The sparse counterpart of :class:`LaneSystem` for systems the
+    backend policy resolves sparse (untrimmed arrays, forced
+    ``--backend sparse``): every lane shares the plan-derived
+    :class:`~repro.spice.backends.SparsityPattern` — the same symbolic
+    structure by construction, since all lanes come from one compiled
+    stamp plan — so per-lane state shrinks from ``(n, n)`` dense
+    matrices to ``(nnz,)`` CSR data rows, and the quasi-Newton cache
+    holds per-lane SuperLU *numeric* factorizations over that single
+    shared symbolic pattern (refreshed only on stagnation, exactly like
+    the dense path's cached inverses — see
+    :func:`~repro.spice.solver.newton_solve_lanes_sparse`).
+
+    ``counters`` accumulates the sparse bookkeeping
+    (``lane_symbolic_reuse``: numeric factorizations that reused the
+    shared pattern) and is drained into each
+    :func:`lane_transient`'s counter dict.
+    """
+
+    sparse = True
+
+    def __init__(self, system: System, resistances, device_name: str,
+                 backend: SparseBackend | None = None):
+        if backend is None:
+            backend = SparseBackend.from_system(system)
+        if backend is None or not getattr(backend, "sparse", False):
+            raise LaneError(
+                "sparse lane batching needs scipy and a plan-derived "
+                "sparsity pattern")
+        pattern = backend.pattern
+        # The batched CSR matvec segments rows with np.add.reduceat,
+        # which mis-sums empty segments; an MNA row with no entries is
+        # singular anyway, so refuse and let the engine degrade to the
+        # serial sparse path.
+        if np.any(np.diff(pattern.indptr) == 0):
+            raise LaneError(
+                "sparsity pattern has empty matrix rows; the batched "
+                "sparse kernel cannot stack this system")
+        self._backend = backend
+        self._pattern = pattern
+        self.counters: dict[str, int] = {}
+        super().__init__(system, resistances, device_name)
+
+    def set_resistances(self, resistances) -> None:
+        """Rebuild the per-lane CSR data rows for a new ``Rop`` set."""
+        rs = _validated_resistances(resistances)
+        self.resistances = tuple(rs)
+        plans = self.system.plans
+        s0, s1 = self._span
+        size = self.size
+        pat = self._pattern
+        data = np.empty((len(rs), pat.nnz))
+        vals = plans.static.vals.copy()
+        gmin = self.system.gmin
+        gmin_idx = self.system._gmin_idx
+        for k, r in enumerate(rs):
+            vals[s0:s1] = self._signs * (1.0 / r)
+            A = plans.static.assemble_with_vals(size, vals)
+            if gmin > 0:
+                A[gmin_idx, gmin_idx] += gmin
+            np.take(A.reshape(-1), pat.gather, out=data[k])
+        self._statics = data
+        self._step_cache = {}
+        dyn = plans.dynamic
+        self._i_prev2 = (dyn.initial_history_lanes(len(rs))
+                         if dyn is not None else None)
+        # Per-lane SuperLU factorizations over the shared symbolic
+        # pattern (the sparse analogue of the dense ``_M`` inverses);
+        # all stale until first use.
+        self._M = [None] * len(rs)
+        self._M_valid = np.zeros(len(rs), dtype=bool)
+
+    def step_matrix_lanes(self, dt: float, method: str) -> np.ndarray:
+        """Per-lane step base CSR data rows, cached per ``(dt, method)``.
+
+        The companion-conductance delta is lane-independent and every
+        dynamic scatter target lies inside the pattern, so the delta is
+        stamped dense once, gathered, and broadcast onto the per-lane
+        static data.
+        """
+        key = (dt, method)
+        A = self._step_cache.get(key)
+        if A is None:
+            dyn = self.system.plans.dynamic
+            if dt is not None and dyn is not None:
+                delta = np.zeros((self.size, self.size))
+                dyn.stamp_matrix(delta, dt, method)
+                A = self._statics + delta.reshape(-1)[self._pattern.gather]
+            else:
+                A = self._statics.copy()
+            if len(self._step_cache) >= STEP_CACHE_MAX:
+                self._step_cache.clear()
+            self._step_cache[key] = A
+        return A
+
+    # ------------------------------------------------------------------
+    # sparse iteration layer
+    # ------------------------------------------------------------------
+    def matvec_lanes(self, data: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Batched CSR matvec: ``(n, nnz)`` data rows times ``(n, size)``
+        iterates over the shared pattern."""
+        pat = self._pattern
+        prod = data * x2[:, pat.indices]
+        return np.add.reduceat(prod, pat.indptr[:-1], axis=1)
+
+    def build_iteration_sparse(self, A_data: np.ndarray,
+                               b_step2: np.ndarray, x2: np.ndarray,
+                               temp_c: float
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-lane Jacobian CSR data linearised around the iterates.
+
+        Scatters the step base data back onto the dense scratch (every
+        nonlinear scatter target lies inside the pattern, so zeros
+        elsewhere are never touched), applies the nonlinear plan, and
+        gathers the updated pattern slots.  Returns views into a reused
+        scratch — consume before the next same-batch-size call.
+        """
+        n = x2.shape[0]
+        n2, size = self._n2, self.size
+        sc = self._scratch_cache.get(n)
+        if sc is None:
+            sc = np.empty((n, n2 + size + 2))
+            self._scratch_cache[n] = sc
+        flat = sc[:, :n2]
+        flat[:] = 0.0
+        flat[:, self._pattern.gather] = A_data
+        sc[:, n2] = 0.0
+        sc[:, n2 + 1:n2 + 1 + size] = b_step2
+        sc[:, -1] = 0.0
+        nl = self.system._nl_plan
+        if nl is not None:
+            nl.apply_lanes(sc, x2, temp_c)
+        data = flat[:, self._pattern.gather]
+        b = sc[:, n2 + 1:n2 + 1 + size]
+        return data, b
+
+    def factor_lane(self, data_row: np.ndarray):
+        """One numeric SuperLU factorization over the shared symbolic
+        pattern.  Returns the factorization, or ``None`` when the lane's
+        matrix is singular."""
+        backend = self._backend
+        np.copyto(backend._data, data_row)
+        try:
+            lu = backend._splu(backend._sp.csc_matrix(backend._matrix))
+        except RuntimeError:   # SuperLU: "Factor is exactly singular"
+            return None
+        self.counters["lane_symbolic_reuse"] = \
+            self.counters.get("lane_symbolic_reuse", 0) + 1
+        return lu
+
+
+def make_lane_system(system: System, resistances,
+                     device_name: str) -> LaneSystem:
+    """Build the lane system matching the serial path's resolved backend.
+
+    The lane layer batches whatever solver the serial path would use:
+    a dense-resolved system stacks into a :class:`LaneSystem` (bitwise
+    the pre-sparse behaviour), a sparse-resolved one into a
+    :class:`SparseLaneSystem`.  A system the sparse kernel cannot stack
+    raises :class:`LaneError` — the engine then degrades to the serial
+    sparse path rather than silently going dense at a size the policy
+    deemed dense-hostile.
+    """
+    backend = resolve_backend(None, system)
+    if backend.sparse:
+        return SparseLaneSystem(system, resistances, device_name,
+                                backend=backend)
+    return LaneSystem(system, resistances, device_name)
+
+
+class LaneWarmBank:
+    """Cross-batch warm-start state for successive lane generations.
+
+    A bisection driver probes resistances in *generations*: each batch's
+    lanes sit between (in log-R) lanes some earlier batch already
+    converged.  The bank keeps, per operation key and per converged
+    resistance, the lane's final quasi-Newton factorization (dense
+    cached inverse or sparse SuperLU) and its node-voltage trajectory:
+
+    * :meth:`seed` warm-starts each new lane's factorization cache from
+      its nearest stored log-R neighbour — the chord fixed point does
+      not depend on ``M``, so a neighbouring factorization only shortens
+      the convergence path (and stagnation refactors it away when the
+      neighbourhood was too coarse);
+    * :meth:`view` adapts the bank for :func:`lane_transient`'s
+      continuation retry: when a failing lane has no converged in-batch
+      neighbour to borrow from, the nearest stored *trajectory* supplies
+      the warm restart state instead.
+
+    Warm starts are discarded on non-convergence (only converged lanes
+    are stored; a bad seed stagnates and refactors) and on topology
+    change (the bank belongs to one built netlist; runners clear it on
+    stress changes, which move every waveform and time grid).
+    """
+
+    #: Stored generations per operation key (oldest evicted first).
+    max_entries = 32
+
+    def __init__(self):
+        self._ops: dict = {}
+
+    def clear(self) -> None:
+        self._ops.clear()
+
+    def _entry(self, key):
+        entry = self._ops.get(key)
+        if entry is None:
+            entry = {"logr": [], "fact": [], "traj": [], "times": []}
+            self._ops[key] = entry
+        return entry
+
+    def seed(self, key, lanes: LaneSystem) -> tuple[int, int]:
+        """Seed stale lanes' factorization caches from nearest stored
+        neighbours.  Returns ``(hits, misses)``."""
+        entry = self._ops.get(key)
+        hits = misses = 0
+        for k, r in enumerate(lanes.resistances):
+            if lanes._M_valid[k]:
+                continue
+            fact = None
+            if entry and entry["logr"]:
+                logr = np.log(r)
+                j = int(np.argmin(np.abs(
+                    np.asarray(entry["logr"]) - logr)))
+                fact = entry["fact"][j]
+            if fact is None:
+                misses += 1
+                continue
+            lanes._M[k] = fact if lanes.sparse else np.copy(fact)
+            lanes._M_valid[k] = True
+            hits += 1
+        return hits, misses
+
+    def store(self, key, lanes: LaneSystem, lane_idx, result) -> None:
+        """Record one converged lane's factorization and trajectory.
+
+        ``lane_idx`` is the lane's position in ``lanes``; ``result`` its
+        :class:`~repro.spice.transient.TransientResult`.
+        """
+        entry = self._entry(key)
+        fact = None
+        if lanes._M_valid[lane_idx]:
+            fact = (lanes._M[lane_idx] if lanes.sparse
+                    else np.copy(lanes._M[lane_idx]))
+        entry["logr"].append(float(np.log(lanes.resistances[lane_idx])))
+        entry["fact"].append(fact)
+        entry["traj"].append(result._data)
+        entry["times"].append(len(result.time))
+        while len(entry["logr"]) > self.max_entries:
+            for field_name in ("logr", "fact", "traj", "times"):
+                entry[field_name].pop(0)
+
+    def view(self, key) -> "_WarmView":
+        """A retry-state adapter bound to one operation key."""
+        return _WarmView(self, key)
+
+    def trajectory_guess(self, key, resistance: float, gi: int,
+                         n_grid: int) -> np.ndarray | None:
+        """Node voltages at grid index ``gi`` of the nearest stored
+        trajectory, or ``None`` when no grid-compatible neighbour
+        exists."""
+        entry = self._ops.get(key)
+        if not entry or not entry["logr"]:
+            return None
+        logr = np.log(resistance)
+        order = np.argsort(np.abs(np.asarray(entry["logr"]) - logr))
+        for j in order:
+            if entry["times"][j] == n_grid:
+                return entry["traj"][j][gi]
+        return None
+
+
+@dataclass
+class _WarmView:
+    """:class:`LaneWarmBank` bound to one operation key, with the
+    ``trajectory_guess(resistance, gi, n_grid)`` protocol
+    :func:`lane_transient` expects."""
+
+    bank: LaneWarmBank
+    key: object
+
+    def trajectory_guess(self, resistance: float, gi: int,
+                         n_grid: int) -> np.ndarray | None:
+        return self.bank.trajectory_guess(self.key, resistance, gi,
+                                          n_grid)
+
+
 @dataclass
 class LaneBatchResult:
     """Outcome of one :func:`lane_transient` run.
@@ -253,7 +544,7 @@ class LaneBatchResult:
 
 def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
                    temp_c: float = 27.0, method: str = "be",
-                   x0: np.ndarray) -> LaneBatchResult:
+                   x0: np.ndarray, warm=None) -> LaneBatchResult:
     """Run one transient over every lane of ``lanes`` simultaneously.
 
     ``x0`` is the ``(n_lanes, size)`` stack of initial solution vectors
@@ -261,6 +552,13 @@ def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
     breakpoint-augmented time grid of the scalar kernel path
     (:func:`~repro.spice.transient._build_grid`); there is no in-batch
     step bisection — see the module docstring for the failure policy.
+
+    ``warm`` optionally supplies cross-batch continuation state (a
+    :class:`LaneWarmBank` view): when a failing lane has no converged
+    in-batch neighbour to borrow a restart iterate from, the nearest
+    stored trajectory from an earlier generation is tried before the
+    lane is isolated.  With ``warm=None`` (every pre-existing caller)
+    the retry policy is bitwise the legacy in-batch-only behaviour.
     """
     if tstop <= 0 or dt <= 0:
         raise SpiceError("tstop and dt must be positive")
@@ -276,6 +574,11 @@ def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
     times = np.asarray(grid)
     num_nodes = lanes.num_nodes
     node_names = system.circuit.node_names
+    # Late-bound dense lookup keeps the module-global seam (tests and
+    # instrumentation monkeypatch ``newton_solve_lanes`` here).
+    solve_lanes = (newton_solve_lanes_sparse
+                   if getattr(lanes, "sparse", False)
+                   else newton_solve_lanes)
 
     x2 = x0.astype(float, copy=True)
     alive = np.ones(n_lanes, dtype=bool)
@@ -287,6 +590,8 @@ def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
     if profiler.enabled:
         profiler.count("lanes.transients")
         profiler.count("lanes.width", n_lanes)
+        if getattr(lanes, "sparse", False):
+            profiler.count("lanes.sparse_transients")
     with profiler.section("transient.lanes"), dense_errstate():
         t_prev = grid[0]
         x2_prev: np.ndarray | None = None
@@ -322,7 +627,7 @@ def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
                 guess = x2 + delta
             else:
                 guess = x2
-            x_new, fail = newton_solve_lanes(
+            x_new, fail = solve_lanes(
                 lanes, A_step[act], b_step[act], guess[act], act,
                 temp_c=temp_c)
             x_cand = x2.copy()
@@ -330,6 +635,8 @@ def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
             if fail.any():
                 bad = act[fail]
                 good = act[~fail]
+                sel = bad[:0]
+                retry_x0 = None
                 if good.size:
                     # Continuation in Rop: warm-start each failing lane
                     # from its nearest converged sweep neighbour.
@@ -337,15 +644,32 @@ def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
                     for j, k in enumerate(bad):
                         nearest = good[np.argmin(np.abs(good - k))]
                         retry_x0[j] = x_cand[nearest]
-                    x_retry, fail2 = newton_solve_lanes(
-                        lanes, A_step[bad], b_step[bad], retry_x0, bad,
+                    sel = bad
+                elif warm is not None:
+                    # No in-batch donor: borrow the restart iterate from
+                    # the nearest converged trajectory of an earlier
+                    # generation (branch currents restart at zero, like
+                    # the cycle-chaining seam).
+                    retry_x0 = np.zeros((bad.size, size))
+                    got = np.zeros(bad.size, dtype=bool)
+                    for j, k in enumerate(bad):
+                        g = warm.trajectory_guess(
+                            lanes.resistances[k], gi, len(grid))
+                        if g is not None:
+                            retry_x0[j, :num_nodes] = g
+                            got[j] = True
+                    sel = bad[got]
+                    retry_x0 = retry_x0[got]
+                if sel.size:
+                    x_retry, fail2 = solve_lanes(
+                        lanes, A_step[sel], b_step[sel], retry_x0, sel,
                         temp_c=temp_c)
-                    rescued = bad[~fail2]
+                    rescued = sel[~fail2]
                     if rescued.size:
                         x_cand[rescued] = x_retry[~fail2]
                         counters["lane_continuation_hits"] += \
                             int(rescued.size)
-                    bad = bad[fail2]
+                        bad = np.setdiff1d(bad, rescued)
                 if bad.size:
                     alive[bad] = False
                     counters["lanes_isolated"] += int(bad.size)
@@ -360,6 +684,13 @@ def lane_transient(lanes: LaneSystem, tstop: float, dt: float, *,
             t_prev = t_target
 
     counters["lanes_converged"] = int(alive.sum())
+    if getattr(lanes, "sparse", False):
+        counters["lane_sparse_groups"] = 1
+    extra = getattr(lanes, "counters", None)
+    if extra:
+        for name, value in extra.items():
+            counters[name] = counters.get(name, 0) + value
+        extra.clear()
     results = [
         TransientResult(times, data[k], node_names,
                         final_x=x2[k].copy(), rescues=[])

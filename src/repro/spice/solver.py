@@ -338,6 +338,123 @@ def newton_solve_lanes(lanes, A_step: np.ndarray, b_step: np.ndarray,
     return x, failed
 
 
+def newton_solve_lanes_sparse(lanes, A_step: np.ndarray,
+                              b_step: np.ndarray, x0: np.ndarray,
+                              lane_idx: np.ndarray, *,
+                              temp_c: float, max_iter: int = 100,
+                              vtol: float = DEFAULT_VTOL,
+                              vstep_max: float = DEFAULT_VSTEP_MAX,
+                              shrink: float = MODIFIED_NEWTON_SHRINK
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """Masked batched quasi-Newton over stacked same-pattern CSR systems.
+
+    The sparse twin of :func:`newton_solve_lanes`: ``lanes`` is a
+    :class:`~repro.spice.lanes.SparseLaneSystem`, ``A_step`` holds the
+    ``(n_batch, nnz)`` per-lane CSR data rows over the shared symbolic
+    pattern, and the per-lane quasi-Newton cache stores SuperLU *numeric*
+    factorizations instead of explicit inverses — one symbolic analysis,
+    reused for every lane and every refactorization.  The chord
+    iteration, branch-free damping, converged-lane dropout,
+    stagnation-triggered refactorization and ``(x, failed)`` contract
+    all mirror the dense kernel; the only structural differences are the
+    batched CSR matvec for the residual and a per-lane ``lu.solve`` for
+    the update (SuperLU has no batched triangular solve).
+
+    SuperLU reports some singular systems by returning non-finite
+    solutions rather than raising, so the stagnation test also treats a
+    non-finite update norm as stale — the refactor then flags the lane
+    properly.
+    """
+    n_batch = x0.shape[0]
+    n = lanes.num_nodes
+    failed = np.zeros(n_batch, dtype=bool)
+    if not lanes.has_nonlinear:
+        # No iteration corrects a stale exact solve, and the step data
+        # changes with dt — factor fresh per call.
+        x = np.zeros_like(b_step)
+        for k in range(n_batch):
+            lu = lanes.factor_lane(A_step[k])
+            if lu is None:
+                failed[k] = True
+                continue
+            xk = lu.solve(b_step[k])
+            if np.all(np.isfinite(xk)):
+                x[k] = xk
+            else:
+                failed[k] = True
+        return x, failed
+
+    M_cache, M_valid = lanes._M, lanes._M_valid
+    size = lanes.size
+    x = x0.copy()
+    active = np.arange(n_batch)
+    x_act = x0.copy()
+    A_act, b_act = A_step, b_step
+    gidx = lane_idx[active]
+    M_act = [M_cache[g] for g in gidx]
+    dv_prev = np.full(n_batch, np.inf)
+    vtol = vtol * LANE_VTOL_FACTOR
+    for _ in range(max_iter):
+        stale = ~M_valid[gidx]
+        if stale.any():
+            A_full, _ = lanes.build_iteration_sparse(
+                A_act[stale], b_act[stale], x_act[stale], temp_c)
+            stale_rows = np.flatnonzero(stale)
+            ok = np.ones(stale_rows.size, dtype=bool)
+            for j, row in enumerate(stale_rows):
+                lu = lanes.factor_lane(A_full[j])
+                g = gidx[row]
+                M_cache[g] = lu
+                M_valid[g] = lu is not None
+                M_act[row] = lu
+                ok[j] = lu is not None
+            if not ok.all():
+                bad_rows = stale_rows[~ok]
+                x[active[bad_rows]] = x_act[bad_rows]
+                failed[active[bad_rows]] = True
+                keep = np.ones(active.size, dtype=bool)
+                keep[bad_rows] = False
+                active, A_act, b_act, x_act, dv_prev = (
+                    active[keep], A_act[keep], b_act[keep], x_act[keep],
+                    dv_prev[keep])
+                M_act = [m for m, k in zip(M_act, keep) if k]
+                if active.size == 0:
+                    return x, failed
+                gidx = gidx[keep]
+        r = b_act - lanes.matvec_lanes(A_act, x_act)
+        cur = lanes.residual_currents_lanes(x_act, temp_c)
+        if cur is not None:
+            r += cur[:, :size]
+        dx = np.empty_like(x_act)
+        for j in range(active.size):
+            dx[j] = M_act[j].solve(r[j])
+        dv_max = np.abs(dx[:, :n]).max(axis=1) if n \
+            else np.zeros(active.size)
+        finite = np.isfinite(dv_max)
+        dx[~finite] = 0.0
+        dx *= (vstep_max / np.maximum(
+            np.where(finite, dv_max, vstep_max), vstep_max))[:, None]
+        x_act += dx
+        conv = finite & (dv_max < vtol)
+        slow = ~conv & (~finite | (dv_max >= shrink * dv_prev))
+        if slow.any():
+            M_valid[gidx[slow]] = False
+        dv_prev = np.where(finite, dv_max, np.inf)
+        if conv.any():
+            x[active[conv]] = x_act[conv]
+            keep = ~conv
+            active, A_act, b_act, x_act, dv_prev = (
+                active[keep], A_act[keep], b_act[keep], x_act[keep],
+                dv_prev[keep])
+            M_act = [m for m, k in zip(M_act, keep) if k]
+            if active.size == 0:
+                return x, failed
+            gidx = gidx[keep]
+    x[active] = x_act
+    failed[active] = True
+    return x, failed
+
+
 def gmin_step_solve(system: System, A_step: np.ndarray,
                     b_step: np.ndarray, ctx: AnalysisContext,
                     x0: np.ndarray, *,

@@ -286,7 +286,11 @@ class TestEngineIntegration:
         with pytest.raises(ValueError):
             BatchExecutor(cache=None).run(req)
 
-    def test_lane_groups_skip_array_requests(self):
+    def test_lane_groups_admit_array_requests(self):
+        """Array requests sharing one (trimmed) topology lane-group
+        together — they are no longer unconditionally excluded — but
+        never mix with column requests or with arrays of a different
+        trim policy."""
         from repro.engine import SequenceRequest
         from repro.engine.executor import _lane_groups
         from repro.stress import NOMINAL_STRESS
@@ -295,14 +299,23 @@ class TestEngineIntegration:
             defect=DefectSite("open_sn", 5, r),
             stress=NOMINAL_STRESS, geometry=(4, 4), trim="force")
             for r in (1e5, 2e5, 3e5)]
+        untrimmed = [SequenceRequest.build(
+            "r", 2.4, backend="electrical",
+            defect=DefectSite("open_sn", 5, r),
+            stress=NOMINAL_STRESS, geometry=(4, 4), trim="off")
+            for r in (1e5, 2e5)]
         columns = [SequenceRequest.build(
             "r0", 2.4, backend="electrical",
             defect=DefectSite("open_sn", 0, r),
             stress=NOMINAL_STRESS) for r in (1e5, 2e5, 3e5)]
-        groups, rest = _lane_groups(arrays + columns, width=4)
-        assert [len(g) for g in groups] == [3]
-        assert all(r.geometry is None for g in groups for r in g)
-        assert rest == arrays
+        groups, rest = _lane_groups(arrays + untrimmed + columns,
+                                    width=4)
+        assert sorted(len(g) for g in groups) == [2, 3, 3]
+        assert rest == []
+        by_first = {id(g[0]): g for g in groups}
+        assert by_first[id(arrays[0])] == arrays
+        assert by_first[id(untrimmed[0])] == untrimmed
+        assert by_first[id(columns[0])] == columns
 
     def test_trimmed_resolution_counts_dense_fallback(self):
         from repro.spice.backends import resolve_backend
