@@ -2,11 +2,11 @@
 
 Every ``bench_*.py`` speaks the same protocol — ``--quick`` shrinks the
 workload for CI, ``--check`` gates parity *and* speedup, ``--check-parity``
-gates parity only (for noisy runners), and each run writes three
-artefacts: ``reports/<name>.txt`` (repo root, the acceptance artifact),
-``benchmarks/reports/<name>.txt`` (the conftest report sink), and a
-machine-readable ``BENCH_<name>.json`` twin so the perf trajectory is
-trackable across PRs.  This module owns that boilerplate so a benchmark
+gates parity only (for noisy runners), and each run writes two
+artefacts: ``reports/<name>.txt`` (repo root, the canonical report
+sink and acceptance artifact) and a machine-readable
+``BENCH_<name>.json`` twin so the perf trajectory is trackable across
+PRs (see ``scripts/bench_trajectory.py``).  This module owns that boilerplate so a benchmark
 is only its workload, its render, and its gate conditions.
 """
 
@@ -64,18 +64,18 @@ def make_parser(doc: str, *, quick: bool = True,
 def emit(name: str, text: str, payload: dict) -> None:
     """Print + persist one benchmark's artefacts.
 
-    Writes the text rendering to both report sinks and the payload —
-    stamped with ``benchmark``/``python``/``numpy`` — to
-    ``BENCH_<name>.json`` (sorted keys, trailing newline, the schema
-    every existing ``BENCH_*.json`` follows).
+    Writes the text rendering to ``reports/<name>.txt`` (repo root,
+    the one canonical report location) and the payload — stamped with
+    ``benchmark``/``python``/``numpy`` — to ``BENCH_<name>.json``
+    (sorted keys, trailing newline, the schema every existing
+    ``BENCH_*.json`` follows).
     """
     import numpy as np
 
     print(text)
-    for target in (REPO_ROOT / "reports" / f"{name}.txt",
-                   REPO_ROOT / "benchmarks" / "reports" / f"{name}.txt"):
-        target.parent.mkdir(exist_ok=True)
-        target.write_text(text + "\n")
+    target = REPO_ROOT / "reports" / f"{name}.txt"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(text + "\n")
     payload = dict(payload, benchmark=name,
                    python=platform.python_version(),
                    numpy=np.__version__)

@@ -9,7 +9,7 @@ and one transient per probe) and once through a lane-batched engine
 its bracket, the probes stack as lanes of one batched transient, and
 successive generations warm-start from the previous one's converged
 trajectories).  Writes ``reports/array_lanes.txt`` (repo root, the
-acceptance artifact) and ``benchmarks/reports/array_lanes.txt`` plus a
+acceptance artifact) and ``reports/array_lanes.txt`` plus a
 machine-readable ``BENCH_array_lanes.json`` twin.
 
 The headline leg runs **untrimmed** (``trim="off"``): that is where the

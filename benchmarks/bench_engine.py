@@ -5,7 +5,7 @@ Runs the Fig. 2 result planes and the full Table 1 twice through one
 unique sequence (cold), the second recalls them from the content-
 addressed cache (warm).  The report records wall time and the engine's
 cycle accounting for both passes and lands in ``reports/engine.txt``
-(repo root) and ``benchmarks/reports/engine.txt`` plus a
+(repo root) plus a
 machine-readable ``BENCH_engine.json`` twin (same schema family as
 ``BENCH_solver.json``/``BENCH_sparse.json``); the check pins the
 acceptance criterion that a warm repeat simulates at least 50% fewer

@@ -2,7 +2,7 @@
 
 Measures the two things the lane layer was built for and writes the
 numbers to ``reports/lanes.txt`` (repo root, the acceptance artifact)
-and ``benchmarks/reports/lanes.txt`` plus a machine-readable
+and ``reports/lanes.txt`` plus a machine-readable
 ``BENCH_lanes.json``:
 
 * the Fig. 2 electrical plane sweep (:func:`repro.experiments

@@ -2,7 +2,7 @@
 
 Measures the two electrical hot paths the kernel layer was built for and
 writes the before/after numbers to ``reports/solver.txt`` (repo root, the
-acceptance artifact) and ``benchmarks/reports/solver.txt``:
+acceptance artifact) and ``reports/solver.txt``:
 
 * the ``w0 w1 r1`` operation-cycle sequence on the reference cell open
   (the unit of work behind every electrical sweep) — cold runs, i.e. a

@@ -5,7 +5,7 @@ parameterized R×C DRAM cell array (:func:`repro.dram.array.build_array`)
 through one precharge-then-activate cycle — with the dense backend
 forced and with the sparse backend forced, and writes the numbers to
 ``reports/sparse.txt`` (repo root, the acceptance artifact) and
-``benchmarks/reports/sparse.txt`` plus a machine-readable
+``reports/sparse.txt`` plus a machine-readable
 ``BENCH_sparse.json`` twin (same schema family as ``BENCH_solver.json``
 and ``BENCH_lanes.json``).
 

@@ -2,7 +2,7 @@
 
 Measures what the durability layer costs and what resume buys, and
 writes the numbers to ``reports/store.txt`` (repo root, the acceptance
-artifact) and ``benchmarks/reports/store.txt`` plus a machine-readable
+artifact) and ``reports/store.txt`` plus a machine-readable
 ``BENCH_store.json``:
 
 * put/get throughput over 10k entries through the sharded store

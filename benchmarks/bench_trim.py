@@ -5,7 +5,7 @@ sweep of activation-cycle transients on an R×C DRAM array
 (:mod:`repro.dram.trim`) — with the full netlist on the untrimmed
 sparse path and with the trimmed netlist on the dense fast path, and
 writes the numbers to ``reports/trim.txt`` (repo root, the acceptance
-artifact) and ``benchmarks/reports/trim.txt`` plus a machine-readable
+artifact) and ``reports/trim.txt`` plus a machine-readable
 ``BENCH_trim.json`` twin (same schema family as ``BENCH_sparse.json``).
 
 Three parity legs guard the speedup:

@@ -1,15 +1,16 @@
 """Benchmark support: report sink and shared grids.
 
 Every benchmark regenerates one paper figure/table and writes its text
-rendering to ``benchmarks/reports/`` so the reproduced artefacts are
-inspectable after a run (EXPERIMENTS.md references them).
+rendering to ``reports/`` (repo root, the one canonical report
+location) so the reproduced artefacts are inspectable after a run
+(EXPERIMENTS.md references them).
 """
 
 import pathlib
 
 import pytest
 
-REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+REPORT_DIR = pathlib.Path(__file__).parent.parent / "reports"
 
 
 @pytest.fixture(scope="session")

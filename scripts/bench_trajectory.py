@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Merge every committed ``BENCH_*.json`` into one trajectory table.
+
+Each benchmark commits a machine-readable ``BENCH_<name>.json`` next to
+its ``reports/<name>.txt`` rendering (see ``benchmarks/_common.py``).
+Their payload schemas differ per benchmark, but all speedup-style
+metrics follow the ``speedup``/``*_speedup`` naming convention and all
+correctness gates follow ``parity``/``*_ok``/``bitwise``/
+``*_identical``.  This script walks the repo root (or ``--dir``),
+extracts those, and renders one table — the cross-PR performance
+trajectory of the codebase.  CI emits it into the bench-summary
+artifact so a regression is one diff away.
+
+Exit code 1 (with ``--check``) when any benchmark's correctness flags
+are false — the trajectory is only meaningful over valid runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _walk(prefix: str, value, out: dict) -> None:
+    """Flatten nested dicts into dotted keys (lists stay opaque)."""
+    if isinstance(value, dict):
+        for k, v in value.items():
+            _walk(f"{prefix}.{k}" if prefix else str(k), v, out)
+    else:
+        out[prefix] = value
+
+
+def extract(payload: dict) -> dict:
+    """The trajectory-relevant slice of one benchmark payload."""
+    flat: dict = {}
+    _walk("", payload, flat)
+    speedups = {k: v for k, v in flat.items()
+                if k.split(".")[-1].endswith("speedup")
+                and isinstance(v, (int, float))}
+    ok_names = ("parity", "parity_ok", "bitwise", "ok", "br_identical",
+                "all_verified", "br_parity", "column_parity",
+                "trajectory_parity", "borders_identical",
+                "directions_identical")
+    checks = {k: v for k, v in flat.items()
+              if k.split(".")[-1] in ok_names and isinstance(v, bool)}
+    return {
+        "benchmark": payload.get("benchmark", "?"),
+        "speedups": speedups,
+        "checks": checks,
+        "quick": bool(flat.get("quick", False)),
+        "python": payload.get("python"),
+    }
+
+
+def render(rows: list[dict]) -> str:
+    lines = ["benchmark trajectory (committed BENCH_*.json)",
+             "=" * 46, ""]
+    width = max((len(r["benchmark"]) for r in rows), default=9)
+    for row in sorted(rows, key=lambda r: r["benchmark"]):
+        if row["speedups"]:
+            def _label(key: str) -> str:
+                parts = key.split(".")
+                if parts[-1] == "speedup" and len(parts) > 1:
+                    return f"{parts[-2]} speedup"
+                return parts[-1]
+            speed = ", ".join(
+                f"{_label(k)} {v:.2f}x"
+                for k, v in sorted(row["speedups"].items()))
+        else:
+            speed = "no speedup metric"
+        n_ok = sum(row["checks"].values())
+        n = len(row["checks"])
+        bad = [k for k, v in row["checks"].items() if not v]
+        check = f"checks {n_ok}/{n}" if n else "no checks"
+        if bad:
+            check += f" (FAILED: {', '.join(sorted(bad))})"
+        mode = " [quick]" if row["quick"] else ""
+        lines.append(f"{row['benchmark']:<{width}}  {speed}  "
+                     f"[{check}]{mode}")
+    if not rows:
+        lines.append("(no BENCH_*.json found)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    ap.add_argument("--dir", default=None, metavar="DIR",
+                    help="directory holding BENCH_*.json (default: "
+                         "repo root, then the current directory)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit nonzero when any correctness flag in "
+                         "any payload is false")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the merged trajectory as JSON instead "
+                         "of the table")
+    args = ap.parse_args(argv)
+
+    if args.dir is not None:
+        root = pathlib.Path(args.dir)
+    else:
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        root = repo if list(repo.glob("BENCH_*.json")) \
+            else pathlib.Path.cwd()
+
+    rows = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping unreadable {path.name}: {exc}",
+                  file=sys.stderr)
+            continue
+        rows.append(extract(payload))
+
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render(rows))
+
+    if args.check:
+        bad = [(r["benchmark"], k) for r in rows
+               for k, v in r["checks"].items() if not v]
+        if bad:
+            for name, key in bad:
+                print(f"FAIL: {name}: {key} is false", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,9 +23,12 @@ Commands
 The sweep-heavy commands (``table1``, ``planes``, ``coverage``) accept
 ``--workers N`` (process-pool fan-out), ``--lanes N`` (stack same-
 topology sweep points into batched multi-lane transients), ``--no-cache``
-(disable the content-addressed result cache), ``--verbose`` (engine
+(disable the content-addressed result cache), ``--surrogate
+off|prior|serve`` (surrogate-first answer tier with uncertainty-gated
+electrical fallback; see DESIGN.md section 5i), ``--verbose`` (engine
 statistics on stderr) and ``--profile`` (wall-clock timings of the
-solver hot paths and sweep phases plus kernel/lane counters on stderr).
+solver hot paths and sweep phases plus kernel/lane/surrogate counters
+on stderr).
 Results are identical for any worker count; only stderr and wall time
 change.  Lane results match the per-lane path within the documented
 fp tolerance (see DESIGN.md section 5d).
@@ -74,7 +77,8 @@ def _setup_engine(args) -> None:
         backend=getattr(args, "backend", None),
         trim=getattr(args, "trim", None),
         checkpoint=getattr(args, "checkpoint", None),
-        resume=getattr(args, "resume", False))
+        resume=getattr(args, "resume", False),
+        surrogate=getattr(args, "surrogate", None))
 
 
 def _report_engine(args) -> None:
@@ -111,6 +115,12 @@ def _report_engine(args) -> None:
             print("netlist trim: "
                   + ", ".join(f"{k} x{n}"
                               for k, n in sorted(trims.items())),
+                  file=sys.stderr)
+        surr = diagnostics().surrogate_counters
+        if surr:
+            print("surrogate tier: "
+                  + ", ".join(f"{k} x{n}"
+                              for k, n in sorted(surr.items())),
                   file=sys.stderr)
 
 
@@ -225,6 +235,16 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
                         "'off' simulates the full array, 'force' trims "
                         "even degenerate windows (no effect on the "
                         "seed 2x2 column commands)")
+    p.add_argument("--surrogate", choices=("off", "prior", "serve"),
+                   default=None,
+                   help="surrogate-first answer tier: 'prior' seeds "
+                        "electrical border bisections from calibrated "
+                        "per-defect surrogates (identical results, "
+                        "fewer probes), 'serve' additionally answers "
+                        "low-uncertainty border/direction queries "
+                        "surrogate-only with electrical fallback; "
+                        "every fallback is journaled as a calibration "
+                        "point (default: off)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-addressed result cache")
     p.add_argument("--checkpoint", metavar="DIR", default=None,

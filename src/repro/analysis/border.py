@@ -135,13 +135,27 @@ def border_resistance(model: ColumnModel, *, fails_high: bool,
                       predicate: Callable[[float], bool] | None = None,
                       sequences: Sequence[str] | None = None,
                       rel_tol: float = 0.05,
-                      on_error: str = "raise") -> BorderResult:
+                      on_error: str = "raise",
+                      prior: float | None = None) -> BorderResult:
     """Bisect the border resistance in ``[r_lo, r_hi]`` (log space).
 
     ``fails_high`` selects the polarity (True for opens).  A custom
     ``predicate`` (or sequence battery) overrides the default probe.
     The predicate is assumed monotone in R in the paper's sense; the
     endpoints are checked and degenerate outcomes reported explicitly.
+
+    ``prior`` is an optional border estimate (e.g. from the surrogate
+    tier).  The search then jumps straight to the bisection leaf that
+    would contain it and verifies the leaf's two endpoints; under a
+    monotone predicate a verified leaf pins every branch the plain
+    bisection would have taken, so the returned border is **bitwise
+    identical** at a fraction of the probes (see
+    :func:`_prior_guided_search`).  A wrong prior only costs extra
+    probes — every return path either verifies against real probes or
+    falls back to the plain loop (reusing probe outcomes), never
+    trusting the estimate itself.  Priors are ignored under
+    ``on_error="isolate"``, where nudged/failed probes would make the
+    probe-for-probe accounting diverge from the serial search.
 
     ``on_error="isolate"`` makes the search survive probes whose
     simulation fails: a failed probe point is retried at slightly nudged
@@ -157,6 +171,26 @@ def border_resistance(model: ColumnModel, *, fails_high: bool,
     if predicate is None:
         predicate = default_fault_predicate(
             model, sequences or DEFAULT_PROBE_SEQUENCES)
+
+    if (prior is not None and on_error == "raise"
+            and math.isfinite(prior) and prior > 0):
+        memo: dict[float, bool] = {}
+        raw_predicate = predicate
+
+        def memo_predicate(r: float) -> bool:
+            if r not in memo:
+                memo[r] = raw_predicate(r)
+            return memo[r]
+
+        result = _prior_guided_search(
+            memo_predicate, fails_high=fails_high, r_lo=r_lo, r_hi=r_hi,
+            rel_tol=rel_tol, prior=prior)
+        if result is not None:
+            return result
+        # Guided search gave up (non-monotone probe outcomes or too many
+        # rounds): run the plain loop below, reusing every probe already
+        # taken.
+        predicate = memo_predicate
 
     n_failed = 0
 
@@ -221,6 +255,117 @@ def border_resistance(model: ColumnModel, *, fails_high: bool,
     return BorderResult(math.sqrt(lo * hi), fails_high,
                         always_faulty=False, never_faulty=False,
                         r_lo=r_lo, r_hi=r_hi, n_failed_probes=n_failed)
+
+
+#: Rounds of leaf re-aiming before a prior-guided search falls back to
+#: the plain bisection.  Each non-verifying round probes at least one
+#: new lattice point strictly inside the open bracket, so the bound is
+#: only ever reached on pathological (non-monotone) predicates.
+_PRIOR_MAX_ROUNDS = 64
+
+
+def _prior_guided_search(predicate: Callable[[float], bool], *,
+                         fails_high: bool, r_lo: float, r_hi: float,
+                         rel_tol: float,
+                         prior: float) -> BorderResult | None:
+    """Verify the bisection leaf a prior points at; return its border.
+
+    The plain loop halves the *log-width* of its bracket every step
+    (``mid = sqrt(lo * hi)``), so the set of brackets it can terminate
+    in — the "leaves" — is a fixed lattice independent of probe
+    outcomes.  This search descends to the leaf containing ``prior``
+    using the identical float arithmetic, then probes only the leaf's
+    two endpoints.  If the low endpoint is clean and the high endpoint
+    faulty (polarity-adjusted), monotonicity pins every branch the
+    plain loop would have taken: each midpoint it discarded upward lies
+    ≥ the verified faulty endpoint, each kept lies ≤ the clean one, so
+    the plain loop reaches *this exact bracket* and returns
+    ``sqrt(lo * hi)`` — reproduced here bitwise, typically from 2
+    probes instead of ~10.
+
+    A miss re-aims at the geometric middle of the tightest known
+    clean/faulty bracket and repeats, converging like a bisection over
+    leaves.  Returns ``None`` (caller falls back to the plain loop,
+    memo intact) when probe outcomes contradict monotonicity or the
+    round cap is hit — so a bad prior degrades to the serial cost,
+    never to a wrong answer.
+    """
+    # Work in a polarity-free frame: g(r) is False on the clean-for-
+    # opens side (low R) and True above the border, for both kinds.
+    def g(r: float) -> bool:
+        f = predicate(r)
+        return f if fails_high else (not f)
+
+    g_false_max: float | None = None   # largest r observed g(r) False
+    g_true_min: float | None = None    # smallest r observed g(r) True
+
+    def classify(r: float) -> bool:
+        nonlocal g_false_max, g_true_min
+        if g_false_max is not None and r <= g_false_max:
+            return False
+        if g_true_min is not None and r >= g_true_min:
+            return True
+        val = g(r)
+        if val:
+            g_true_min = r if g_true_min is None else min(g_true_min, r)
+        else:
+            g_false_max = r if g_false_max is None else max(g_false_max, r)
+        return val
+
+    target = min(max(prior, r_lo), r_hi)
+    step = 1.0   # gallop width in leaves while only one bound is known
+    for _ in range(_PRIOR_MAX_ROUNDS):
+        lo, hi = r_lo, r_hi
+        while hi / lo > 1.0 + rel_tol:
+            mid = math.sqrt(lo * hi)
+            if target < mid:
+                hi = mid
+            else:
+                lo = mid
+        glo = classify(lo)
+        ghi = classify(hi)
+        if not glo and ghi:
+            return BorderResult(math.sqrt(lo * hi), fails_high,
+                                always_faulty=False, never_faulty=False,
+                                r_lo=r_lo, r_hi=r_hi)
+        if (glo and lo == r_lo) or (not ghi and hi == r_hi):
+            # The range looks degenerate (border below r_lo or above
+            # r_hi).  Replicate the plain search's endpoint probes and
+            # its precedence exactly — ``predicate`` memoizes, so a
+            # leaf endpoint that coincides with a range endpoint costs
+            # nothing extra.
+            lo_faulty = predicate(r_lo)
+            hi_faulty = predicate(r_hi)
+            faulty_at_clean_end = lo_faulty if fails_high else hi_faulty
+            faulty_at_faulty_end = hi_faulty if fails_high else lo_faulty
+            if faulty_at_clean_end:
+                return BorderResult(None, fails_high, always_faulty=True,
+                                    never_faulty=False, r_lo=r_lo,
+                                    r_hi=r_hi)
+            if not faulty_at_faulty_end:
+                return BorderResult(None, fails_high, always_faulty=False,
+                                    never_faulty=True, r_lo=r_lo,
+                                    r_hi=r_hi)
+            return None   # endpoints contradict the leaf probes
+        if (g_false_max is not None and g_true_min is not None
+                and g_false_max >= g_true_min):
+            return None   # probes contradict monotonicity
+        leaf_ratio = hi / lo
+        if g_false_max is not None and g_true_min is not None:
+            # Bracketed: bisect the gap geometrically.  Adjacent leaves
+            # share endpoints bitwise (both sides recompute them at the
+            # common ancestor split), so re-descending reuses probes
+            # through the memoizing predicate.
+            target = math.sqrt(g_false_max * g_true_min)
+        elif g_true_min is not None:
+            # Only faulty-side evidence: gallop down, doubling the
+            # leaf-count step, until the clean side is found.
+            target = max(g_true_min / leaf_ratio ** step, r_lo)
+            step *= 2.0
+        else:
+            target = min(g_false_max * leaf_ratio ** step, r_hi)
+            step *= 2.0
+    return None
 
 
 def _log_failed_probe(resistance: float, exc: SpiceError) -> None:

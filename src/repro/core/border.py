@@ -26,18 +26,51 @@ def find_border_resistance(model: ColumnModel, defect: Defect, *,
                            stress: StressConditions | None = None,
                            sequences=None,
                            rel_tol: float = 0.05,
-                           on_error: str = "raise") -> BorderResult:
+                           on_error: str = "raise",
+                           prior: float | None = None,
+                           surrogate=None) -> BorderResult:
     """BR of ``defect`` under ``stress`` (or the model's current SC).
 
     ``on_error="isolate"`` lets the search survive failed probes (see
     :func:`repro.analysis.border.border_resistance`).
+
+    ``prior`` seeds the bisection bracket (same exact-result guarantee
+    as :func:`repro.analysis.border.border_resistance`).  ``surrogate``
+    selects the answer-tier policy: ``None`` consults the process-wide
+    active tier (:func:`repro.surrogate.active_tier`), ``False`` forces
+    a plain electrical search, a :class:`~repro.surrogate.SurrogateTier`
+    overrides.  With a tier engaged, serve mode may answer surrogate-only
+    under its uncertainty bound; otherwise the tier supplies the prior
+    and journals the electrical result as a calibration point.
     """
     if stress is not None:
         model.set_stress(stress)
     r_lo, r_hi = defect.kind.search_range
-    return border_resistance(model, fails_high=defect.fails_high,
-                             r_lo=r_lo, r_hi=r_hi, sequences=sequences,
-                             rel_tol=rel_tol, on_error=on_error)
+
+    tier = None
+    if surrogate is not False:
+        from repro.surrogate.tier import resolve_tier
+        tier = resolve_tier(surrogate)
+        if tier is not None and (sequences is not None
+                                 or not tier.applies_to(model)):
+            tier = None
+    query_stress = stress if stress is not None else \
+        getattr(model, "stress", None)
+    if tier is not None and query_stress is not None:
+        served = tier.serve_br(defect, query_stress,
+                               rel_tol=rel_tol)
+        if served is not None:
+            return served
+        if prior is None:
+            prior = tier.br_prior(defect, query_stress, rel_tol=rel_tol)
+
+    result = border_resistance(model, fails_high=defect.fails_high,
+                               r_lo=r_lo, r_hi=r_hi, sequences=sequences,
+                               rel_tol=rel_tol, on_error=on_error,
+                               prior=prior)
+    if tier is not None and query_stress is not None:
+        tier.record_br(defect, query_stress, result, rel_tol=rel_tol)
+    return result
 
 
 def find_border_adaptive(model: ColumnModel, defect: Defect, *,
@@ -45,7 +78,8 @@ def find_border_adaptive(model: ColumnModel, defect: Defect, *,
                          points: int = 24,
                          resistances=None,
                          n_writes: int = 2, vsa_tol: float = 0.01,
-                         on_error: str | None = None) -> BorderScan:
+                         on_error: str | None = None,
+                         prior: float | None = None) -> BorderScan:
     """Adaptive BR via the ``(1) w0`` settle × ``Vsa`` crossing.
 
     The curve-crossing counterpart of a dense
@@ -56,7 +90,9 @@ def find_border_adaptive(model: ColumnModel, defect: Defect, *,
     :func:`~repro.analysis.curves.border_crossing_scan`), so the BR
     comes back at dense-grid resolution for a fraction of the transient
     solves.  ``resistances`` overrides the grid entirely (``points`` is
-    then ignored).
+    then ignored).  ``prior`` (a resistance estimate, e.g. from the
+    surrogate tier) starts the scan's bracketing at the nearest grid
+    index instead of the coarse lattice — same crossing, fewer probes.
     """
     if stress is not None:
         model.set_stress(stress)
@@ -64,7 +100,8 @@ def find_border_adaptive(model: ColumnModel, defect: Defect, *,
         r_lo, r_hi = defect.kind.search_range
         resistances = log_grid(r_lo, r_hi, points)
     return border_crossing_scan(model, resistances, n_writes=n_writes,
-                                vsa_tol=vsa_tol, on_error=on_error)
+                                vsa_tol=vsa_tol, on_error=on_error,
+                                prior=prior)
 
 
 def border_improvement(defect: Defect, nominal: BorderResult,

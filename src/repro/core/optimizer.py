@@ -149,9 +149,21 @@ def optimize_defect(defect: Defect | DefectKind, *,
 
     # 3. per-ST direction analysis at the probe resistance
     model.set_defect_resistance(r_probe)
+    from repro.surrogate.tier import resolve_tier
+    tier = resolve_tier(None)
+    if tier is not None and not (tier.serves and tier.applies_to(model)):
+        tier = None
     directions: dict[StressKind, DirectionCall] = {}
     tiebreaks: dict[StressKind, dict[float, BorderResult]] = {}
     for kind in st_kinds:
+        if tier is not None:
+            served = tier.serve_direction(defect, kind, fault_value,
+                                          base=base_stress,
+                                          r_probe=r_probe,
+                                          rel_tol=br_rel_tol)
+            if served is not None:
+                directions[kind] = served
+                continue
         call = analyze_direction(model, kind, fault_value,
                                  base=base_stress)
         if call.needs_border_tiebreak:
@@ -159,9 +171,15 @@ def optimize_defect(defect: Defect | DefectKind, *,
             best_value, best_border = None, None
             for value in call.tiebreak_candidates:
                 sc = base_stress.with_value(kind, value)
-                border = find_border_resistance(model, defect, stress=sc,
-                                                rel_tol=br_rel_tol,
-                                                on_error=on_error)
+                # A tie-break the surrogate could not separate must be
+                # decided by real electrical borders — the prior view
+                # keeps the bracket seeding (and journals the results)
+                # without surrogate-only serving.
+                border = find_border_resistance(
+                    model, defect, stress=sc, rel_tol=br_rel_tol,
+                    on_error=on_error,
+                    surrogate=tier.prior_view() if tier is not None
+                    else None)
                 per_value[value] = border
                 if best_border is None or more_effective(defect, border,
                                                          best_border):

@@ -108,6 +108,7 @@ class RunDiagnostics:
     solver_kernels: dict[str, int] = field(default_factory=dict)
     lane_counters: dict[str, int] = field(default_factory=dict)
     trim_counters: dict[str, int] = field(default_factory=dict)
+    surrogate_counters: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # recording
@@ -153,6 +154,16 @@ class RunDiagnostics:
         """
         for name, n in counters.items():
             self.trim_counters[name] = self.trim_counters.get(name, 0) + n
+
+    def record_surrogate_counters(self, counters: dict[str, int]) -> None:
+        """Fold surrogate-tier counters (queries served, electrical
+        fallbacks, calibration refits) into the run totals.
+        Informational, like the solver-kernel counters — surrogate
+        activity never makes a run ``eventful``.
+        """
+        for name, n in counters.items():
+            self.surrogate_counters[name] = \
+                self.surrogate_counters.get(name, 0) + n
 
     def record_retry(self, count: int = 1) -> None:
         """Batch items re-driven after an infrastructure fault."""
@@ -261,6 +272,10 @@ class RunDiagnostics:
             trims = ", ".join(f"{k} x{n}" for k, n in
                               sorted(self.trim_counters.items()))
             lines.append(f"  netlist trim: {trims}")
+        if self.surrogate_counters:
+            surr = ", ".join(f"{k} x{n}" for k, n in
+                             sorted(self.surrogate_counters.items()))
+            lines.append(f"  surrogate tier: {surr}")
         return "\n".join(lines)
 
     def report(self, stream=None) -> None:

@@ -62,6 +62,9 @@ class EngineStats:
     lane_sparse_groups: int = 0
     lane_warm_hits: int = 0
     lane_warm_misses: int = 0
+    surrogate_hits: int = 0
+    surrogate_fallbacks: int = 0
+    surrogate_refits: int = 0
     store: StoreStats | None = field(default=None, init=False,
                                      compare=False, repr=False)
 
@@ -86,7 +89,9 @@ class EngineStats:
                            self.cycles_simulated, self.disk_hits,
                            self.failures, self.retries,
                            self.lane_groups, self.lane_sparse_groups,
-                           self.lane_warm_hits, self.lane_warm_misses)
+                           self.lane_warm_hits, self.lane_warm_misses,
+                           self.surrogate_hits, self.surrogate_fallbacks,
+                           self.surrogate_refits)
 
     def delta_since(self, before: "EngineStats") -> "EngineStats":
         """Stats accumulated since ``before`` was snapshotted."""
@@ -102,6 +107,9 @@ class EngineStats:
             self.lane_sparse_groups - before.lane_sparse_groups,
             self.lane_warm_hits - before.lane_warm_hits,
             self.lane_warm_misses - before.lane_warm_misses,
+            self.surrogate_hits - before.surrogate_hits,
+            self.surrogate_fallbacks - before.surrogate_fallbacks,
+            self.surrogate_refits - before.surrogate_refits,
         )
 
     def merge(self, other: "EngineStats") -> None:
@@ -117,14 +125,26 @@ class EngineStats:
         self.lane_sparse_groups += getattr(other, "lane_sparse_groups", 0)
         self.lane_warm_hits += getattr(other, "lane_warm_hits", 0)
         self.lane_warm_misses += getattr(other, "lane_warm_misses", 0)
+        self.surrogate_hits += getattr(other, "surrogate_hits", 0)
+        self.surrogate_fallbacks += getattr(other, "surrogate_fallbacks", 0)
+        self.surrogate_refits += getattr(other, "surrogate_refits", 0)
+
+    #: Section order of :meth:`describe`.  New counter groups must slot
+    #: into this sequence (and its regression test) rather than append
+    #: wherever — a stable order keeps ``--verbose``/``--profile`` output
+    #: diffable across engine layers.
+    DESCRIBE_ORDER = ("engine", "tiers", "failures", "lanes", "surrogate",
+                      "store")
 
     def describe(self) -> str:
         """One-line rendering for ``--verbose`` output.
 
-        Failure/retry counters only appear when nonzero, so a clean run
-        renders exactly as it always did; the memory/disk hit breakdown
-        and the store's eviction/quarantine counters appear whenever a
-        disk tier saw traffic.
+        Sections always render in :data:`DESCRIBE_ORDER` — the base
+        engine totals, then the memory/disk tier split, failure/retry
+        counters, lane-kernel counters, surrogate-tier counters and the
+        disk store's eviction/quarantine summary.  Each optional section
+        only appears when its counters are nonzero, so a clean run
+        renders exactly as it always did.
         """
         line = (f"engine: {self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate:.0%} hit rate), "
@@ -141,6 +161,11 @@ class EngineStats:
                      f"({self.lane_sparse_groups} sparse), "
                      f"{self.lane_warm_hits} warm hits / "
                      f"{self.lane_warm_misses} misses")
+        if (self.surrogate_hits or self.surrogate_fallbacks
+                or self.surrogate_refits):
+            line += (f"; surrogate: {self.surrogate_hits} served / "
+                     f"{self.surrogate_fallbacks} fallbacks, "
+                     f"{self.surrogate_refits} refits")
         if self.store is not None and self.store.eventful:
             line += f"; store: {self.store.describe()}"
         return line

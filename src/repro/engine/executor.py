@@ -632,7 +632,9 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
                              backend: str | None = None,
                              trim: str | None = None,
                              checkpoint=None,
-                             resume: bool = False) -> BatchExecutor:
+                             resume: bool = False,
+                             surrogate: str | None = None
+                             ) -> BatchExecutor:
     """Build and install the process-wide engine (CLI entry point).
 
     ``backend`` (when given) sets the process-wide solver-backend
@@ -670,6 +672,13 @@ def configure_default_engine(*, workers: int = 1, cache: bool = True,
                            max_retries=max_retries, lanes=lanes,
                            journal=journal)
     set_default_engine(engine)
+    from repro.surrogate.tier import SurrogateTier, set_active_tier
+    if surrogate in (None, "off"):
+        set_active_tier(None)
+    else:
+        durable = store.store if store is not None else None
+        set_active_tier(SurrogateTier(surrogate, store=durable,
+                                      stats=engine.stats))
     return engine
 
 

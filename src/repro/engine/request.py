@@ -100,6 +100,14 @@ class SequenceRequest:
         (see :mod:`repro.dram.trim`).  Part of the content hash for
         array requests, so trimmed and full results never collide in
         the cache or the verified store.
+    tier:
+        Which answer tier produced (or owns) the entry this request
+        addresses.  ``"sim"`` — the default — is a real simulation
+        result; ``"surrogate-cal"`` addresses a surrogate-tier
+        calibration journal stored alongside the simulation entries
+        (see :mod:`repro.surrogate.store`).  Non-default tiers get
+        their own hash axis, so surrogate artifacts can never collide
+        with simulation results.
     """
 
     backend: str
@@ -114,6 +122,7 @@ class SequenceRequest:
     geometry: tuple[int, int] | None = None
     address: tuple[int, int] | None = None
     trim: str = "off"
+    tier: str = "sim"
 
     @classmethod
     def build(cls, ops, init_vc: float, *, backend: str,
@@ -201,6 +210,10 @@ class SequenceRequest:
             payload["address"] = (list(self.address)
                                   if self.address is not None else None)
             payload["trim"] = self.trim
+        # The tier axis likewise only enters for non-simulation entries,
+        # so every pre-existing hash is preserved.
+        if self.tier != "sim":
+            payload["tier"] = self.tier
         payload = json.dumps(payload, sort_keys=True,
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,30 @@
+"""Surrogate-first answer tier for border and direction queries.
+
+Two tiers: calibrated per-defect surrogates answer first
+(:mod:`repro.surrogate.br`), the lane-batched electrical engine is the
+uncertainty-gated fallback, and every fallback result is journaled as a
+calibration point (:mod:`repro.surrogate.store`) — an active-learning
+loop that tightens the surrogate over a campaign.  See
+:mod:`repro.surrogate.tier` for the serving policy and
+``docs/methodology.md`` §7i for the methodology.
+"""
+
+from repro.surrogate.br import BRPredictor, Prediction
+from repro.surrogate.store import CalibrationJournal, CalPoint
+from repro.surrogate.tier import (
+    SurrogateTier,
+    active_tier,
+    resolve_tier,
+    set_active_tier,
+)
+
+__all__ = [
+    "BRPredictor",
+    "CalPoint",
+    "CalibrationJournal",
+    "Prediction",
+    "SurrogateTier",
+    "active_tier",
+    "resolve_tier",
+    "set_active_tier",
+]

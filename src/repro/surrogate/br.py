@@ -1,0 +1,240 @@
+"""Per-defect border-resistance surrogate with explicit uncertainty.
+
+A prediction is **anchor + residual correction**:
+
+* the *anchor* is the calibrated behavioral model's own border at the
+  queried stress combination — the same log-space bisection the
+  electrical search runs, on the cheap model (~1% of the electrical
+  cost), memoized per (defect, stress, rel_tol);
+* the *residual* is the anchor's bias against the electrical truth,
+  learned from the calibration journal: every journaled electrical
+  border contributes ``log10(BR_elec) - log10(BR_anchor)`` at its
+  stress.  Queries interpolate the residual field — a monotone PCHIP
+  when the journal varies along a single ST axis, inverse-distance
+  weighting in the range-normalized 4-D ST space otherwise — seeded by
+  the packaged nominal bias (:mod:`repro.surrogate.seeds`) when the
+  journal is empty.
+
+Every prediction carries ``sigma``, an uncertainty in **decades of
+resistance**: the leave-one-out residual of the interpolant (how badly
+the journal predicts its own points) inflated with the normalized ST
+distance to the nearest calibration point.  An exact stress match
+reproduces the journaled electrical result itself with ``sigma = 0`` —
+the serve tier's resume path.
+
+ST coordinates are normalized by the specification ranges
+(:data:`~repro.stress.STRESS_RANGES`) and **clamped** to them:
+outside-spec queries reuse the nearest in-range behavior rather than
+extrapolate, and their distance penalty keeps the uncertainty honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.border import BorderResult, border_resistance
+from repro.defects.catalog import Defect
+from repro.dram.tech import TechnologyParams
+from repro.stress import NOMINAL_STRESS, STRESS_RANGES, StressConditions
+from repro.surrogate import seeds
+from repro.surrogate.interp import Pchip1D, loo_residuals, rms
+from repro.surrogate.store import CalibrationJournal, CalPoint
+
+#: Floor of any interpolated sigma (decades) — the journal can never
+#: talk itself into perfect confidence off its own points.
+SIGMA_FLOOR = 0.01
+
+#: How fast sigma grows with normalized ST distance from the nearest
+#: calibration evidence (decades per unit distance; the full Vdd range
+#: is distance 1.0).
+DISTANCE_SIGMA = 0.25
+
+
+def normalized(stress: StressConditions) -> tuple[float, ...]:
+    """Range-normalized (and clamped) ST coordinates of one SC."""
+    coords = []
+    for kind, rng in STRESS_RANGES.items():
+        u = (stress.value_of(kind) - rng.low) / (rng.high - rng.low)
+        coords.append(min(max(u, 0.0), 1.0))
+    return tuple(coords)
+
+
+def _distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One surrogate answer: a border estimate and how much to trust it.
+
+    ``log_br`` is ``None`` when no estimate exists (degenerate anchor
+    with an empty journal).  ``exact`` carries the reconstructed
+    electrical result when the query's stress matches a journaled point
+    — serving it is a cache hit in all but name.  ``n_points`` is the
+    journal evidence behind the estimate; ``source`` names the path
+    ("exact", "interp", "seed", "anchor").
+    """
+
+    log_br: float | None
+    sigma: float
+    n_points: int = 0
+    source: str = "anchor"
+    exact: BorderResult | None = None
+
+    @property
+    def resistance(self) -> float | None:
+        return 10.0 ** self.log_br if self.log_br is not None else None
+
+
+class BRPredictor:
+    """Anchor + residual-field border surrogate for one journal."""
+
+    def __init__(self, journal: CalibrationJournal, *,
+                 tech: TechnologyParams | None = None):
+        self.journal = journal
+        self.tech = tech
+        self._anchors: dict[tuple, BorderResult] = {}
+
+    # ------------------------------------------------------------------
+    # behavioral anchor
+    # ------------------------------------------------------------------
+    def anchor(self, defect: Defect, stress: StressConditions,
+               rel_tol: float) -> BorderResult:
+        """The behavioral model's border at ``stress`` (memoized)."""
+        key = (defect.kind, defect.placement, stress, rel_tol)
+        cached = self._anchors.get(key)
+        if cached is not None:
+            return cached
+        from repro.behav import behavioral_model
+        model = behavioral_model(defect, stress=stress, tech=self.tech)
+        r_lo, r_hi = defect.kind.search_range
+        result = border_resistance(model, fails_high=defect.fails_high,
+                                   r_lo=r_lo, r_hi=r_hi, rel_tol=rel_tol)
+        self._anchors[key] = result
+        return result
+
+    def _anchor_log(self, defect: Defect, stress: StressConditions,
+                    rel_tol: float) -> float | None:
+        result = self.anchor(defect, stress, rel_tol)
+        return math.log10(result.resistance) if result.found else None
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, defect: Defect, stress: StressConditions, *,
+                backend: str, rel_tol: float) -> Prediction:
+        """Predict ``defect``'s border under ``stress`` with sigma."""
+        points = self.journal.points(defect, backend=backend,
+                                     tech=self.tech, rel_tol=rel_tol)
+        for point in points:
+            if point.stress == stress:
+                r_lo, r_hi = defect.kind.search_range
+                log_br = (math.log10(point.resistance)
+                          if point.found else None)
+                return Prediction(
+                    log_br, 0.0, n_points=len(points), source="exact",
+                    exact=point.border(defect.fails_high, r_lo, r_hi))
+
+        anchor_log = self._anchor_log(defect, stress, rel_tol)
+        if anchor_log is None:
+            return self._anchorless(defect, stress, points)
+
+        usable: list[tuple[CalPoint, float]] = []   # (point, residual)
+        for point in points:
+            if not point.found:
+                continue
+            pa = self._anchor_log(defect, point.stress, rel_tol)
+            if pa is None:
+                continue
+            usable.append((point, math.log10(point.resistance) - pa))
+        if not usable:
+            return self._seeded(defect, stress, anchor_log,
+                                backend=backend)
+
+        query = normalized(stress)
+        coords = [normalized(p.stress) for p, _ in usable]
+        residuals = [r for _, r in usable]
+        d_min = min(_distance(query, c) for c in coords)
+        axis = self._single_axis(query, coords)
+        if axis is not None and len(usable) >= 2:
+            resid_hat, base = self._interp_axis(axis, query, coords,
+                                                residuals)
+        else:
+            resid_hat, base = self._idw(query, coords, residuals)
+        sigma = max(base, SIGMA_FLOOR) + DISTANCE_SIGMA * min(d_min, 2.0)
+        return Prediction(anchor_log + resid_hat, sigma,
+                          n_points=len(usable), source="interp")
+
+    # ------------------------------------------------------------------
+    # prediction paths
+    # ------------------------------------------------------------------
+    def _seeded(self, defect: Defect, stress: StressConditions,
+                anchor_log: float, *, backend: str) -> Prediction:
+        """Empty journal: packaged seed bias (or the bare anchor)."""
+        offset = seeds.seed_offset(defect, backend=backend,
+                                   tech=self.tech)
+        d_nom = _distance(normalized(stress), normalized(NOMINAL_STRESS))
+        if offset is None:
+            sigma = seeds.ANCHOR_SIGMA + DISTANCE_SIGMA * min(d_nom, 2.0)
+            return Prediction(anchor_log, sigma, source="anchor")
+        sigma = seeds.SEED_SIGMA + DISTANCE_SIGMA * min(d_nom, 2.0)
+        return Prediction(anchor_log + offset, sigma, source="seed")
+
+    def _anchorless(self, defect: Defect, stress: StressConditions,
+                    points: list[CalPoint]) -> Prediction:
+        """Degenerate anchor: fall back to the raw journal field."""
+        usable = [(p, math.log10(p.resistance)) for p in points
+                  if p.found]
+        if not usable:
+            return Prediction(None, math.inf, source="anchor")
+        query = normalized(stress)
+        coords = [normalized(p.stress) for p, _ in usable]
+        values = [v for _, v in usable]
+        d_min = min(_distance(query, c) for c in coords)
+        value_hat, base = self._idw(query, coords, values)
+        # No anchor means no stress-response model at all — double the
+        # distance penalty so only a dense journal serves here.
+        sigma = (max(base, SIGMA_FLOOR)
+                 + 2.0 * DISTANCE_SIGMA * min(d_min, 2.0))
+        return Prediction(value_hat, sigma, n_points=len(usable),
+                          source="interp")
+
+    @staticmethod
+    def _single_axis(query: tuple[float, ...],
+                     coords: list[tuple[float, ...]]) -> int | None:
+        """The one axis everything varies along, if there is one."""
+        varying = set()
+        for c in coords:
+            for i, (a, b) in enumerate(zip(c, query)):
+                if abs(a - b) > 1e-12:
+                    varying.add(i)
+        if len(varying) == 1:
+            return varying.pop()
+        return None
+
+    @staticmethod
+    def _interp_axis(axis: int, query: tuple[float, ...],
+                     coords: list[tuple[float, ...]],
+                     residuals: list[float]) -> tuple[float, float]:
+        """Monotone 1-D interpolation along the single varying axis."""
+        by_x: dict[float, float] = {}
+        for c, r in zip(coords, residuals):
+            by_x[c[axis]] = r          # later points replace duplicates
+        xs = sorted(by_x)
+        ys = [by_x[x] for x in xs]
+        if len(xs) == 1:
+            return ys[0], 0.0
+        fit = Pchip1D(xs, ys)
+        return fit(query[axis]), rms(loo_residuals(xs, ys))
+
+    @staticmethod
+    def _idw(query: tuple[float, ...], coords: list[tuple[float, ...]],
+             values: list[float]) -> tuple[float, float]:
+        """Inverse-distance weighting with a weighted-spread sigma."""
+        weights = [1.0 / (_distance(query, c) + 1e-6) for c in coords]
+        total = sum(weights)
+        mean = sum(w * v for w, v in zip(weights, values)) / total
+        spread = math.sqrt(sum(w * (v - mean) ** 2
+                               for w, v in zip(weights, values)) / total)
+        return mean, spread

@@ -1,0 +1,133 @@
+"""Monotone 1-D interpolation with leave-one-out uncertainty.
+
+The surrogate tier predicts per-defect border resistances on log-R over
+the ST axes.  Where calibration points vary along a single axis the
+prediction interpolates with a **shape-preserving piecewise cubic**
+(PCHIP, Fritsch–Carlson slopes): monotone data produces a monotone
+interpolant, so a border that moves monotonically with an ST — the
+paper's central assumption — never grows spurious wiggles between
+calibration points.  Everything is pure python/math: the tier must work
+on the scipy-free tier-1 configuration.
+
+Extrapolation is **clamped**: queries outside the fitted x-range return
+the boundary value instead of extending the end cubic — a surrogate
+should admit it knows nothing beyond its data, and the uncertainty
+model (:func:`loo_residuals`) widens there separately.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class Pchip1D:
+    """Shape-preserving cubic through ``(xs, ys)`` with clamped ends.
+
+    ``xs`` must be strictly increasing.  One point degenerates to a
+    constant, two to the linear interpolant (both still clamped outside
+    the range).  Construction is O(n); evaluation O(log n).
+    """
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]):
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if not xs:
+            raise ValueError("need at least one point")
+        for a, b in zip(xs, xs[1:]):
+            if b <= a:
+                raise ValueError("xs must be strictly increasing")
+        self.xs = xs
+        self.ys = ys
+        self._slopes = _pchip_slopes(xs, ys)
+
+    def __call__(self, x: float) -> float:
+        xs, ys = self.xs, self.ys
+        if x <= xs[0]:
+            return ys[0]            # clamped extrapolation
+        if x >= xs[-1]:
+            return ys[-1]
+        # binary search for the containing interval
+        lo, hi = 0, len(xs) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if xs[mid] <= x:
+                lo = mid
+            else:
+                hi = mid
+        h = xs[hi] - xs[lo]
+        t = (x - xs[lo]) / h
+        d0, d1 = self._slopes[lo], self._slopes[hi]
+        y0, y1 = ys[lo], ys[hi]
+        # cubic Hermite basis
+        t2 = t * t
+        t3 = t2 * t
+        return (y0 * (2 * t3 - 3 * t2 + 1) + h * d0 * (t3 - 2 * t2 + t)
+                + y1 * (-2 * t3 + 3 * t2) + h * d1 * (t3 - t2))
+
+
+def _pchip_slopes(xs: list[float], ys: list[float]) -> list[float]:
+    """Fritsch–Carlson endpoint-limited monotone slopes."""
+    n = len(xs)
+    if n == 1:
+        return [0.0]
+    h = [xs[i + 1] - xs[i] for i in range(n - 1)]
+    delta = [(ys[i + 1] - ys[i]) / h[i] for i in range(n - 1)]
+    if n == 2:
+        return [delta[0], delta[0]]
+    d = [0.0] * n
+    for i in range(1, n - 1):
+        if delta[i - 1] * delta[i] <= 0.0:
+            d[i] = 0.0
+        else:
+            w1 = 2 * h[i] + h[i - 1]
+            w2 = h[i] + 2 * h[i - 1]
+            d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i])
+    d[0] = _edge_slope(h[0], h[1], delta[0], delta[1])
+    d[-1] = _edge_slope(h[-1], h[-2], delta[-1], delta[-2])
+    return d
+
+
+def _edge_slope(h0: float, h1: float, d0: float, d1: float) -> float:
+    """One-sided three-point endpoint slope, limited for monotonicity."""
+    d = ((2 * h0 + h1) * d0 - h0 * d1) / (h0 + h1)
+    if d * d0 <= 0.0:
+        return 0.0
+    if d0 * d1 < 0.0 and abs(d) > 3 * abs(d0):
+        return 3 * d0
+    return d
+
+
+def loo_residuals(xs: Sequence[float], ys: Sequence[float]) -> list[float]:
+    """Leave-one-out residual per point: ``fit-without-i(x_i) - y_i``.
+
+    The classic interpolator self-assessment: refit without each point
+    and measure how badly the rest predicts it.  With fewer than three
+    points there is nothing meaningful to leave out — the residual is
+    the spread of the data (0 for a single point), which keeps the
+    uncertainty honest instead of optimistically zero.
+    """
+    xs = [float(x) for x in xs]
+    ys = [float(y) for y in ys]
+    n = len(xs)
+    if n == 0:
+        raise ValueError("need at least one point")
+    if n == 1:
+        return [0.0]
+    if n == 2:
+        spread = abs(ys[1] - ys[0])
+        return [spread, spread]
+    out = []
+    for i in range(n):
+        fit = Pchip1D(xs[:i] + xs[i + 1:], ys[:i] + ys[i + 1:])
+        out.append(fit(xs[i]) - ys[i])
+    return out
+
+
+def rms(values: Sequence[float]) -> float:
+    """Root-mean-square of ``values`` (0.0 when empty)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return (sum(v * v for v in values) / len(values)) ** 0.5

@@ -1,0 +1,103 @@
+"""Packaged seed calibration for the surrogate tier.
+
+The behavioral model predicts how a border *moves* with stress well, but
+its absolute border sits off the electrical one by a per-defect bias
+(e.g. B1's behavioral border lands ~2x above the electrical one).  The
+constants below are those biases — ``log10(BR_electrical) -
+log10(BR_behavioral)`` at the nominal stress combination, one per
+Table-1 defect — measured once against the default technology by
+:func:`calibrate_seed_offsets` and committed, exactly like the packaged
+:class:`~repro.behav.model.BehavCalibration` latch constants.
+
+They give a *cold* tier (no calibration points journaled yet) a prior
+that usually lands within one bisection leaf of the electrical border.
+The guard is the full technology fingerprint: any other technology gets
+no seed (the tier then starts from the raw behavioral anchor with a
+wide uncertainty, and tightens through the active-learning journal).
+"""
+
+from __future__ import annotations
+
+from repro.defects.catalog import ALL_DEFECTS, Defect
+from repro.dram.tech import TechnologyParams, default_tech
+from repro.engine.request import tech_fingerprint
+
+#: ``tech_fingerprint(default_tech())`` at seed-calibration time.
+SEED_TECH_FINGERPRINT = "d634c075abd267bd"
+
+#: Measured nominal log10 border bias per (backend, defect name); a
+#: missing entry means the nominal border was degenerate for at least
+#: one of the two models, so no bias is defined.
+SEED_BR_OFFSETS: dict[tuple[str, str], float] = {
+    ("electrical", "O1 (true)"): -0.046875,
+    ("electrical", "O1 (comp)"): -0.05859375,
+    ("electrical", "O2 (true)"): -0.109375,
+    ("electrical", "O2 (comp)"): -0.140625,
+    ("electrical", "O3 (true)"): 0.01171875,
+    ("electrical", "O3 (comp)"): 0.0,
+    ("electrical", "Sg (true)"): 0.01748875490124835,
+    ("electrical", "Sg (comp)"): 0.01748875490124835,
+    ("electrical", "Sv (true)"): 0.01748875490124835,
+    ("electrical", "Sv (comp)"): 0.01748875490124835,
+    ("electrical", "B1 (true)"): -0.33228634312372485,
+    ("electrical", "B1 (comp)"): -0.3147975882224765,
+    ("electrical", "B2 (true)"): -0.052466264703745935,
+    ("electrical", "B2 (comp)"): -0.052466264703745935,
+}
+
+#: Uncertainty (decades) assigned to a seeded prediction at the
+#: calibration point itself; grows with distance from nominal (see
+#: :mod:`repro.surrogate.br`).
+SEED_SIGMA = 0.05
+
+#: Uncertainty (decades) of an unseeded behavioral anchor.
+ANCHOR_SIGMA = 0.35
+
+
+def seed_offset(defect: Defect, *, backend: str,
+                tech: TechnologyParams | None = None) -> float | None:
+    """The packaged nominal bias for ``defect``, or ``None``.
+
+    ``None`` when the technology differs from the one the seeds were
+    measured on, or when no bias was measurable for this defect.
+    """
+    if tech_fingerprint(tech or default_tech()) != SEED_TECH_FINGERPRINT:
+        return None
+    return SEED_BR_OFFSETS.get((backend, defect.name))
+
+
+def calibrate_seed_offsets(*, backend: str = "electrical",
+                           defects=ALL_DEFECTS,
+                           rel_tol: float = 0.05) -> dict:
+    """Re-measure the seed table (the generator of the constants above).
+
+    Runs the reference (electrical) and behavioral nominal border
+    searches per defect and returns ``{"fingerprint": ...,
+    "offsets": {(backend, name): bias}}`` — paste-ready.  Expensive
+    (one full electrical bisection per defect); not called at runtime.
+    """
+    import math
+
+    from repro.behav import behavioral_model
+    from repro.core.border import find_border_resistance
+    from repro.stress import NOMINAL_STRESS
+
+    if backend != "electrical":
+        raise ValueError("seed offsets are measured against the "
+                         "electrical reference backend")
+    from repro.analysis.interface import electrical_model
+
+    offsets: dict[tuple[str, str], float] = {}
+    for defect in defects:
+        ref = find_border_resistance(
+            electrical_model(defect, stress=NOMINAL_STRESS), defect,
+            stress=NOMINAL_STRESS, rel_tol=rel_tol, surrogate=False)
+        anchor = find_border_resistance(
+            behavioral_model(defect, stress=NOMINAL_STRESS), defect,
+            stress=NOMINAL_STRESS, rel_tol=rel_tol, surrogate=False)
+        if ref.found and anchor.found:
+            offsets[(backend, defect.name)] = (
+                math.log10(ref.resistance)
+                - math.log10(anchor.resistance))
+    return {"fingerprint": tech_fingerprint(default_tech()),
+            "offsets": offsets}

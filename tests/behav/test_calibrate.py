@@ -1,0 +1,87 @@
+"""Edge cases of the behavioral latch calibration (repro.behav.calibrate).
+
+The grid fit is cheap to reason about but expensive to run for real
+(electrical read cycles), so these tests monkeypatch the two Vsa probes
+— degenerate electrical targets, unusable grids, and determinism of the
+fitted constants under refit.
+"""
+
+import pytest
+
+from repro.behav import calibrate
+from repro.behav.model import BehavCalibration
+
+
+def test_missing_electrical_target_raises(monkeypatch):
+    monkeypatch.setattr(calibrate, "_electrical_vsa",
+                        lambda tech, stress, resistance: None)
+    with pytest.raises(RuntimeError,
+                       match="electrical Vsa missing at the calibration "
+                             "resistance"):
+        calibrate.calibrate_latch()
+
+
+def test_missing_hot_target_raises(monkeypatch):
+    def electrical(tech, stress, resistance):
+        return 1.2 if stress.temp_c < 80.0 else None
+    monkeypatch.setattr(calibrate, "_electrical_vsa", electrical)
+    with pytest.raises(RuntimeError, match="electrical Vsa missing"):
+        calibrate.calibrate_latch()
+
+
+def test_unusable_grid_raises(monkeypatch):
+    monkeypatch.setattr(calibrate, "_electrical_vsa",
+                        lambda tech, stress, resistance: 1.2)
+    monkeypatch.setattr(calibrate, "_behav_vsa",
+                        lambda tech, cal, stress, resistance: None)
+    with pytest.raises(RuntimeError,
+                       match="calibration grid produced no usable "
+                             "candidate"):
+        calibrate.calibrate_latch()
+
+
+def _fake_behav_vsa(tech, cal, stress, resistance):
+    # A smooth deterministic response surface with a unique best cell:
+    # the fit must find the grid point closest to the fake targets.
+    return (1.0 + 0.1 * (cal.latch_delay / 1e-9)
+            + 0.01 * cal.latch_texp * (stress.temp_c / 27.0))
+
+
+def test_grid_fit_is_deterministic_under_refit(monkeypatch):
+    monkeypatch.setattr(calibrate, "_electrical_vsa",
+                        lambda tech, stress, resistance: 1.3)
+    monkeypatch.setattr(calibrate, "_behav_vsa", _fake_behav_vsa)
+    first = calibrate.calibrate_latch()
+    second = calibrate.calibrate_latch()
+    assert isinstance(first, BehavCalibration)
+    assert first == second                      # refit determinism
+    assert first.latch_delay in (1.0e-9, 1.6e-9, 2.2e-9, 2.8e-9,
+                                 3.4e-9, 4.2e-9)
+    assert first.latch_texp in (0.3, 0.9, 1.5, 2.2)
+
+
+def test_partial_grid_still_fits(monkeypatch):
+    """Candidates where the behavioral threshold vanishes are skipped,
+    not fatal — the fit uses whatever grid cells remain."""
+    monkeypatch.setattr(calibrate, "_electrical_vsa",
+                        lambda tech, stress, resistance: 1.3)
+
+    def patchy(tech, cal, stress, resistance):
+        if cal.latch_delay > 2.0e-9:
+            return None
+        return _fake_behav_vsa(tech, cal, stress, resistance)
+
+    monkeypatch.setattr(calibrate, "_behav_vsa", patchy)
+    fitted = calibrate.calibrate_latch()
+    assert fitted.latch_delay <= 2.0e-9
+
+
+def test_tie_breaks_prefer_the_first_grid_cell(monkeypatch):
+    """Strictly-better-only updates: a flat error surface returns the
+    first grid candidate, pinning refit output for equal-error ties."""
+    monkeypatch.setattr(calibrate, "_electrical_vsa",
+                        lambda tech, stress, resistance: 1.3)
+    monkeypatch.setattr(calibrate, "_behav_vsa",
+                        lambda tech, cal, stress, resistance: 1.3)
+    fitted = calibrate.calibrate_latch()
+    assert fitted == BehavCalibration(latch_delay=1.0e-9, latch_texp=0.3)

@@ -1,0 +1,49 @@
+"""--profile observability: surrogate counters reach the CLI report."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.diagnostics import diagnostics, reset_diagnostics
+
+
+@pytest.fixture(autouse=True)
+def _fresh_diagnostics():
+    reset_diagnostics()
+    yield
+    reset_diagnostics()
+
+
+def test_profile_block_prints_surrogate_counters(capsys):
+    from repro.__main__ import _report_engine
+
+    diagnostics().record_surrogate_counters({"surrogate_hits": 3})
+    diagnostics().record_surrogate_counters({"surrogate_hits": 2,
+                                             "surrogate_refits": 1})
+    _report_engine(SimpleNamespace(verbose=False, profile=True))
+    err = capsys.readouterr().err
+    assert "surrogate tier: surrogate_hits x5, surrogate_refits x1" in err
+
+
+def test_profile_block_is_silent_without_surrogate_activity(capsys):
+    from repro.__main__ import _report_engine
+
+    _report_engine(SimpleNamespace(verbose=False, profile=True))
+    assert "surrogate tier:" not in capsys.readouterr().err
+
+
+def test_verbose_line_carries_the_surrogate_section(capsys):
+    from repro.__main__ import _report_engine
+    from repro.engine import default_engine
+
+    stats = default_engine().stats
+    before = stats.snapshot()
+    stats.surrogate_hits += 4
+    stats.surrogate_fallbacks += 1
+    try:
+        _report_engine(SimpleNamespace(verbose=True, profile=False))
+        err = capsys.readouterr().err
+        assert f"surrogate: {stats.surrogate_hits} served" in err
+    finally:
+        stats.surrogate_hits = before.surrogate_hits
+        stats.surrogate_fallbacks = before.surrogate_fallbacks

@@ -1,0 +1,77 @@
+"""Monotone PCHIP interpolation and leave-one-out residuals."""
+
+import math
+
+import pytest
+
+from repro.surrogate.interp import Pchip1D, loo_residuals, rms
+
+
+class TestPchip1D:
+    def test_reproduces_knots_exactly(self):
+        xs = [0.0, 0.3, 0.7, 1.0]
+        ys = [1.0, 2.0, 2.5, 4.0]
+        fit = Pchip1D(xs, ys)
+        for x, y in zip(xs, ys):
+            assert fit(x) == pytest.approx(y, abs=1e-12)
+
+    def test_monotone_data_stays_monotone(self):
+        xs = [0.0, 0.1, 0.5, 0.9, 1.0]
+        ys = [0.0, 2.0, 2.1, 2.2, 5.0]   # sharp knees: overshoot bait
+        fit = Pchip1D(xs, ys)
+        samples = [fit(i / 200) for i in range(201)]
+        assert all(b >= a - 1e-12 for a, b in zip(samples, samples[1:]))
+        assert min(samples) >= ys[0] - 1e-12
+        assert max(samples) <= ys[-1] + 1e-12
+
+    def test_clamped_extrapolation(self):
+        fit = Pchip1D([0.2, 0.8], [1.0, 3.0])
+        assert fit(-5.0) == pytest.approx(1.0)
+        assert fit(5.0) == pytest.approx(3.0)
+
+    def test_two_points_is_linear(self):
+        fit = Pchip1D([0.0, 1.0], [0.0, 2.0])
+        assert fit(0.25) == pytest.approx(0.5)
+        assert fit(0.75) == pytest.approx(1.5)
+
+    def test_single_point_is_constant(self):
+        fit = Pchip1D([0.5], [3.0])
+        assert fit(0.0) == 3.0
+        assert fit(1.0) == 3.0
+
+    def test_rejects_unsorted_xs(self):
+        with pytest.raises(ValueError):
+            Pchip1D([0.0, 0.5, 0.5], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            Pchip1D([1.0, 0.0], [1.0, 2.0])
+
+
+class TestLooResiduals:
+    def test_linear_data_has_tiny_interior_residuals(self):
+        xs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        ys = [2.0 * x for x in xs]
+        res = loo_residuals(xs, ys)
+        # interior points are predicted exactly by the linear fit ...
+        assert res[1:-1] == pytest.approx([0.0, 0.0, 0.0], abs=1e-9)
+        # ... while a left-out endpoint is clamped to its neighbour —
+        # the honest "no data beyond the range" answer
+        assert res[0] == pytest.approx(ys[1] - ys[0])
+        assert res[-1] == pytest.approx(ys[-2] - ys[-1])
+
+    def test_outlier_dominates(self):
+        xs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        ys = [0.0, 0.5, 5.0, 1.5, 2.0]   # bump at the middle knot
+        res = loo_residuals(xs, ys)
+        assert max(abs(r) for r in res) == pytest.approx(
+            abs(res[2]), rel=1e-9)
+        assert abs(res[2]) > 1.0
+
+    def test_degenerate_sizes(self):
+        assert loo_residuals([0.5], [3.0]) == [0.0]
+        two = loo_residuals([0.0, 1.0], [1.0, 4.0])
+        assert two[0] == pytest.approx(3.0)
+        assert two[1] == pytest.approx(3.0)
+
+    def test_rms(self):
+        assert rms([]) == 0.0
+        assert rms([3.0, 4.0]) == pytest.approx(math.sqrt(12.5))

@@ -1,0 +1,147 @@
+"""BRPredictor paths: exact, seed, anchor, interpolated residual field."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis.border import BorderResult
+from repro.defects import Defect, DefectKind
+from repro.dram.tech import default_tech
+from repro.stress import NOMINAL_STRESS, STRESS_RANGES, StressKind
+from repro.surrogate import seeds
+from repro.surrogate.br import (BRPredictor, DISTANCE_SIGMA, SIGMA_FLOOR,
+                                normalized)
+from repro.surrogate.store import CalibrationJournal
+
+
+@pytest.fixture
+def defect():
+    return Defect(DefectKind.O3, resistance=200e3)
+
+
+def _record(journal, defect, stress, resistance):
+    journal.record(defect, backend="electrical", tech=None, rel_tol=0.05,
+                   stress=stress,
+                   border=BorderResult(resistance, defect.fails_high,
+                                       always_faulty=False,
+                                       never_faulty=False,
+                                       r_lo=1e3, r_hi=1e7))
+
+
+def test_normalized_clamps_to_spec_ranges():
+    low = NOMINAL_STRESS.with_value(StressKind.VDD, 0.5)
+    high = NOMINAL_STRESS.with_value(StressKind.VDD, 100.0)
+    axis = list(STRESS_RANGES).index(StressKind.VDD)
+    assert normalized(low)[axis] == 0.0
+    assert normalized(high)[axis] == 1.0
+    assert all(0.0 <= u <= 1.0 for u in normalized(NOMINAL_STRESS))
+
+
+def test_exact_journal_match_has_zero_sigma(defect):
+    journal = CalibrationJournal()
+    _record(journal, defect, NOMINAL_STRESS, 1.5e5)
+    prediction = BRPredictor(journal).predict(
+        defect, NOMINAL_STRESS, backend="electrical", rel_tol=0.05)
+    assert prediction.source == "exact"
+    assert prediction.sigma == 0.0
+    assert prediction.exact.resistance == 1.5e5
+    assert prediction.resistance == pytest.approx(1.5e5)
+
+
+def test_empty_journal_uses_packaged_seed(defect):
+    predictor = BRPredictor(CalibrationJournal(), tech=default_tech())
+    prediction = predictor.predict(defect, NOMINAL_STRESS,
+                                   backend="electrical", rel_tol=0.05)
+    assert prediction.source == "seed"
+    assert prediction.sigma == pytest.approx(seeds.SEED_SIGMA)
+    anchor = predictor.anchor(defect, NOMINAL_STRESS, 0.05)
+    offset = seeds.seed_offset(defect, backend="electrical")
+    assert prediction.log_br == pytest.approx(
+        math.log10(anchor.resistance) + offset)
+
+
+def test_unseeded_technology_falls_back_to_bare_anchor(defect):
+    other = dataclasses.replace(default_tech(), vpp_boost=1.31)
+    predictor = BRPredictor(CalibrationJournal(), tech=other)
+    prediction = predictor.predict(defect, NOMINAL_STRESS,
+                                   backend="electrical", rel_tol=0.05)
+    assert prediction.source == "anchor"
+    assert prediction.sigma >= seeds.ANCHOR_SIGMA
+
+
+def test_single_axis_journal_interpolates_residuals(defect):
+    journal = CalibrationJournal()
+    predictor = BRPredictor(journal)
+    cold = NOMINAL_STRESS.with_value(StressKind.TEMP, 0.0)
+    hot = NOMINAL_STRESS.with_value(StressKind.TEMP, 80.0)
+    mid = NOMINAL_STRESS.with_value(StressKind.TEMP, 40.0)
+    # journal a constant +0.1-decade bias against the anchor at the
+    # endpoints: the interpolated residual at mid must also be +0.1
+    for stress in (cold, hot):
+        anchor = predictor.anchor(defect, stress, 0.05)
+        assert anchor.found
+        _record(journal, defect, stress,
+                10.0 ** (math.log10(anchor.resistance) + 0.1))
+    prediction = predictor.predict(defect, mid, backend="electrical",
+                                   rel_tol=0.05)
+    assert prediction.source == "interp"
+    assert prediction.n_points == 2
+    anchor_mid = predictor.anchor(defect, mid, 0.05)
+    assert prediction.log_br == pytest.approx(
+        math.log10(anchor_mid.resistance) + 0.1, abs=1e-9)
+    assert prediction.sigma >= SIGMA_FLOOR
+
+
+def test_sigma_grows_with_distance_from_evidence(defect):
+    journal = CalibrationJournal()
+    predictor = BRPredictor(journal)
+    for temp in (20.0, 30.0):
+        stress = NOMINAL_STRESS.with_value(StressKind.TEMP, temp)
+        anchor = predictor.anchor(defect, stress, 0.05)
+        _record(journal, defect, stress, anchor.resistance)
+    near = predictor.predict(
+        defect, NOMINAL_STRESS.with_value(StressKind.TEMP, 25.0),
+        backend="electrical", rel_tol=0.05)
+    far = predictor.predict(
+        defect, NOMINAL_STRESS.with_value(StressKind.VDD, 2.0),
+        backend="electrical", rel_tol=0.05)
+    assert far.sigma > near.sigma
+    assert far.sigma >= SIGMA_FLOOR + DISTANCE_SIGMA * 0.1
+
+
+def test_multi_axis_journal_uses_idw(defect):
+    journal = CalibrationJournal()
+    predictor = BRPredictor(journal)
+    for stress in (NOMINAL_STRESS.with_value(StressKind.TEMP, 60.0),
+                   NOMINAL_STRESS.with_value(StressKind.VDD, 2.1)):
+        anchor = predictor.anchor(defect, stress, 0.05)
+        _record(journal, defect, stress, anchor.resistance)
+    prediction = predictor.predict(
+        defect, NOMINAL_STRESS.with_value(StressKind.DUTY, 0.4),
+        backend="electrical", rel_tol=0.05)
+    assert prediction.source == "interp"
+    assert prediction.log_br is not None
+    assert math.isfinite(prediction.sigma)
+
+
+def test_served_exact_short_circuits_the_model(defect):
+    """An exact serve answers without touching the electrical model at
+    all — proven by passing a model that cannot simulate anything."""
+    from repro.core.border import find_border_resistance
+    from repro.engine.cache import EngineStats
+    from repro.surrogate.tier import SurrogateTier
+
+    class DeadModel:
+        backend = "electrical"
+        stress = None
+
+        def set_stress(self, stress):
+            self.stress = stress
+
+    tier = SurrogateTier("serve", stats=EngineStats())
+    _record(tier.journal, defect, NOMINAL_STRESS, 1.5e5)
+    result = find_border_resistance(DeadModel(), defect,
+                                    stress=NOMINAL_STRESS,
+                                    surrogate=tier)
+    assert result.resistance == 1.5e5

@@ -1,0 +1,197 @@
+"""Calibration journal persistence: record, dedupe, reload, survive.
+
+The journal is the surrogate tier's active-learning memory.  Its
+durability contract matches the engine's result store — points recorded
+before a SIGKILL must be visible to a resumed campaign — because it
+lives in the same :class:`~repro.store.sharded.ShardedStore` under its
+own request-hash axis (``tier="surrogate-cal"``).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.border import BorderResult
+from repro.defects import Defect, DefectKind
+from repro.dram.tech import default_tech
+from repro.engine.request import SequenceRequest
+from repro.store.sharded import ShardedStore
+from repro.stress import NOMINAL_STRESS, StressConditions, StressKind
+from repro.surrogate.store import (CalibrationJournal, CalPoint,
+                                   journal_request)
+
+
+@pytest.fixture
+def defect():
+    return Defect(DefectKind.O3, resistance=200e3)
+
+
+def _border(r=1.5e5, fails_high=True):
+    return BorderResult(r, fails_high, always_faulty=False,
+                        never_faulty=False, r_lo=1e3, r_hi=1e7)
+
+
+class TestRequestHashAxis:
+    def test_tier_field_defaults_to_sim_and_preserves_hashes(self, defect):
+        site = defect.site()
+        base = dict(backend="electrical", tech=default_tech(),
+                    defect_kind=site.kind, cell=site.cell,
+                    resistance=defect.resistance, stress=NOMINAL_STRESS,
+                    ops="w0 r0", init_vc=0.0)
+        assert SequenceRequest(**base).tier == "sim"
+        assert (SequenceRequest(**base).content_hash
+                == SequenceRequest(**base, tier="sim").content_hash)
+
+    def test_surrogate_cal_tier_occupies_its_own_namespace(self, defect):
+        cal = journal_request(defect, backend="electrical",
+                              tech=default_tech(), rel_tol=0.05)
+        assert cal.tier == "surrogate-cal"
+        sim_twin = SequenceRequest(
+            backend=cal.backend, tech=cal.tech,
+            defect_kind=cal.defect_kind, cell=cal.cell,
+            resistance=cal.resistance, stress=cal.stress, ops=cal.ops,
+            init_vc=cal.init_vc)
+        assert cal.content_hash != sim_twin.content_hash
+
+    def test_rel_tol_is_part_of_the_key(self, defect):
+        a = journal_request(defect, backend="electrical",
+                            tech=default_tech(), rel_tol=0.05)
+        b = journal_request(defect, backend="electrical",
+                            tech=default_tech(), rel_tol=0.01)
+        assert a.content_hash != b.content_hash
+
+
+class TestJournal:
+    def test_record_and_readback_in_memory(self, defect):
+        journal = CalibrationJournal()
+        assert journal.points(defect, backend="electrical", tech=None,
+                              rel_tol=0.05) == []
+        assert journal.record(defect, backend="electrical", tech=None,
+                              rel_tol=0.05, stress=NOMINAL_STRESS,
+                              border=_border())
+        points = journal.points(defect, backend="electrical", tech=None,
+                                rel_tol=0.05)
+        assert points == [CalPoint(NOMINAL_STRESS, 1.5e5)]
+
+    def test_duplicate_record_is_not_news(self, defect):
+        journal = CalibrationJournal()
+        assert journal.record(defect, backend="electrical", tech=None,
+                              rel_tol=0.05, stress=NOMINAL_STRESS,
+                              border=_border())
+        assert not journal.record(defect, backend="electrical", tech=None,
+                                  rel_tol=0.05, stress=NOMINAL_STRESS,
+                                  border=_border())
+        # same stress, different border: replaces, counts as news
+        assert journal.record(defect, backend="electrical", tech=None,
+                              rel_tol=0.05, stress=NOMINAL_STRESS,
+                              border=_border(2e5))
+        points = journal.points(defect, backend="electrical", tech=None,
+                                rel_tol=0.05)
+        assert len(points) == 1 and points[0].resistance == 2e5
+
+    def test_undetermined_results_are_skipped(self, defect):
+        journal = CalibrationJournal()
+        undetermined = BorderResult(None, True, always_faulty=False,
+                                    never_faulty=False, r_lo=1e3,
+                                    r_hi=1e7)
+        assert not journal.record(defect, backend="electrical", tech=None,
+                                  rel_tol=0.05, stress=NOMINAL_STRESS,
+                                  border=undetermined)
+        assert journal.points(defect, backend="electrical", tech=None,
+                              rel_tol=0.05) == []
+
+    def test_degenerate_results_are_calibration_data(self, defect):
+        journal = CalibrationJournal()
+        never = BorderResult(None, True, always_faulty=False,
+                             never_faulty=True, r_lo=1e3, r_hi=1e7)
+        assert journal.record(defect, backend="electrical", tech=None,
+                              rel_tol=0.05, stress=NOMINAL_STRESS,
+                              border=never)
+        (point,) = journal.points(defect, backend="electrical", tech=None,
+                                  rel_tol=0.05)
+        assert not point.found and point.never_faulty
+        rebuilt = point.border(True, 1e3, 1e7)
+        assert rebuilt.never_faulty and rebuilt.resistance is None
+
+    def test_store_backed_reload(self, defect, tmp_path):
+        store = ShardedStore(tmp_path / "store")
+        writer = CalibrationJournal(store)
+        hot = NOMINAL_STRESS.with_value(StressKind.TEMP, 87.0)
+        writer.record(defect, backend="electrical", tech=None,
+                      rel_tol=0.05, stress=NOMINAL_STRESS,
+                      border=_border())
+        writer.record(defect, backend="electrical", tech=None,
+                      rel_tol=0.05, stress=hot, border=_border(1.1e5))
+        assert writer.loaded_points == 0   # nothing pre-existed
+
+        reader = CalibrationJournal(ShardedStore(tmp_path / "store"))
+        points = {p.stress: p for p in reader.points(
+            defect, backend="electrical", tech=None, rel_tol=0.05)}
+        assert reader.loaded_points == 2
+        assert points[NOMINAL_STRESS].resistance == 1.5e5
+        assert points[hot].resistance == 1.1e5
+
+    def test_corrupt_entries_are_dropped_not_fatal(self, defect, tmp_path):
+        store = ShardedStore(tmp_path / "store")
+        key = journal_request(defect, backend="electrical",
+                              tech=default_tech(),
+                              rel_tol=0.05).content_hash
+        store.put(key, [{"stress": {"bogus": 1}}, "not-a-dict",
+                        {"stress": {"tcyc": 60e-9, "duty": 0.5,
+                                    "temp_c": 27.0, "vdd": 2.4},
+                         "resistance": 3e5}])
+        journal = CalibrationJournal(store)
+        (point,) = journal.points(defect, backend="electrical",
+                                  tech=default_tech(), rel_tol=0.05)
+        assert point.resistance == 3e5
+
+
+_KILLED_WRITER = textwrap.dedent("""
+    import os, signal, sys
+    from repro.analysis.border import BorderResult
+    from repro.defects import Defect, DefectKind
+    from repro.store.sharded import ShardedStore
+    from repro.stress import NOMINAL_STRESS
+    from repro.surrogate.store import CalibrationJournal
+
+    journal = CalibrationJournal(ShardedStore(sys.argv[1]))
+    defect = Defect(DefectKind.O3, resistance=200e3)
+    border = BorderResult(1.5e5, True, always_faulty=False,
+                          never_faulty=False, r_lo=1e3, r_hi=1e7)
+    journal.record(defect, backend="electrical", tech=None,
+                   rel_tol=0.05, stress=NOMINAL_STRESS, border=border)
+    print("RECORDED", flush=True)
+    os.kill(os.getpid(), signal.SIGKILL)
+""")
+
+
+def test_points_survive_sigkill(defect, tmp_path):
+    """The resume path: a campaign killed right after journaling must
+    leave the point recoverable — and exactly servable — by the next."""
+    proc = subprocess.run(
+        [sys.executable, "-c", _KILLED_WRITER, str(tmp_path / "store")],
+        capture_output=True, text=True,
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(
+                 filter(None, ["src", os.environ.get("PYTHONPATH")]))},
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))))
+    assert "RECORDED" in proc.stdout
+    assert proc.returncode == -signal.SIGKILL
+
+    journal = CalibrationJournal(ShardedStore(tmp_path / "store"))
+    (point,) = journal.points(defect, backend="electrical", tech=None,
+                              rel_tol=0.05)
+    assert journal.loaded_points == 1
+    assert point.resistance == 1.5e5
+
+    from repro.surrogate.br import BRPredictor
+    prediction = BRPredictor(journal).predict(
+        defect, NOMINAL_STRESS, backend="electrical", rel_tol=0.05)
+    assert prediction.source == "exact"
+    assert prediction.sigma == 0.0
+    assert prediction.exact.resistance == 1.5e5
